@@ -1,0 +1,315 @@
+// Package sparsehamming's benchmark harness regenerates every table
+// and figure of the paper's evaluation:
+//
+//	BenchmarkTableI      — design-principle compliance (Table I)
+//	BenchmarkTableIII    — MemPool toolchain validation (Table III)
+//	BenchmarkFigure6a..d — the four topology-comparison panels (Fig. 6)
+//	BenchmarkCustomize   — the Section V customization strategy
+//	BenchmarkAblation*   — design-choice ablations called out in DESIGN.md
+//
+// Each benchmark prints the regenerated rows on its first iteration
+// and reports the headline numbers as custom metrics. The heavyweight
+// figure benchmarks take tens of seconds per iteration; run with
+// -benchtime=1x for a single regeneration pass:
+//
+//	go test -bench=. -benchmem -benchtime=1x
+package sparsehamming
+
+import (
+	"fmt"
+	"testing"
+
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/phys"
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/sim"
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+// BenchmarkTableI regenerates Table I for the 8x8 grid.
+func BenchmarkTableI(b *testing.B) {
+	arch := tech.Scenario(tech.ScenarioA)
+	for i := 0; i < b.N; i++ {
+		rows, err := noc.TableI(arch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println("\nTable I (R = C = 8):")
+			fmt.Print(noc.FormatTableI(rows))
+		}
+	}
+}
+
+// BenchmarkTableIII regenerates the MemPool validation.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := noc.TableIII(noc.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Println("\nTable III (MemPool):")
+			fmt.Print(noc.FormatTableIII(rows))
+			for _, r := range rows {
+				b.ReportMetric(r.ErrorPct, "err%/"+r.Metric[:4])
+			}
+		}
+	}
+}
+
+// figure6Bench regenerates one scenario panel.
+func figure6Bench(b *testing.B, id tech.ScenarioID) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := noc.Figure6(id, noc.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		fmt.Printf("\nFigure 6%s:\n", id)
+		fmt.Print(noc.FormatFigure6(rows))
+		for _, r := range rows {
+			if r.Topology == "sparse-hamming" {
+				b.ReportMetric(r.Pred.SaturationPct, "shg_sat_%")
+				b.ReportMetric(r.Pred.ZeroLoadLatency, "shg_zl_cy")
+				b.ReportMetric(r.Pred.AreaOverheadPct, "shg_ovh_%")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure6a: 64 tiles, 35 MGE, 1 core each.
+func BenchmarkFigure6a(b *testing.B) { figure6Bench(b, tech.ScenarioA) }
+
+// BenchmarkFigure6b: 64 tiles, 70 MGE, 2 cores each.
+func BenchmarkFigure6b(b *testing.B) { figure6Bench(b, tech.ScenarioB) }
+
+// BenchmarkFigure6c: 128 tiles, 35 MGE, 1 core each (SlimNoC applies).
+func BenchmarkFigure6c(b *testing.B) { figure6Bench(b, tech.ScenarioC) }
+
+// BenchmarkFigure6d: 128 tiles, 70 MGE, 2 cores each (SlimNoC applies).
+func BenchmarkFigure6d(b *testing.B) { figure6Bench(b, tech.ScenarioD) }
+
+// BenchmarkCustomize runs the Section V strategy on scenario a.
+func BenchmarkCustomize(b *testing.B) {
+	arch := tech.Scenario(tech.ScenarioA)
+	for i := 0; i < b.N; i++ {
+		res, err := noc.Customize(arch, 40, noc.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("\nCustomization (scenario a, 40%% budget): %s\n", res.Params)
+			b.ReportMetric(res.Final.AreaOverheadPct, "ovh_%")
+			b.ReportMetric(res.Final.SaturationPct, "sat_%")
+		}
+	}
+}
+
+// BenchmarkAblationRouting quantifies design principle 4's co-design
+// claim: the sparse Hamming graph with monotone dimension-order
+// routing versus generic hop-minimal tables, and the hypercube with
+// its tuned e-cube routing versus the same generic tables.
+func BenchmarkAblationRouting(b *testing.B) {
+	arch := tech.Scenario(tech.ScenarioA)
+	shg, err := topo.NewSparseHamming(8, 8, noc.PaperSHGParams(tech.ScenarioA))
+	if err != nil {
+		b.Fatal(err)
+	}
+	hc, err := topo.NewHypercube(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		t    *topo.Topology
+		alg  route.Algorithm
+	}{
+		{"shg/monotone-dor", shg, route.MonotoneDOR},
+		{"shg/hop-minimal", shg, route.HopMinimal},
+		{"hypercube/e-cube", hc, route.ECube},
+		{"hypercube/hop-minimal", hc, route.HopMinimal},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p, err := noc.PredictWith(arch, c.t, c.alg, noc.Quick)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(p.SaturationPct, "sat_%")
+					b.ReportMetric(p.ZeroLoadLatency, "zl_cy")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSpacing quantifies the uniform-link-density
+// criterion: the channel-area utilization of a uniform topology
+// (torus) versus a non-uniform one (SlimNoC) on the same grid, and
+// the resulting area overheads (cost model only, no simulation).
+func BenchmarkAblationSpacing(b *testing.B) {
+	arch := tech.Scenario(tech.ScenarioC) // 8x16, SlimNoC applies
+	cases := []struct {
+		name string
+		make func() (*topo.Topology, error)
+	}{
+		{"torus", func() (*topo.Topology, error) { return topo.NewTorus(8, 16) }},
+		{"slimnoc", func() (*topo.Topology, error) { return topo.NewSlimNoC(8, 16) }},
+		{"flattened-butterfly", func() (*topo.Topology, error) { return topo.NewFlattenedButterfly(8, 16) }},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			t, err := c.make()
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := phys.Evaluate(arch, t)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.ChannelUtilization, "util")
+					b.ReportMetric(100*res.AreaOverhead, "ovh_%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationModels contrasts the three model tiers the paper
+// discusses: the closed-form high-level model (instant, optimistic),
+// this repository's toolchain (fast, floorplan-aware), and — as the
+// stand-in for ground truth — a long full-quality simulation. Metrics
+// report each tier's saturation estimate for the scenario-a SHG.
+func BenchmarkAblationModels(b *testing.B) {
+	arch := tech.Scenario(tech.ScenarioA)
+	shg, err := topo.NewSparseHamming(8, 8, noc.PaperSHGParams(tech.ScenarioA))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		pred, err := noc.Predict(arch, shg, noc.Full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(pred.AnalyticBoundPct, "bound_%")
+			b.ReportMetric(pred.SaturationPct, "sim_%")
+			b.ReportMetric(pred.AnalyticZeroLoad, "closed_zl")
+			b.ReportMetric(pred.ZeroLoadLatency, "sim_zl")
+		}
+	}
+}
+
+// BenchmarkAblationBuffers sweeps the router's virtual-channel count
+// and buffer depth on the scenario-a SHG — the microarchitectural
+// knobs the paper fixes at 8 VCs x 32 flits.
+func BenchmarkAblationBuffers(b *testing.B) {
+	arch := tech.Scenario(tech.ScenarioA)
+	shg, err := topo.NewSparseHamming(8, 8, noc.PaperSHGParams(tech.ScenarioA))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cost, err := phys.Evaluate(arch, shg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt, err := route.For(shg, route.Auto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name     string
+		vcs, buf int
+	}{
+		{"2vc-8flit", 2, 8},
+		{"4vc-16flit", 4, 16},
+		{"8vc-32flit", 8, 32},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.SaturationThroughput(sim.Config{
+					Topo: shg, Routing: rt, NumVCs: c.vcs, BufDepth: c.buf,
+					LinkLatency: cost.LinkLatencies, RouterDelay: noc.RouterDelay,
+					PacketLen: 4, Seed: 1, Warmup: 800, Measure: 2500,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(100*res.SaturationRate, "sat_%")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPhysEvaluate measures the cost model's speed — the paper's
+// pitch is that approximate floorplanning runs at high-level-model
+// speed while capturing link routing.
+func BenchmarkPhysEvaluate(b *testing.B) {
+	arch := tech.Scenario(tech.ScenarioA)
+	shg, err := topo.NewSparseHamming(8, 8, noc.PaperSHGParams(tech.ScenarioA))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := phys.Evaluate(arch, shg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoutingConstruction measures routing-table construction.
+func BenchmarkRoutingConstruction(b *testing.B) {
+	shg, err := topo.NewSparseHamming(8, 16, noc.PaperSHGParams(tech.ScenarioC))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := route.For(shg, route.Auto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimCycles measures raw simulation speed in router-cycles
+// per second on a loaded 8x8 mesh.
+func BenchmarkSimCycles(b *testing.B) {
+	m, err := topo.NewMesh(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := route.For(m, route.Auto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := sim.RunConfig(sim.Config{
+			Topo: m, Routing: r, NumVCs: 8, BufDepth: 32,
+			RouterDelay: 3, PacketLen: 4, InjectionRate: 0.3,
+			Seed: int64(i), Warmup: 500, Measure: 2000, Drain: 4000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Deadlocked {
+			b.Fatal("deadlock")
+		}
+	}
+}

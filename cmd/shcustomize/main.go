@@ -1,0 +1,46 @@
+// Command shcustomize runs the paper's five-step NoC topology
+// customization strategy (Section V-a): starting from a mesh, it
+// iteratively adds sparse Hamming graph offsets, guided by the fast
+// cost model, until the area-overhead budget is exhausted, then
+// validates the final topology with cycle-accurate simulation.
+//
+// Example:
+//
+//	shcustomize -scenario a -budget 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/tech"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "a", "evaluation scenario: a|b|c|d")
+		budget   = flag.Float64("budget", 40, "maximum NoC area overhead in percent")
+		full     = flag.Bool("full", false, "full-length simulation windows")
+	)
+	flag.Parse()
+
+	arch := tech.Scenario(tech.ScenarioID(*scenario))
+	if arch == nil {
+		fmt.Fprintf(os.Stderr, "shcustomize: unknown scenario %q\n", *scenario)
+		os.Exit(1)
+	}
+	quality := noc.Quick
+	if *full {
+		quality = noc.Full
+	}
+	res, err := noc.Customize(arch, *budget, quality)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shcustomize:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario %s, budget %.0f%% area overhead\n", *scenario, *budget)
+	fmt.Printf("paper's parameters for this scenario: %s\n\n", noc.PaperSHGParams(tech.ScenarioID(*scenario)))
+	fmt.Print(noc.FormatCustomization(res))
+}

@@ -1,0 +1,56 @@
+// Command shdse exhaustively explores the sparse Hamming graph design
+// space for a grid (all 2^(R+C-4) configurations) with the fast cost
+// model and prints the Pareto frontier of (area overhead, average
+// hops), or the full point cloud as CSV.
+//
+// Examples:
+//
+//	shdse -rows 6 -cols 6
+//	shdse -rows 5 -cols 8 -budget 30
+//	shdse -rows 6 -cols 6 -csv > points.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparsehamming/internal/dse"
+	"sparsehamming/internal/tech"
+)
+
+func main() {
+	var (
+		rows   = flag.Int("rows", 6, "tile grid rows")
+		cols   = flag.Int("cols", 6, "tile grid columns")
+		budget = flag.Float64("budget", 40, "area-overhead budget in percent for the -best report")
+		csv    = flag.Bool("csv", false, "emit all points as CSV")
+		limit  = flag.Int("limit", 1<<16, "maximum number of configurations to enumerate")
+	)
+	flag.Parse()
+
+	arch := tech.Scenario(tech.ScenarioA)
+	arch.Rows, arch.Cols = *rows, *cols
+
+	points, err := dse.Explore(arch, *limit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shdse:", err)
+		os.Exit(1)
+	}
+	if *csv {
+		fmt.Print(dse.CSV(points))
+		return
+	}
+	fmt.Printf("%d configurations on %dx%d\n\n", len(points), *rows, *cols)
+	fmt.Println("Pareto frontier:")
+	for _, p := range dse.Frontier(points) {
+		fmt.Printf("  %-28s overhead %5.1f%%  avg hops %.3f  diameter %d\n",
+			p.Params.String(), p.AreaOverheadPct, p.AvgHops, p.Diameter)
+	}
+	if best, ok := dse.Best(points, *budget); ok {
+		fmt.Printf("\nbest within %.0f%%: %s (%.1f%%, %.3f hops)\n",
+			*budget, best.Params.String(), best.AreaOverheadPct, best.AvgHops)
+	} else {
+		fmt.Printf("\nno configuration within %.0f%%\n", *budget)
+	}
+}

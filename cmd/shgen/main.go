@@ -1,0 +1,74 @@
+// Command shgen builds a NoC topology and prints its properties, an
+// ASCII drawing, a Graphviz export, or the design-principle
+// compliance table (Table I of the paper).
+//
+// Examples:
+//
+//	shgen -topo sparse-hamming -rows 8 -cols 8 -sr 4 -sc 2,5
+//	shgen -topo mesh -rows 8 -cols 8 -draw
+//	shgen -rows 8 -cols 8 -table1
+//	shgen -topo slimnoc -rows 8 -cols 16 -dot > slimnoc.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparsehamming/internal/cli"
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/viz"
+)
+
+func main() {
+	var (
+		kind   = flag.String("topo", "sparse-hamming", "topology: ring|mesh|torus|folded-torus|hypercube|slimnoc|flattened-butterfly|sparse-hamming")
+		rows   = flag.Int("rows", 8, "tile grid rows")
+		cols   = flag.Int("cols", 8, "tile grid columns")
+		sr     = flag.String("sr", "", "sparse Hamming row offsets, e.g. 2,4")
+		sc     = flag.String("sc", "", "sparse Hamming column offsets, e.g. 2,5")
+		draw   = flag.Bool("draw", false, "print an ASCII drawing (Figure 1/2 style)")
+		dot    = flag.Bool("dot", false, "print Graphviz DOT")
+		table1 = flag.Bool("table1", false, "print the Table I compliance table for the grid")
+	)
+	flag.Parse()
+
+	if *table1 {
+		arch := tech.Scenario(tech.ScenarioA)
+		arch.Rows, arch.Cols = *rows, *cols
+		rowsI, err := noc.TableI(arch)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(noc.FormatTableI(rowsI))
+		return
+	}
+
+	t, err := cli.BuildTopology(*kind, *rows, *cols, *sr, *sc)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *dot:
+		fmt.Print(viz.DOT(t))
+	case *draw:
+		fmt.Print(viz.Topology(t))
+	default:
+		sc := t.Structural()
+		fmt.Printf("topology:        %s (%dx%d)\n", t.Kind, t.Rows, t.Cols)
+		fmt.Printf("links:           %d\n", t.NumLinks())
+		fmt.Printf("router radix:    %d\n", sc.RouterRadix)
+		fmt.Printf("diameter:        %d\n", sc.Diameter)
+		fmt.Printf("avg hops:        %.2f\n", t.AverageHops())
+		fmt.Printf("short links:     %s\n", sc.ShortLinks)
+		fmt.Printf("aligned links:   %s\n", sc.AlignedLinks)
+		fmt.Printf("minimal paths:   present=%v usable=%v\n", sc.MinimalPathsPresent, sc.MinimalPathsUsable)
+		fmt.Printf("bisection links: %d\n", t.BisectionLinks())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,145 @@
+// Command shpredict runs the full prediction toolchain (Figure 3 of
+// the paper) for one topology on one evaluation scenario: the
+// approximate floorplanning cost model followed by cycle-accurate
+// simulation, printing area, power, zero-load latency, and saturation
+// throughput.
+//
+// Examples:
+//
+//	shpredict -scenario a -topo sparse-hamming -sr 4 -sc 2,5
+//	shpredict -scenario c -topo slimnoc
+//	shpredict -scenario b -topo mesh -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparsehamming/internal/cli"
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/phys"
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/sim"
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "a", "evaluation scenario: a|b|c|d|mempool")
+		kind     = flag.String("topo", "sparse-hamming", "topology kind (see shgen -h)")
+		sr       = flag.String("sr", "", "sparse Hamming row offsets")
+		sc       = flag.String("sc", "", "sparse Hamming column offsets")
+		full     = flag.Bool("full", false, "full-length simulation windows")
+		trace    = flag.Int("trace", 0, "additionally trace the first N packets of a short run")
+		curve    = flag.Bool("curve", false, "additionally print a load-latency curve")
+	)
+	flag.Parse()
+
+	var arch *tech.Arch
+	if *scenario == "mempool" {
+		arch = tech.MemPool()
+	} else {
+		arch = tech.Scenario(tech.ScenarioID(*scenario))
+	}
+	if arch == nil {
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+
+	t, err := cli.BuildTopology(*kind, arch.Rows, arch.Cols, *sr, *sc)
+	if err != nil {
+		fatal(err)
+	}
+	quality := noc.Quick
+	if *full {
+		quality = noc.Full
+	}
+	pred, err := noc.Predict(arch, t, quality)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("scenario %s: %d tiles of %.0f MGE, %g bits/cycle at %.1f GHz\n\n",
+		*scenario, arch.NumTiles(), arch.EndpointGE/1e6, arch.LinkBWBits, arch.FreqHz/1e9)
+	fmt.Print(noc.FormatPrediction(pred))
+
+	if *curve {
+		if err := printCurve(arch, t); err != nil {
+			fatal(err)
+		}
+	}
+	if *trace > 0 {
+		if err := tracePackets(arch, t, *trace); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// printCurve sweeps the offered load and prints the classic
+// load-latency curve.
+func printCurve(arch *tech.Arch, t *topo.Topology) error {
+	cost, err := phys.Evaluate(arch, t)
+	if err != nil {
+		return err
+	}
+	rt, err := route.For(t, route.Auto)
+	if err != nil {
+		return err
+	}
+	rates := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	curve, err := sim.LoadLatencyCurve(sim.Config{
+		Topo: t, Routing: rt,
+		NumVCs: arch.Proto.NumVCs, BufDepth: arch.Proto.BufDepthFlits,
+		LinkLatency: cost.LinkLatencies, RouterDelay: noc.RouterDelay,
+		PacketLen: 4, Seed: 1, Warmup: 800, Measure: 2500,
+	}, rates)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nload-latency curve (uniform random):")
+	fmt.Println("offered   accepted   avg lat    p99 lat")
+	for _, st := range curve {
+		fmt.Printf(" %5.2f     %6.3f   %7.1f    %7.1f\n",
+			st.OfferedRate, st.AcceptedRate, st.AvgPacketLatency, st.P99PacketLatency)
+	}
+	return nil
+}
+
+// tracePackets runs a short low-load simulation with per-flit tracing
+// enabled for the first n packets (BookSim watch-style output).
+func tracePackets(arch *tech.Arch, t *topo.Topology, n int) error {
+	cost, err := phys.Evaluate(arch, t)
+	if err != nil {
+		return err
+	}
+	rt, err := route.For(t, route.Auto)
+	if err != nil {
+		return err
+	}
+	watch := make(map[int32]bool, n)
+	for i := 0; i < n; i++ {
+		watch[int32(i)] = true
+	}
+	tracer := &sim.PacketTracer{Watch: watch}
+	_, err = sim.RunConfig(sim.Config{
+		Topo: t, Routing: rt,
+		NumVCs: arch.Proto.NumVCs, BufDepth: arch.Proto.BufDepthFlits,
+		LinkLatency: cost.LinkLatencies, RouterDelay: noc.RouterDelay,
+		PacketLen: 4, InjectionRate: 0.02, Seed: 1,
+		Warmup: 0, Measure: 400, Drain: 2000, Tracer: tracer,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace of the first %d packets:\n", n)
+	w := &sim.WriterTracer{W: os.Stdout}
+	for _, ev := range tracer.Events {
+		w.Trace(ev)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shpredict:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command shsweep regenerates the paper's Figure 6: the comparison of
+// all eight topologies across the four evaluation scenarios, printed
+// as markdown tables or CSV. It can also print Table I (compliance)
+// and Table III (MemPool toolchain validation).
+//
+// Examples:
+//
+//	shsweep -scenario a
+//	shsweep -scenario all -csv > figure6.csv
+//	shsweep -table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/tech"
+)
+
+func main() {
+	var (
+		scenario = flag.String("scenario", "a", "scenario: a|b|c|d|all")
+		csv      = flag.Bool("csv", false, "emit CSV instead of markdown")
+		table3   = flag.Bool("table3", false, "print Table III (MemPool validation) instead")
+		full     = flag.Bool("full", false, "full-length simulation windows")
+	)
+	flag.Parse()
+
+	quality := noc.Quick
+	if *full {
+		quality = noc.Full
+	}
+
+	if *table3 {
+		rows, pred, err := noc.TableIII(quality)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Table III: MemPool toolchain validation")
+		fmt.Print(noc.FormatTableIII(rows))
+		fmt.Printf("\n(stand-in topology: %s, diameter %d, routing %s)\n",
+			pred.Topology, pred.Diameter, pred.RoutingName)
+		return
+	}
+
+	var ids []tech.ScenarioID
+	if *scenario == "all" {
+		ids = tech.AllScenarios()
+	} else {
+		ids = []tech.ScenarioID{tech.ScenarioID(*scenario)}
+	}
+
+	if *csv {
+		fmt.Println("scenario,topology,params,area_overhead_pct,noc_power_w,zero_load_latency_cycles,saturation_pct")
+	}
+	for _, id := range ids {
+		rows, err := noc.Figure6(id, quality)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			// Strip the header the formatter adds; keep data lines only.
+			out := noc.CSVFigure6(rows)
+			fmt.Print(out[indexAfterNewline(out):])
+			continue
+		}
+		arch := tech.Scenario(id)
+		fmt.Printf("## Figure 6%s: %d tiles with %.0f MGE and %d core(s) each\n\n",
+			id, arch.NumTiles(), arch.EndpointGE/1e6, arch.CoresPerTile)
+		fmt.Print(noc.FormatFigure6(rows))
+		fmt.Println()
+	}
+}
+
+func indexAfterNewline(s string) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shsweep:", err)
+	os.Exit(1)
+}

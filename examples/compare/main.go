@@ -1,0 +1,53 @@
+// Compare: regenerate one panel of the paper's Figure 6 — all eight
+// topologies evaluated on the same architecture — and reproduce the
+// paper's conclusion: the customized sparse Hamming graph achieves
+// the highest saturation throughput among all topologies within the
+// 40% area-overhead budget.
+//
+// Run with: go run ./examples/compare [scenario]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/tech"
+)
+
+func main() {
+	id := tech.ScenarioA
+	if len(os.Args) > 1 {
+		id = tech.ScenarioID(os.Args[1])
+	}
+	arch := tech.Scenario(id)
+	if arch == nil {
+		log.Fatalf("unknown scenario %q (use a, b, c, or d)", os.Args[1])
+	}
+	fmt.Printf("Figure 6%s: %d tiles with %.0f MGE and %d core(s) each\n\n",
+		id, arch.NumTiles(), arch.EndpointGE/1e6, arch.CoresPerTile)
+
+	rows, err := noc.Figure6(id, noc.Quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(noc.FormatFigure6(rows))
+
+	// The paper's reading of the figure: restrict to the topologies
+	// meeting the cost budget, then rank by throughput and latency.
+	fmt.Println("\ntopologies within the 40% area-overhead budget:")
+	var bestName string
+	var bestSat float64
+	for _, r := range rows {
+		if !r.Applicable || r.Pred.AreaOverheadPct > 40 {
+			continue
+		}
+		fmt.Printf("  %-20s throughput %5.1f%%  latency %5.1f cy\n",
+			r.Topology, r.Pred.SaturationPct, r.Pred.ZeroLoadLatency)
+		if r.Pred.SaturationPct > bestSat {
+			bestSat, bestName = r.Pred.SaturationPct, r.Topology
+		}
+	}
+	fmt.Printf("\nhighest throughput within budget: %s (%.1f%%)\n", bestName, bestSat)
+}

@@ -1,0 +1,46 @@
+// Customize: the paper's Section V customization strategy, applied to
+// scenario (a). Starting from the simplest sparse Hamming graph (the
+// 2D mesh), offsets are added to SR and SC one at a time, each chosen
+// to maximize the hop-count reduction per unit of added area, until
+// the 40% area-overhead budget admits no further candidate. The final
+// topology is then validated with cycle-accurate simulation.
+//
+// Run with: go run ./examples/customize
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/tech"
+)
+
+func main() {
+	arch := tech.Scenario(tech.ScenarioA)
+	fmt.Printf("architecture: %d tiles of %.0f MGE, %g-bit links at %.1f GHz\n",
+		arch.NumTiles(), arch.EndpointGE/1e6, arch.LinkBWBits, arch.FreqHz/1e9)
+	fmt.Printf("design goal:  max throughput, min latency, NoC area overhead <= 40%%\n\n")
+
+	res, err := noc.Customize(arch, 40, noc.Quick)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Show only the accepted steps of the trace; the full candidate
+	// log is available in res.Steps.
+	fmt.Println("accepted customization steps:")
+	n := 0
+	for _, s := range res.Steps {
+		if !s.Accepted {
+			continue
+		}
+		n++
+		fmt.Printf("  %d. %-7s -> %-22s overhead %5.1f%%  avg hops %.2f  diameter %d\n",
+			n, s.Candidate, s.Params.String(), s.AreaOverheadPct, s.AvgHops, s.Diameter)
+	}
+
+	fmt.Printf("\nfinal parameters: %s\n", res.Params)
+	fmt.Printf("paper's choice:   %s\n\n", noc.PaperSHGParams(tech.ScenarioA))
+	fmt.Print(noc.FormatPrediction(res.Final))
+}

@@ -1,0 +1,64 @@
+// Pareto: exhaustively enumerate the sparse Hamming graph's
+// configuration space — the 2^(R+C-4) distinct topologies of Table I's
+// last column — on a 6x6 grid (256 configurations), score each with
+// the fast cost model, and print the Pareto frontier of (area
+// overhead, average hops). This is the customizability pitch of the
+// paper made concrete: one topology family, a continuum of
+// cost-performance trade-offs, and a Ruche network (the related-work
+// competitor) pinned onto the same chart for comparison.
+//
+// Run with: go run ./examples/pareto
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sparsehamming/internal/dse"
+	"sparsehamming/internal/phys"
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+func main() {
+	arch := tech.Scenario(tech.ScenarioA)
+	arch.Rows, arch.Cols = 6, 6
+
+	points, err := dse.Explore(arch, 1<<12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("explored %d sparse Hamming graph configurations on a 6x6 grid\n", len(points))
+	fmt.Printf("(Ruche networks on the same grid offer only %d)\n\n", topo.RucheConfigurations(6, 6))
+
+	fmt.Println("Pareto frontier (area overhead vs average hops):")
+	fmt.Println("  params                     overhead   avg hops   diameter  radix")
+	for _, p := range dse.Frontier(points) {
+		fmt.Printf("  %-26s %7.1f%%   %8.2f   %8d  %5d\n",
+			p.Params.String(), p.AreaOverheadPct, p.AvgHops, p.Diameter, p.RouterRadix)
+	}
+
+	best, ok := dse.Best(points, 40)
+	if !ok {
+		log.Fatal("no configuration within the 40% budget")
+	}
+	fmt.Printf("\nbest configuration within the 40%% budget: %s (%.1f%%, %.2f hops)\n",
+		best.Params.String(), best.AreaOverheadPct, best.AvgHops)
+
+	// Where do Ruche networks fall on the same chart? Every Ruche
+	// factor is one SHG point; the exhaustive frontier dominates or
+	// matches each of them.
+	fmt.Println("\nRuche networks on the same grid:")
+	for f := 2; f < 6; f++ {
+		r, err := topo.NewRuche(6, 6, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := phys.Evaluate(arch, r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  factor %d: overhead %5.1f%%, avg hops %.2f\n",
+			f, 100*res.AreaOverhead, r.AverageHops())
+	}
+}

@@ -1,0 +1,191 @@
+// Package analytic implements the classic high-level NoC performance
+// models that the paper's related-work section contrasts its toolchain
+// against: closed-form zero-load latency and a channel-load bound on
+// saturation throughput. These models are orders of magnitude faster
+// than cycle-accurate simulation but ignore allocation conflicts,
+// buffer occupancy, and flow-control effects — reproducing the
+// "high-level models are fast but lack accuracy" trade-off the paper
+// describes, and doubling as an independent sanity bound for the
+// simulator in package sim (measured saturation can never exceed the
+// channel-load bound).
+package analytic
+
+import (
+	"fmt"
+
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/topo"
+)
+
+// Model holds the inputs shared by the analytical estimates.
+type Model struct {
+	Topo    *topo.Topology
+	Routing *route.Routing
+
+	// LinkLatency in cycles per topology link (indexed like
+	// Topo.Links()); nil means 1 cycle everywhere.
+	LinkLatency []int
+
+	// RouterDelay is the per-hop router pipeline depth in cycles.
+	RouterDelay int
+
+	// PacketLen is the packet length in flits (serialization term).
+	PacketLen int
+}
+
+// Validate checks the model inputs.
+func (m *Model) Validate() error {
+	if m.Topo == nil || m.Routing == nil {
+		return fmt.Errorf("analytic: missing topology or routing")
+	}
+	if m.Routing.Topo != m.Topo {
+		return fmt.Errorf("analytic: routing built for a different topology")
+	}
+	if m.LinkLatency != nil && len(m.LinkLatency) != m.Topo.NumLinks() {
+		return fmt.Errorf("analytic: %d link latencies for %d links",
+			len(m.LinkLatency), m.Topo.NumLinks())
+	}
+	if m.RouterDelay < 1 || m.PacketLen < 1 {
+		return fmt.Errorf("analytic: router delay and packet length must be >= 1")
+	}
+	return nil
+}
+
+// linkLatencyOf returns the latency of the (undirected) link a-b.
+func (m *Model) linkLatencyOf() map[[2]int]int {
+	lat := make(map[[2]int]int, m.Topo.NumLinks())
+	for i, l := range m.Topo.Links() {
+		v := 1
+		if m.LinkLatency != nil {
+			v = m.LinkLatency[i]
+			if v < 1 {
+				v = 1
+			}
+		}
+		a, b := m.Topo.Index(l.A), m.Topo.Index(l.B)
+		if a > b {
+			a, b = b, a
+		}
+		lat[[2]int{a, b}] = v
+	}
+	return lat
+}
+
+// ZeroLoadLatency returns the average packet latency at zero load
+// under uniform random traffic: for each source/destination pair, one
+// router delay per hop plus one for injection, the sum of the link
+// latencies along the routed path, and the serialization delay of the
+// packet's remaining flits.
+func (m *Model) ZeroLoadLatency() (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	lat := m.linkLatencyOf()
+	n := m.Topo.NumTiles()
+	var sum float64
+	var pairs int
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			p := m.Routing.Path(s, d)
+			cycles := (p.Hops() + 1) * m.RouterDelay // per-hop routers + injection router
+			for i := 0; i+1 < len(p.Tiles); i++ {
+				a, b := int(p.Tiles[i]), int(p.Tiles[i+1])
+				if a > b {
+					a, b = b, a
+				}
+				cycles += lat[[2]int{a, b}]
+			}
+			cycles += m.PacketLen - 1 // tail flit serialization
+			sum += float64(cycles)
+			pairs++
+		}
+	}
+	return sum / float64(pairs), nil
+}
+
+// ChannelLoads returns, for every directed channel (ordered pair of
+// adjacent tiles), the expected number of flits per cycle crossing it
+// under uniform random traffic at an injection rate of 1 flit per
+// node per cycle. Scaling is linear in the injection rate.
+func (m *Model) ChannelLoads() (map[[2]int]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.Topo.NumTiles()
+	loads := make(map[[2]int]float64)
+	// Each node injects 1 flit/cycle spread over n-1 destinations.
+	per := 1.0 / float64(n-1)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			p := m.Routing.Path(s, d)
+			for i := 0; i+1 < len(p.Tiles); i++ {
+				loads[[2]int{int(p.Tiles[i]), int(p.Tiles[i+1])}] += per
+			}
+		}
+	}
+	return loads, nil
+}
+
+// SaturationBound returns the channel-load upper bound on saturation
+// throughput under uniform random traffic: the injection rate (flits
+// per node per cycle) at which the most loaded directed channel
+// reaches one flit per cycle. Real networks with input-queued routers
+// saturate below this bound because of allocation conflicts and
+// head-of-line blocking — that gap is exactly the inaccuracy of
+// high-level models the paper motivates its toolchain with.
+func (m *Model) SaturationBound() (float64, error) {
+	loads, err := m.ChannelLoads()
+	if err != nil {
+		return 0, err
+	}
+	var max float64
+	for _, v := range loads {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return 1, nil
+	}
+	bound := 1 / max
+	if bound > 1 {
+		// Injection bandwidth (1 flit/node/cycle) caps throughput.
+		bound = 1
+	}
+	return bound, nil
+}
+
+// BisectionBound returns the classic bisection-bandwidth bound on
+// uniform-random throughput: half of all traffic crosses the vertical
+// bisection, which provides 2*BisectionLinks flit/cycle of capacity
+// (both directions), so rate * N/2 <= 2*B.
+func (m *Model) BisectionBound() float64 {
+	n := m.Topo.NumTiles()
+	b := m.Topo.BisectionLinks()
+	bound := 4 * float64(b) / float64(n)
+	if bound > 1 {
+		bound = 1
+	}
+	return bound
+}
+
+// MaxChannelLoad returns the highest directed-channel load at unit
+// injection rate and the channel it occurs on.
+func (m *Model) MaxChannelLoad() (load float64, from, to int, err error) {
+	loads, err := m.ChannelLoads()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	for k, v := range loads {
+		if v > load || (v == load && (k[0] < from || (k[0] == from && k[1] < to))) {
+			load, from, to = v, k[0], k[1]
+		}
+	}
+	return load, from, to, nil
+}

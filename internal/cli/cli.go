@@ -1,0 +1,86 @@
+// Package cli holds the small helpers shared by the command-line
+// tools in cmd/: topology construction by name and comma-separated
+// integer list parsing.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"sparsehamming/internal/topo"
+)
+
+// TopologyNames lists the kinds accepted by BuildTopology, in the
+// order they appear in the paper's Table I (plus the Ruche network
+// from the related-work comparison).
+func TopologyNames() []string {
+	return []string{
+		"ring", "mesh", "torus", "folded-torus", "hypercube",
+		"slimnoc", "flattened-butterfly", "sparse-hamming", "ruche",
+	}
+}
+
+// BuildTopology constructs a topology by kind name. The sr and sc
+// strings hold comma-separated sparse Hamming offsets (ignored by the
+// other kinds, except ruche, which takes its factor from the first
+// value of sr).
+func BuildTopology(kind string, rows, cols int, sr, sc string) (*topo.Topology, error) {
+	switch kind {
+	case "ring":
+		return topo.NewRing(rows, cols)
+	case "mesh":
+		return topo.NewMesh(rows, cols)
+	case "torus":
+		return topo.NewTorus(rows, cols)
+	case "folded-torus":
+		return topo.NewFoldedTorus(rows, cols)
+	case "hypercube":
+		return topo.NewHypercube(rows, cols)
+	case "slimnoc":
+		return topo.NewSlimNoC(rows, cols)
+	case "flattened-butterfly":
+		return topo.NewFlattenedButterfly(rows, cols)
+	case "sparse-hamming":
+		var p topo.HammingParams
+		var err error
+		if p.SR, err = ParseInts(sr); err != nil {
+			return nil, fmt.Errorf("-sr: %w", err)
+		}
+		if p.SC, err = ParseInts(sc); err != nil {
+			return nil, fmt.Errorf("-sc: %w", err)
+		}
+		return topo.NewSparseHamming(rows, cols, p)
+	case "ruche":
+		f, err := ParseInts(sr)
+		if err != nil {
+			return nil, fmt.Errorf("-sr: %w", err)
+		}
+		factor := 2
+		if len(f) > 0 {
+			factor = f[0]
+		}
+		return topo.NewRuche(rows, cols, factor)
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want one of %s)",
+			kind, strings.Join(TopologyNames(), "|"))
+	}
+}
+
+// ParseInts parses a comma-separated integer list; empty input yields
+// nil.
+func ParseInts(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

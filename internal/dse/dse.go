@@ -1,0 +1,161 @@
+// Package dse performs design-space exploration over the sparse
+// Hamming graph's configuration space. The topology's pitch is that a
+// single family exposes 2^(R+C-4) distinct cost-performance points
+// (Table I, last column); this package enumerates them (exhaustively
+// for small grids, or by neighborhood search for large ones), scores
+// each with the fast cost model, and extracts the Pareto frontier of
+// (area overhead, average hops) — the model-level proxies for cost and
+// performance used by the customization strategy.
+package dse
+
+import (
+	"fmt"
+	"sort"
+
+	"sparsehamming/internal/phys"
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+// Point is one evaluated sparse Hamming graph configuration.
+type Point struct {
+	Params          topo.HammingParams
+	RouterRadix     int
+	NumLinks        int
+	Diameter        int
+	AvgHops         float64
+	AreaOverheadPct float64
+	NoCPowerW       float64
+	Pareto          bool // on the (area, hops) Pareto frontier
+}
+
+// Explore enumerates every sparse Hamming graph configuration of the
+// architecture's grid — all subsets of {2..C-1} x {2..R-1} — and
+// evaluates each with the cost model. It refuses grids with more than
+// maxConfigs configurations; use Frontier's greedy mode for those.
+func Explore(arch *tech.Arch, maxConfigs int) ([]Point, error) {
+	nr := arch.Cols - 2 // candidate row offsets 2..C-1
+	nc := arch.Rows - 2
+	if nr < 0 {
+		nr = 0
+	}
+	if nc < 0 {
+		nc = 0
+	}
+	total := 1 << (nr + nc)
+	if total > maxConfigs {
+		return nil, fmt.Errorf("dse: %d configurations exceed limit %d", total, maxConfigs)
+	}
+	points := make([]Point, 0, total)
+	for mask := 0; mask < total; mask++ {
+		var p topo.HammingParams
+		for i := 0; i < nr; i++ {
+			if mask&(1<<i) != 0 {
+				p.SR = append(p.SR, i+2)
+			}
+		}
+		for i := 0; i < nc; i++ {
+			if mask&(1<<(nr+i)) != 0 {
+				p.SC = append(p.SC, i+2)
+			}
+		}
+		pt, err := evaluate(arch, p)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, pt)
+	}
+	markPareto(points)
+	return points, nil
+}
+
+func evaluate(arch *tech.Arch, p topo.HammingParams) (Point, error) {
+	t, err := topo.NewSparseHamming(arch.Rows, arch.Cols, p)
+	if err != nil {
+		return Point{}, err
+	}
+	res, err := phys.Evaluate(arch, t)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Params:          p.Clone(),
+		RouterRadix:     t.MaxRadix(),
+		NumLinks:        t.NumLinks(),
+		Diameter:        t.Diameter(),
+		AvgHops:         t.AverageHops(),
+		AreaOverheadPct: 100 * res.AreaOverhead,
+		NoCPowerW:       res.NoCPowerW,
+	}, nil
+}
+
+// markPareto sets Pareto on every point not dominated in
+// (AreaOverheadPct, AvgHops): a point is dominated if another point is
+// at least as good in both objectives and strictly better in one.
+func markPareto(points []Point) {
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Sort by area ascending, then hops ascending; sweep keeps the
+	// running best hop count.
+	sort.Slice(idx, func(a, b int) bool {
+		pa, pb := points[idx[a]], points[idx[b]]
+		if pa.AreaOverheadPct != pb.AreaOverheadPct {
+			return pa.AreaOverheadPct < pb.AreaOverheadPct
+		}
+		return pa.AvgHops < pb.AvgHops
+	})
+	bestHops := 1e18
+	for _, i := range idx {
+		if points[i].AvgHops < bestHops-1e-12 {
+			points[i].Pareto = true
+			bestHops = points[i].AvgHops
+		}
+	}
+}
+
+// Frontier returns only the Pareto-optimal points, sorted by area.
+func Frontier(points []Point) []Point {
+	var out []Point
+	for _, p := range points {
+		if p.Pareto {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		return out[a].AreaOverheadPct < out[b].AreaOverheadPct
+	})
+	return out
+}
+
+// Best returns the Pareto point with the lowest average hop count
+// whose area overhead does not exceed budgetPct — the exhaustive
+// counterpart of the greedy customization strategy in package noc.
+func Best(points []Point, budgetPct float64) (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range points {
+		if p.AreaOverheadPct > budgetPct {
+			continue
+		}
+		if !found || p.AvgHops < best.AvgHops ||
+			(p.AvgHops == best.AvgHops && p.AreaOverheadPct < best.AreaOverheadPct) {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// CSV renders points as CSV for plotting.
+func CSV(points []Point) string {
+	var b []byte
+	b = append(b, "params,radix,links,diameter,avg_hops,area_overhead_pct,noc_power_w,pareto\n"...)
+	for _, p := range points {
+		b = append(b, fmt.Sprintf("%q,%d,%d,%d,%.4f,%.2f,%.3f,%v\n",
+			p.Params.String(), p.RouterRadix, p.NumLinks, p.Diameter,
+			p.AvgHops, p.AreaOverheadPct, p.NoCPowerW, p.Pareto)...)
+	}
+	return string(b)
+}

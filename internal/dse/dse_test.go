@@ -1,0 +1,206 @@
+package dse
+
+import (
+	"strings"
+	"testing"
+
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+// smallArch returns a scenario-a-like architecture on a small grid so
+// exhaustive enumeration stays fast (2^(R+C-4) configurations).
+func smallArch(rows, cols int) *tech.Arch {
+	a := tech.Scenario(tech.ScenarioA)
+	a.Rows, a.Cols = rows, cols
+	return a
+}
+
+func TestExploreEnumeratesAll(t *testing.T) {
+	// 4x5 grid: 2^(4+5-4) = 32 configurations.
+	arch := smallArch(4, 5)
+	points, err := Explore(arch, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 32 {
+		t.Fatalf("explored %d configs, want 32", len(points))
+	}
+	// All parameter sets distinct.
+	seen := map[string]bool{}
+	for _, p := range points {
+		key := p.Params.String()
+		if seen[key] {
+			t.Fatalf("duplicate configuration %s", key)
+		}
+		seen[key] = true
+	}
+	// The mesh (empty params) and the flattened butterfly (full
+	// params) must both be present.
+	if !seen["SR=[] SC=[]"] {
+		t.Error("mesh configuration missing")
+	}
+	if !seen["SR=[2 3 4] SC=[2 3]"] {
+		t.Error("full butterfly configuration missing")
+	}
+}
+
+func TestExploreRejectsHugeGrids(t *testing.T) {
+	arch := smallArch(16, 16)
+	if _, err := Explore(arch, 1<<12); err == nil {
+		t.Error("2^28 configurations should exceed the limit")
+	}
+}
+
+func TestParetoFrontier(t *testing.T) {
+	arch := smallArch(4, 4)
+	points, err := Explore(arch, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := Frontier(points)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	// Frontier is sorted by area and strictly improving in hops.
+	for i := 1; i < len(front); i++ {
+		if front[i].AreaOverheadPct < front[i-1].AreaOverheadPct {
+			t.Fatal("frontier not sorted by area")
+		}
+		if front[i].AvgHops >= front[i-1].AvgHops {
+			t.Fatal("frontier not strictly improving in hops")
+		}
+	}
+	// No frontier point is dominated by any point.
+	for _, f := range front {
+		for _, p := range points {
+			if p.AreaOverheadPct <= f.AreaOverheadPct && p.AvgHops < f.AvgHops-1e-12 {
+				t.Fatalf("frontier point %v dominated by %v", f.Params, p.Params)
+			}
+		}
+	}
+	// The mesh is the cheapest point, hence always on the frontier.
+	if front[0].Params.String() != "SR=[] SC=[]" {
+		t.Errorf("cheapest frontier point = %v, want the mesh", front[0].Params)
+	}
+}
+
+func TestBestUnderBudget(t *testing.T) {
+	arch := smallArch(4, 4)
+	points, err := Explore(arch, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := Best(points, 40)
+	if !ok {
+		t.Fatal("no configuration within budget")
+	}
+	if best.AreaOverheadPct > 40 {
+		t.Errorf("best exceeds budget: %.1f%%", best.AreaOverheadPct)
+	}
+	// Nothing within budget has fewer hops.
+	for _, p := range points {
+		if p.AreaOverheadPct <= 40 && p.AvgHops < best.AvgHops-1e-12 {
+			t.Errorf("%v has %.3f hops < best %.3f within budget", p.Params, p.AvgHops, best.AvgHops)
+		}
+	}
+	// An impossible budget yields no result.
+	if _, ok := Best(points, -1); ok {
+		t.Error("negative budget should find nothing")
+	}
+}
+
+// TestGreedyNearExhaustive cross-validates the paper's greedy
+// customization strategy (package noc) against exhaustive search:
+// on a small grid the greedy result must be within 15% of the
+// exhaustive optimum's average hops.
+func TestGreedyNearExhaustive(t *testing.T) {
+	arch := smallArch(5, 5)
+	points, err := Explore(arch, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := Best(points, 40)
+	if !ok {
+		t.Fatal("no configuration within budget")
+	}
+	greedy := greedyHops(t, arch, 40)
+	if greedy > best.AvgHops*1.15 {
+		t.Errorf("greedy %.3f hops, exhaustive optimum %.3f: gap too large", greedy, best.AvgHops)
+	}
+}
+
+// greedyHops mirrors noc.Customize's accept loop without importing it
+// (dse must stay independent of noc); it uses the same
+// hops-per-area-scoring on the cost model.
+func greedyHops(t *testing.T, arch *tech.Arch, budget float64) float64 {
+	t.Helper()
+	cur := topo.HammingParams{}
+	curPt, err := evaluate(arch, cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		var best *Point
+		var bestScore float64
+		tryOne := func(p topo.HammingParams) {
+			pt, err := evaluate(arch, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pt.AreaOverheadPct > budget || pt.AvgHops >= curPt.AvgHops {
+				return
+			}
+			area := pt.AreaOverheadPct - curPt.AreaOverheadPct
+			if area < 0.01 {
+				area = 0.01
+			}
+			score := (curPt.AvgHops - pt.AvgHops) / area
+			if best == nil || score > bestScore {
+				best, bestScore = &pt, score
+			}
+		}
+		for x := 2; x < arch.Cols; x++ {
+			if !contains(cur.SR, x) {
+				p := cur.Clone()
+				p.SR = append(p.SR, x)
+				tryOne(p)
+			}
+		}
+		for x := 2; x < arch.Rows; x++ {
+			if !contains(cur.SC, x) {
+				p := cur.Clone()
+				p.SC = append(p.SC, x)
+				tryOne(p)
+			}
+		}
+		if best == nil {
+			return curPt.AvgHops
+		}
+		cur, curPt = best.Params, *best
+	}
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCSV(t *testing.T) {
+	arch := smallArch(3, 3)
+	points, err := Explore(arch, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := CSV(points)
+	if !strings.HasPrefix(out, "params,radix") {
+		t.Error("missing header")
+	}
+	if strings.Count(out, "\n") != len(points)+1 {
+		t.Errorf("csv has %d lines for %d points", strings.Count(out, "\n"), len(points))
+	}
+}

@@ -1,0 +1,337 @@
+// Package gf implements arithmetic in small finite fields GF(q) for
+// q = p^k a prime power, using exp/log tables over a generator of the
+// multiplicative group. It exists to support the SlimNoC topology
+// construction, which builds a diameter-2 graph from the affine planes
+// over GF(q).
+//
+// Fields up to q = 1024 are supported, which covers every chip size a
+// NoC designer would plausibly ask for (2*q^2 tiles).
+package gf
+
+import "fmt"
+
+// Field is a finite field GF(q). The zero value is not usable; create
+// fields with New.
+type Field struct {
+	q   int   // field size p^k
+	p   int   // characteristic
+	k   int   // extension degree
+	exp []int // exp[i] = g^i for generator g, length 2q to avoid mod
+	log []int // log[x] = i s.t. g^i = x, for x in 1..q-1
+	add [][]int
+}
+
+// maxQ bounds the supported field size; tables are O(q^2).
+const maxQ = 1024
+
+// New constructs GF(q). It returns an error if q is not a prime power
+// in [2, 1024].
+func New(q int) (*Field, error) {
+	if q < 2 || q > maxQ {
+		return nil, fmt.Errorf("gf: field size %d out of supported range [2,%d]", q, maxQ)
+	}
+	p, k, ok := primePower(q)
+	if !ok {
+		return nil, fmt.Errorf("gf: %d is not a prime power", q)
+	}
+	f := &Field{q: q, p: p, k: k}
+	if err := f.build(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Size returns q.
+func (f *Field) Size() int { return f.q }
+
+// Characteristic returns p.
+func (f *Field) Characteristic() int { return f.p }
+
+// Add returns a + b in GF(q). Elements are represented as integers in
+// [0, q): for prime fields the residue itself, for extension fields
+// the coefficient vector of the polynomial representation packed in
+// base p.
+func (f *Field) Add(a, b int) int { return f.add[a][b] }
+
+// Neg returns -a in GF(q).
+func (f *Field) Neg(a int) int {
+	if f.p == 2 {
+		return a
+	}
+	// Per-digit negation in base p.
+	res, mul := 0, 1
+	for x := a; x > 0; x /= f.p {
+		d := x % f.p
+		if d != 0 {
+			res += (f.p - d) * mul
+		}
+		mul *= f.p
+	}
+	return res
+}
+
+// Sub returns a - b in GF(q).
+func (f *Field) Sub(a, b int) int { return f.Add(a, f.Neg(b)) }
+
+// Mul returns a * b in GF(q).
+func (f *Field) Mul(a, b int) int {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a == 0.
+func (f *Field) Inv(a int) int {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return f.exp[(f.q-1)-f.log[a]]
+}
+
+// Div returns a / b. It panics if b == 0.
+func (f *Field) Div(a, b int) int { return f.Mul(a, f.Inv(b)) }
+
+// Generator returns a generator of the multiplicative group.
+func (f *Field) Generator() int { return f.exp[1] }
+
+// IsPrimePower reports whether q is a prime power and returns its
+// decomposition.
+func IsPrimePower(q int) (p, k int, ok bool) { return primePower(q) }
+
+func primePower(q int) (p, k int, ok bool) {
+	if q < 2 {
+		return 0, 0, false
+	}
+	n := q
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			p = d
+			for n%d == 0 {
+				n /= d
+				k++
+			}
+			if n != 1 {
+				return 0, 0, false
+			}
+			return p, k, true
+		}
+	}
+	return q, 1, true // q itself prime
+}
+
+// build constructs the exp/log and addition tables.
+func (f *Field) build() error {
+	q, p, k := f.q, f.p, f.k
+
+	// Multiplication in the polynomial representation, reducing by an
+	// irreducible polynomial of degree k found by brute force.
+	var irr []int // coefficients, degree k, irr[k] == 1
+	if k == 1 {
+		irr = nil
+	} else {
+		var found bool
+		irr, found = findIrreducible(p, k)
+		if !found {
+			return fmt.Errorf("gf: no irreducible polynomial of degree %d over GF(%d)", k, p)
+		}
+	}
+
+	mul := func(a, b int) int { return polyMul(a, b, p, k, irr) }
+
+	// Find a generator by trial: element whose order is q-1. GF(2) has
+	// the trivial multiplicative group {1}.
+	f.exp = make([]int, 2*(q-1))
+	f.log = make([]int, q)
+	if q == 2 {
+		f.exp[0], f.exp[1] = 1, 1
+		f.log[1] = 0
+	}
+	for g := 2; g < q; g++ {
+		seen := make([]bool, q)
+		x := 1
+		order := 0
+		for {
+			if seen[x] {
+				break
+			}
+			seen[x] = true
+			order++
+			x = mul(x, g)
+			if x == 1 {
+				break
+			}
+		}
+		if order == q-1 {
+			x = 1
+			for i := 0; i < q-1; i++ {
+				f.exp[i] = x
+				f.exp[i+q-1] = x
+				f.log[x] = i
+				x = mul(x, g)
+			}
+			break
+		}
+		if g == q-1 {
+			return fmt.Errorf("gf: no generator found for q=%d", q)
+		}
+	}
+	if f.exp[0] != 1 {
+		return fmt.Errorf("gf: generator search failed for q=%d", q)
+	}
+
+	// Addition table: per-digit addition mod p in base p.
+	f.add = make([][]int, q)
+	for a := 0; a < q; a++ {
+		f.add[a] = make([]int, q)
+		for b := 0; b < q; b++ {
+			f.add[a][b] = digitAdd(a, b, p)
+		}
+	}
+	return nil
+}
+
+// digitAdd adds a and b digit-wise modulo p in base-p representation.
+func digitAdd(a, b, p int) int {
+	res, mul := 0, 1
+	for a > 0 || b > 0 {
+		res += ((a%p + b%p) % p) * mul
+		a /= p
+		b /= p
+		mul *= p
+	}
+	return res
+}
+
+// polyMul multiplies two field elements in packed base-p polynomial
+// representation, reducing modulo the irreducible polynomial irr
+// (degree k). For k == 1 it is plain modular multiplication.
+func polyMul(a, b, p, k int, irr []int) int {
+	if k == 1 {
+		return (a * b) % p
+	}
+	// Unpack to coefficient slices.
+	ac := unpack(a, p, k)
+	bc := unpack(b, p, k)
+	prod := make([]int, 2*k-1)
+	for i, av := range ac {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range bc {
+			prod[i+j] = (prod[i+j] + av*bv) % p
+		}
+	}
+	// Reduce modulo irr: x^k = -(irr[0] + irr[1] x + ... + irr[k-1] x^(k-1)).
+	for d := 2*k - 2; d >= k; d-- {
+		c := prod[d]
+		if c == 0 {
+			continue
+		}
+		prod[d] = 0
+		for j := 0; j < k; j++ {
+			prod[d-k+j] = (prod[d-k+j] + c*(p-irr[j])) % p
+		}
+	}
+	return pack(prod[:k], p)
+}
+
+func unpack(a, p, k int) []int {
+	c := make([]int, k)
+	for i := 0; i < k; i++ {
+		c[i] = a % p
+		a /= p
+	}
+	return c
+}
+
+func pack(c []int, p int) int {
+	res, mul := 0, 1
+	for _, d := range c {
+		res += d * mul
+		mul *= p
+	}
+	return res
+}
+
+// findIrreducible searches monic polynomials of degree k over GF(p)
+// for one with no roots and no factorization into lower-degree monic
+// polynomials, by trial division.
+func findIrreducible(p, k int) ([]int, bool) {
+	total := 1
+	for i := 0; i < k; i++ {
+		total *= p
+	}
+	for lo := 0; lo < total; lo++ {
+		coef := unpack(lo, p, k) // low-order k coefficients; leading coeff 1
+		if coef[0] == 0 {
+			continue // divisible by x
+		}
+		if isIrreducible(coef, p, k) {
+			return coef, true
+		}
+	}
+	return nil, false
+}
+
+// isIrreducible performs trial division of the monic polynomial
+// x^k + coef[k-1] x^(k-1) + ... + coef[0] by every monic polynomial of
+// degree 1..k/2.
+func isIrreducible(coef []int, p, k int) bool {
+	full := make([]int, k+1)
+	copy(full, coef)
+	full[k] = 1
+	for d := 1; d <= k/2; d++ {
+		nd := 1
+		for i := 0; i < d; i++ {
+			nd *= p
+		}
+		for lo := 0; lo < nd; lo++ {
+			div := unpack(lo, p, d)
+			div = append(div, 1) // monic of degree d
+			if polyDivides(div, full, p) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// polyDivides reports whether polynomial div divides polynomial num
+// over GF(p). Both are coefficient slices, low-order first, with
+// non-zero leading coefficients.
+func polyDivides(div, num []int, p int) bool {
+	rem := make([]int, len(num))
+	copy(rem, num)
+	dd := len(div) - 1
+	lead := div[dd]
+	leadInv := modInv(lead, p)
+	for d := len(rem) - 1; d >= dd; d-- {
+		if rem[d] == 0 {
+			continue
+		}
+		factor := (rem[d] * leadInv) % p
+		for j := 0; j <= dd; j++ {
+			rem[d-dd+j] = ((rem[d-dd+j]-factor*div[j])%p + p*p) % p
+		}
+	}
+	for _, c := range rem {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// modInv returns the inverse of a modulo prime p via Fermat.
+func modInv(a, p int) int {
+	res, base, e := 1, a%p, p-2
+	for e > 0 {
+		if e&1 == 1 {
+			res = res * base % p
+		}
+		base = base * base % p
+		e >>= 1
+	}
+	return res
+}

@@ -1,0 +1,210 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPrimePower(t *testing.T) {
+	cases := []struct {
+		q     int
+		p, k  int
+		valid bool
+	}{
+		{2, 2, 1, true},
+		{3, 3, 1, true},
+		{4, 2, 2, true},
+		{5, 5, 1, true},
+		{6, 0, 0, false},
+		{7, 7, 1, true},
+		{8, 2, 3, true},
+		{9, 3, 2, true},
+		{10, 0, 0, false},
+		{12, 0, 0, false},
+		{16, 2, 4, true},
+		{25, 5, 2, true},
+		{27, 3, 3, true},
+		{49, 7, 2, true},
+		{100, 0, 0, false},
+		{121, 11, 2, true},
+		{1, 0, 0, false},
+	}
+	for _, c := range cases {
+		p, k, ok := IsPrimePower(c.q)
+		if ok != c.valid {
+			t.Errorf("IsPrimePower(%d) ok=%v want %v", c.q, ok, c.valid)
+			continue
+		}
+		if ok && (p != c.p || k != c.k) {
+			t.Errorf("IsPrimePower(%d) = %d^%d, want %d^%d", c.q, p, k, c.p, c.k)
+		}
+	}
+}
+
+func TestNewRejectsNonPrimePowers(t *testing.T) {
+	for _, q := range []int{0, 1, 6, 10, 12, 15, 2000} {
+		if _, err := New(q); err == nil {
+			t.Errorf("New(%d) succeeded, want error", q)
+		}
+	}
+}
+
+// fieldSizes are the sizes exercised by the axiom tests, covering
+// prime fields, characteristic-2 extensions (needed by SlimNoC q=8),
+// and odd-characteristic extensions.
+var fieldSizes = []int{2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27}
+
+func TestFieldAxioms(t *testing.T) {
+	for _, q := range fieldSizes {
+		f, err := New(q)
+		if err != nil {
+			t.Fatalf("New(%d): %v", q, err)
+		}
+		for a := 0; a < q; a++ {
+			// Additive identity and inverse.
+			if f.Add(a, 0) != a {
+				t.Fatalf("GF(%d): %d + 0 = %d", q, a, f.Add(a, 0))
+			}
+			if f.Add(a, f.Neg(a)) != 0 {
+				t.Fatalf("GF(%d): %d + (-%d) = %d", q, a, a, f.Add(a, f.Neg(a)))
+			}
+			// Multiplicative identity, zero, inverse.
+			if f.Mul(a, 1) != a {
+				t.Fatalf("GF(%d): %d * 1 = %d", q, a, f.Mul(a, 1))
+			}
+			if f.Mul(a, 0) != 0 {
+				t.Fatalf("GF(%d): %d * 0 = %d", q, a, f.Mul(a, 0))
+			}
+			if a != 0 {
+				if f.Mul(a, f.Inv(a)) != 1 {
+					t.Fatalf("GF(%d): %d * %d^-1 = %d", q, a, a, f.Mul(a, f.Inv(a)))
+				}
+			}
+		}
+		// Commutativity, associativity, distributivity on all triples.
+		for a := 0; a < q; a++ {
+			for b := 0; b < q; b++ {
+				if f.Add(a, b) != f.Add(b, a) {
+					t.Fatalf("GF(%d): add not commutative at (%d,%d)", q, a, b)
+				}
+				if f.Mul(a, b) != f.Mul(b, a) {
+					t.Fatalf("GF(%d): mul not commutative at (%d,%d)", q, a, b)
+				}
+				for c := 0; c < q; c++ {
+					if f.Add(f.Add(a, b), c) != f.Add(a, f.Add(b, c)) {
+						t.Fatalf("GF(%d): add not associative at (%d,%d,%d)", q, a, b, c)
+					}
+					if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+						t.Fatalf("GF(%d): mul not associative at (%d,%d,%d)", q, a, b, c)
+					}
+					if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+						t.Fatalf("GF(%d): not distributive at (%d,%d,%d)", q, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMultiplicativeGroupCyclic(t *testing.T) {
+	for _, q := range fieldSizes {
+		f, err := New(q)
+		if err != nil {
+			t.Fatalf("New(%d): %v", q, err)
+		}
+		g := f.Generator()
+		seen := make(map[int]bool)
+		x := 1
+		for i := 0; i < q-1; i++ {
+			if seen[x] {
+				t.Fatalf("GF(%d): generator %d has order < %d", q, g, q-1)
+			}
+			seen[x] = true
+			x = f.Mul(x, g)
+		}
+		if x != 1 {
+			t.Fatalf("GF(%d): generator %d does not have order %d", q, g, q-1)
+		}
+		if len(seen) != q-1 {
+			t.Fatalf("GF(%d): generator cycles through %d elements, want %d", q, len(seen), q-1)
+		}
+	}
+}
+
+func TestSubIsAddNeg(t *testing.T) {
+	f, err := New(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 9; a++ {
+		for b := 0; b < 9; b++ {
+			if f.Add(f.Sub(a, b), b) != a {
+				t.Fatalf("GF(9): (a-b)+b != a at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+func TestDivInvertsMul(t *testing.T) {
+	f, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < 8; a++ {
+		for b := 1; b < 8; b++ {
+			if f.Div(f.Mul(a, b), b) != a {
+				t.Fatalf("GF(8): (a*b)/b != a at (%d,%d)", a, b)
+			}
+		}
+	}
+}
+
+// TestAffineLinesIntersect checks the property the SlimNoC
+// construction relies on: two lines y = m1*x + c1 and y = m2*x + c2
+// with m1 != m2 intersect in exactly one point.
+func TestAffineLinesIntersect(t *testing.T) {
+	for _, q := range []int{5, 7, 8, 9} {
+		f, err := New(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for m1 := 0; m1 < q; m1++ {
+			for m2 := 0; m2 < q; m2++ {
+				if m1 == m2 {
+					continue
+				}
+				for c1 := 0; c1 < q; c1++ {
+					for c2 := 0; c2 < q; c2++ {
+						n := 0
+						for x := 0; x < q; x++ {
+							y1 := f.Add(f.Mul(m1, x), c1)
+							y2 := f.Add(f.Mul(m2, x), c2)
+							if y1 == y2 {
+								n++
+							}
+						}
+						if n != 1 {
+							t.Fatalf("GF(%d): lines (%d,%d),(%d,%d) intersect %d times", q, m1, c1, m2, c2, n)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestQuickFieldGF8(t *testing.T) {
+	f, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inField := func(v uint8) int { return int(v) % 8 }
+	// a*(b+c) == a*b + a*c for random triples.
+	prop := func(av, bv, cv uint8) bool {
+		a, b, c := inField(av), inField(bv), inField(cv)
+		return f.Mul(a, f.Add(b, c)) == f.Add(f.Mul(a, b), f.Mul(a, c))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

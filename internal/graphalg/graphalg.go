@@ -1,0 +1,283 @@
+// Package graphalg provides graph algorithms used across the toolchain:
+// breadth-first search, all-pairs shortest paths, diameter and average
+// distance computation, connectivity checks, and cycle detection on
+// directed graphs (used to verify deadlock freedom of routing functions
+// via channel dependency graphs).
+//
+// Graphs are represented as adjacency lists over integer vertex IDs in
+// [0, n). All algorithms are deterministic.
+package graphalg
+
+// Graph is an adjacency-list representation of a graph over vertices
+// 0..n-1. For undirected graphs, each edge appears in both endpoint
+// lists. The zero value is an empty graph.
+type Graph struct {
+	adj [][]int
+}
+
+// NewGraph returns a graph with n vertices and no edges.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]int, n)}
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.adj) }
+
+// AddEdge adds a directed edge u -> v. For undirected use, call twice.
+func (g *Graph) AddEdge(u, v int) {
+	g.adj[u] = append(g.adj[u], v)
+}
+
+// AddUndirected adds edges u -> v and v -> u.
+func (g *Graph) AddUndirected(u, v int) {
+	g.AddEdge(u, v)
+	g.AddEdge(v, u)
+}
+
+// Neighbors returns the out-neighbors of u. The returned slice is owned
+// by the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int { return g.adj[u] }
+
+// BFS returns the hop distance from src to every vertex, with -1 for
+// unreachable vertices.
+func (g *Graph) BFS(src int) []int {
+	dist := make([]int, len(g.adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int, 0, len(g.adj))
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// APSP returns the all-pairs hop-distance matrix computed by running a
+// BFS from every vertex. Unreachable pairs have distance -1.
+func (g *Graph) APSP() [][]int {
+	n := len(g.adj)
+	d := make([][]int, n)
+	for i := 0; i < n; i++ {
+		d[i] = g.BFS(i)
+	}
+	return d
+}
+
+// Diameter returns the maximum finite hop distance between any pair of
+// vertices, and whether the graph is connected. For a disconnected
+// graph, the diameter of the largest reachable set is NOT returned;
+// instead ok is false and the maximum over reachable pairs is returned.
+func (g *Graph) Diameter() (diam int, ok bool) {
+	ok = true
+	for i := 0; i < len(g.adj); i++ {
+		dist := g.BFS(i)
+		for _, d := range dist {
+			if d < 0 {
+				ok = false
+				continue
+			}
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	return diam, ok
+}
+
+// AverageDistance returns the mean hop distance over all ordered pairs
+// of distinct, mutually reachable vertices. It returns 0 for graphs
+// with fewer than two vertices.
+func (g *Graph) AverageDistance() float64 {
+	n := len(g.adj)
+	if n < 2 {
+		return 0
+	}
+	var sum, cnt int64
+	for i := 0; i < n; i++ {
+		dist := g.BFS(i)
+		for j, d := range dist {
+			if j != i && d > 0 {
+				sum += int64(d)
+				cnt++
+			}
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(sum) / float64(cnt)
+}
+
+// Connected reports whether every vertex is reachable from vertex 0.
+// An empty graph is considered connected.
+func (g *Graph) Connected() bool {
+	if len(g.adj) == 0 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// HasCycle reports whether the directed graph contains a cycle, using
+// iterative three-color depth-first search.
+func (g *Graph) HasCycle() bool {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(g.adj))
+	type frame struct {
+		u   int
+		idx int
+	}
+	for s := 0; s < len(g.adj); s++ {
+		if color[s] != white {
+			continue
+		}
+		stack := []frame{{u: s}}
+		color[s] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.idx < len(g.adj[f.u]) {
+				v := g.adj[f.u][f.idx]
+				f.idx++
+				switch color[v] {
+				case gray:
+					return true
+				case white:
+					color[v] = gray
+					stack = append(stack, frame{u: v})
+				}
+			} else {
+				color[f.u] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return false
+}
+
+// WeightedGraph is an adjacency-list graph with float64 edge weights,
+// used for physical-distance shortest paths.
+type WeightedGraph struct {
+	adj [][]WEdge
+}
+
+// WEdge is a weighted directed edge to vertex To with weight W.
+type WEdge struct {
+	To int
+	W  float64
+}
+
+// NewWeightedGraph returns a weighted graph with n vertices.
+func NewWeightedGraph(n int) *WeightedGraph {
+	return &WeightedGraph{adj: make([][]WEdge, n)}
+}
+
+// NumVertices returns the number of vertices.
+func (g *WeightedGraph) NumVertices() int { return len(g.adj) }
+
+// AddEdge adds a directed edge u -> v with weight w.
+func (g *WeightedGraph) AddEdge(u, v int, w float64) {
+	g.adj[u] = append(g.adj[u], WEdge{To: v, W: w})
+}
+
+// AddUndirected adds edges in both directions with weight w.
+func (g *WeightedGraph) AddUndirected(u, v int, w float64) {
+	g.AddEdge(u, v, w)
+	g.AddEdge(v, u, w)
+}
+
+// Dijkstra returns the minimum total weight from src to every vertex
+// (+Inf encoded as -1 is avoided; unreachable vertices get
+// math.MaxFloat64). Weights must be non-negative.
+func (g *WeightedGraph) Dijkstra(src int) []float64 {
+	const inf = 1e308
+	n := len(g.adj)
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	h := &heapF{}
+	h.push(heapItem{v: src, d: 0})
+	for h.len() > 0 {
+		it := h.pop()
+		if it.d > dist[it.v] {
+			continue
+		}
+		for _, e := range g.adj[it.v] {
+			nd := it.d + e.W
+			if nd < dist[e.To] {
+				dist[e.To] = nd
+				h.push(heapItem{v: e.To, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type heapItem struct {
+	v int
+	d float64
+}
+
+// heapF is a minimal binary min-heap on heapItem.d, avoiding the
+// container/heap interface boilerplate for this hot path.
+type heapF struct {
+	items []heapItem
+}
+
+func (h *heapF) len() int { return len(h.items) }
+
+func (h *heapF) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.items[p].d <= h.items[i].d {
+			break
+		}
+		h.items[p], h.items[i] = h.items[i], h.items[p]
+		i = p
+	}
+}
+
+func (h *heapF) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		sm := i
+		if l < last && h.items[l].d < h.items[sm].d {
+			sm = l
+		}
+		if r < last && h.items[r].d < h.items[sm].d {
+			sm = r
+		}
+		if sm == i {
+			break
+		}
+		h.items[i], h.items[sm] = h.items[sm], h.items[i]
+		i = sm
+	}
+	return top
+}

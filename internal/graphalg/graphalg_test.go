@@ -1,0 +1,241 @@
+package graphalg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// path builds a path graph 0-1-...-(n-1).
+func path(n int) *Graph {
+	g := NewGraph(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddUndirected(i, i+1)
+	}
+	return g
+}
+
+// cycle builds a cycle graph over n vertices.
+func cycle(n int) *Graph {
+	g := path(n)
+	g.AddUndirected(n-1, 0)
+	return g
+}
+
+func TestBFSPath(t *testing.T) {
+	g := path(5)
+	d := g.BFS(0)
+	for i, want := range []int{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Errorf("BFS(0)[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+	d = g.BFS(2)
+	for i, want := range []int{2, 1, 0, 1, 2} {
+		if d[i] != want {
+			t.Errorf("BFS(2)[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := NewGraph(3)
+	g.AddUndirected(0, 1)
+	d := g.BFS(0)
+	if d[2] != -1 {
+		t.Errorf("unreachable vertex distance = %d, want -1", d[2])
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int
+	}{
+		{path(1), 0},
+		{path(2), 1},
+		{path(7), 6},
+		{cycle(8), 4},
+		{cycle(9), 4},
+	}
+	for i, c := range cases {
+		d, ok := c.g.Diameter()
+		if !ok {
+			t.Errorf("case %d: reported disconnected", i)
+		}
+		if d != c.want {
+			t.Errorf("case %d: diameter = %d, want %d", i, d, c.want)
+		}
+	}
+}
+
+func TestAverageDistanceCycle(t *testing.T) {
+	// Cycle of 4: distances from any vertex are 1,2,1 -> mean 4/3.
+	g := cycle(4)
+	got := g.AverageDistance()
+	want := 4.0 / 3.0
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("average distance = %v, want %v", got, want)
+	}
+}
+
+func TestAPSPMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := NewGraph(20)
+	for i := 0; i < 40; i++ {
+		u, v := rng.Intn(20), rng.Intn(20)
+		if u != v {
+			g.AddUndirected(u, v)
+		}
+	}
+	d := g.APSP()
+	for i := 0; i < 20; i++ {
+		bi := g.BFS(i)
+		for j := 0; j < 20; j++ {
+			if d[i][j] != bi[j] {
+				t.Fatalf("APSP[%d][%d] = %d, BFS = %d", i, j, d[i][j], bi[j])
+			}
+		}
+	}
+}
+
+func TestHasCycleDirected(t *testing.T) {
+	// DAG: no cycle.
+	g := NewGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(2, 3)
+	if g.HasCycle() {
+		t.Error("DAG reported cyclic")
+	}
+	// Add back edge.
+	g.AddEdge(3, 0)
+	if !g.HasCycle() {
+		t.Error("cyclic graph reported acyclic")
+	}
+}
+
+func TestHasCycleSelfLoop(t *testing.T) {
+	g := NewGraph(2)
+	g.AddEdge(1, 1)
+	if !g.HasCycle() {
+		t.Error("self loop not detected as cycle")
+	}
+}
+
+func TestHasCycleDisconnectedComponents(t *testing.T) {
+	g := NewGraph(6)
+	g.AddEdge(0, 1) // acyclic component
+	g.AddEdge(3, 4) // cyclic component
+	g.AddEdge(4, 5)
+	g.AddEdge(5, 3)
+	if !g.HasCycle() {
+		t.Error("cycle in second component not detected")
+	}
+}
+
+func TestDijkstraMatchesBFSOnUnitWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 30
+	g := NewGraph(n)
+	wg := NewWeightedGraph(n)
+	for i := 0; i < 80; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		g.AddUndirected(u, v)
+		wg.AddUndirected(u, v, 1)
+	}
+	for s := 0; s < n; s++ {
+		bd := g.BFS(s)
+		dd := wg.Dijkstra(s)
+		for v := 0; v < n; v++ {
+			if bd[v] < 0 {
+				if dd[v] < 1e300 {
+					t.Fatalf("vertex %d: BFS unreachable but Dijkstra %v", v, dd[v])
+				}
+				continue
+			}
+			if int(dd[v]+0.5) != bd[v] {
+				t.Fatalf("vertex %d: Dijkstra %v, BFS %d", v, dd[v], bd[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraWeighted(t *testing.T) {
+	// Triangle where the direct edge is longer than the detour.
+	g := NewWeightedGraph(3)
+	g.AddUndirected(0, 2, 10)
+	g.AddUndirected(0, 1, 3)
+	g.AddUndirected(1, 2, 4)
+	d := g.Dijkstra(0)
+	if d[2] != 7 {
+		t.Errorf("Dijkstra detour = %v, want 7", d[2])
+	}
+}
+
+// TestQuickTriangleInequality: BFS distances satisfy the triangle
+// inequality on random graphs.
+func TestQuickTriangleInequality(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(15)
+		g := NewGraph(n)
+		for i := 0; i+1 < n; i++ {
+			g.AddUndirected(i, i+1) // keep it connected
+		}
+		for i := 0; i < n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddUndirected(u, v)
+			}
+		}
+		d := g.APSP()
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				for c := 0; c < n; c++ {
+					if d[a][c] > d[a][b]+d[b][c] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBFSSymmetry: on undirected graphs dist(u,v) == dist(v,u).
+func TestQuickBFSSymmetry(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		g := NewGraph(n)
+		for i := 0; i < 2*n; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddUndirected(u, v)
+			}
+		}
+		d := g.APSP()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if d[u][v] != d[v][u] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,159 @@
+package noc
+
+import (
+	"fmt"
+
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+// CustomizeStep records one iteration of the customization strategy.
+type CustomizeStep struct {
+	// Candidate describes the offset tried, e.g. "SR+=4" or "SC+=2".
+	Candidate string
+	// Params is the parameter set after accepting the candidate.
+	Params topo.HammingParams
+	// AreaOverheadPct and AvgHops are the predictions for the
+	// candidate topology.
+	AreaOverheadPct float64
+	AvgHops         float64
+	Diameter        int
+	// Accepted tells whether the candidate was kept.
+	Accepted bool
+}
+
+// CustomizeResult is the outcome of the Section V strategy.
+type CustomizeResult struct {
+	Params topo.HammingParams
+	Final  *Prediction
+	Steps  []CustomizeStep
+}
+
+// Customize runs the paper's five-step NoC topology customization
+// strategy (Section V-a) for an architecture:
+//
+//  1. Start with the simplest sparse Hamming graph, the mesh
+//     (SR = {}, SC = {}).
+//  2. Predict cost and performance of the current topology with the
+//     toolchain (the fast physical model drives the inner loop).
+//  3. Compare against the design goals: maximize throughput
+//     (priority 1) and minimize latency (priority 2) without
+//     exceeding maxOverheadPct NoC area overhead.
+//  4. Following the design principles, add the offset to SR or SC
+//     that best reduces the average hop count per unit of added area
+//     overhead while staying within the budget.
+//  5. Repeat until no candidate fits the budget.
+//
+// The hop count is the model-level proxy for throughput and latency
+// (design principle 3: fewer hops means less congestion per router
+// and lower latency); the returned Final prediction runs the full
+// toolchain including simulation.
+func Customize(arch *tech.Arch, maxOverheadPct float64, quality Quality) (*CustomizeResult, error) {
+	res := &CustomizeResult{}
+	cur := topo.HammingParams{}
+
+	curTopo, err := topo.NewSparseHamming(arch.Rows, arch.Cols, cur)
+	if err != nil {
+		return nil, err
+	}
+	curPred, _, err := PredictCostOnly(arch, curTopo)
+	if err != nil {
+		return nil, err
+	}
+	if curPred.AreaOverheadPct > maxOverheadPct {
+		return nil, fmt.Errorf("noc: even the mesh exceeds the %.0f%% overhead budget (%.1f%%)",
+			maxOverheadPct, curPred.AreaOverheadPct)
+	}
+
+	for {
+		type candidate struct {
+			name   string
+			params topo.HammingParams
+			pred   *Prediction
+			score  float64
+		}
+		var best *candidate
+		try := func(name string, p topo.HammingParams) error {
+			t, err := topo.NewSparseHamming(arch.Rows, arch.Cols, p)
+			if err != nil {
+				return err
+			}
+			pred, _, err := PredictCostOnly(arch, t)
+			if err != nil {
+				return err
+			}
+			step := CustomizeStep{
+				Candidate:       name,
+				Params:          p,
+				AreaOverheadPct: pred.AreaOverheadPct,
+				AvgHops:         pred.AvgHops,
+				Diameter:        pred.Diameter,
+			}
+			if pred.AreaOverheadPct <= maxOverheadPct && pred.AvgHops < curPred.AvgHops {
+				hopGain := curPred.AvgHops - pred.AvgHops
+				areaCost := pred.AreaOverheadPct - curPred.AreaOverheadPct
+				if areaCost < 0.01 {
+					areaCost = 0.01
+				}
+				score := hopGain / areaCost
+				if best == nil || score > best.score {
+					best = &candidate{name: name, params: p, pred: pred, score: score}
+				}
+			}
+			res.Steps = append(res.Steps, step)
+			return nil
+		}
+
+		have := func(s []int, x int) bool {
+			for _, v := range s {
+				if v == x {
+					return true
+				}
+			}
+			return false
+		}
+		for x := 2; x < arch.Cols; x++ {
+			if !have(cur.SR, x) {
+				p := cur.Clone()
+				p.SR = append(p.SR, x)
+				if err := try(fmt.Sprintf("SR+=%d", x), p); err != nil {
+					return nil, err
+				}
+			}
+		}
+		for x := 2; x < arch.Rows; x++ {
+			if !have(cur.SC, x) {
+				p := cur.Clone()
+				p.SC = append(p.SC, x)
+				if err := try(fmt.Sprintf("SC+=%d", x), p); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if best == nil {
+			break
+		}
+		// Mark the accepted step (the last recorded one matching).
+		for i := len(res.Steps) - 1; i >= 0; i-- {
+			if res.Steps[i].Candidate == best.name && res.Steps[i].Params.String() == best.params.String() {
+				res.Steps[i].Accepted = true
+				break
+			}
+		}
+		cur = best.params
+		curPred = best.pred
+	}
+
+	res.Params = cur
+	final, err := topo.NewSparseHamming(arch.Rows, arch.Cols, cur)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := Predict(arch, final, quality)
+	if err != nil {
+		return nil, err
+	}
+	pred.Params = cur.String()
+	res.Final = pred
+	return res, nil
+}

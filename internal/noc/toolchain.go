@@ -1,0 +1,197 @@
+// Package noc ties the repository together into the paper's
+// prediction toolchain (Figure 3): architectural parameters and a
+// topology go into the physical model (package phys), whose link
+// latency estimates feed the cycle-accurate simulator (package sim),
+// producing the four metrics of the evaluation — NoC area overhead,
+// NoC power, zero-load latency, and saturation throughput.
+//
+// The package also implements the paper's evaluation artifacts: the
+// design-principle compliance table (Table I), the MemPool toolchain
+// validation (Table III), the four-scenario topology comparison
+// (Figure 6), and the iterative customization strategy of Section V.
+package noc
+
+import (
+	"fmt"
+
+	"sparsehamming/internal/analytic"
+	"sparsehamming/internal/phys"
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/sim"
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+// Quality selects the simulation effort.
+type Quality int
+
+// Quality levels: Quick for tests and interactive exploration, Full
+// for the benchmark harness regenerating the paper's figures.
+const (
+	Quick Quality = iota
+	Full
+)
+
+// simWindows returns warmup/measure cycles for a quality level.
+func (q Quality) simWindows() (warmup, measure int) {
+	if q == Quick {
+		return 800, 2500
+	}
+	return 2000, 6000
+}
+
+// Prediction is the toolchain output for one topology on one
+// architecture: the cost metrics from the physical model and the
+// performance metrics from simulation.
+type Prediction struct {
+	Topology string
+	Params   string // e.g. sparse Hamming offset sets
+
+	// Topology properties.
+	RouterRadix int
+	Diameter    int
+	AvgHops     float64
+	NumLinks    int
+
+	// Cost (package phys).
+	TotalAreaMm2       float64
+	AreaOverheadPct    float64
+	TotalPowerW        float64
+	NoCPowerW          float64
+	ChannelUtilization float64
+	MaxLinkLatency     int
+
+	// Performance (package sim).
+	ZeroLoadLatency float64 // cycles
+	SaturationPct   float64 // percent of injection capacity
+	RoutingName     string
+
+	// High-level-model estimates (package analytic), reported
+	// alongside the simulated values to expose the accuracy gap the
+	// paper motivates its toolchain with: the closed-form zero-load
+	// latency and the channel-load saturation bound.
+	AnalyticZeroLoad float64
+	AnalyticBoundPct float64
+}
+
+// RouterDelay is the router pipeline depth in cycles assumed by the
+// toolchain (route computation, VC allocation, switch allocation,
+// traversal). The paper's correction discussion for MemPool implies
+// their model charges a minimum of one cycle per router stage; three
+// cycles is representative for an input-queued AXI router at 1+ GHz.
+const RouterDelay = 3
+
+// Predict runs the full toolchain for one topology.
+func Predict(arch *tech.Arch, t *topo.Topology, quality Quality) (*Prediction, error) {
+	return PredictWith(arch, t, route.Auto, quality)
+}
+
+// PredictWith runs the toolchain with an explicit routing algorithm
+// (used by the routing ablation).
+func PredictWith(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quality Quality) (*Prediction, error) {
+	cost, err := phys.Evaluate(arch, t)
+	if err != nil {
+		return nil, err
+	}
+	r, err := route.For(t, alg)
+	if err != nil {
+		return nil, err
+	}
+	if arch.Proto.NumVCs < r.NumClasses {
+		return nil, fmt.Errorf("noc: %d VCs cannot host the %d VC classes of %s",
+			arch.Proto.NumVCs, r.NumClasses, r.Name)
+	}
+
+	warmup, measure := quality.simWindows()
+	base := sim.Config{
+		Topo:        t,
+		Routing:     r,
+		NumVCs:      arch.Proto.NumVCs,
+		BufDepth:    arch.Proto.BufDepthFlits,
+		LinkLatency: cost.LinkLatencies,
+		RouterDelay: RouterDelay,
+		PacketLen:   packetLen(arch),
+		Seed:        1,
+		Warmup:      warmup,
+		Measure:     measure,
+	}
+	sat, err := sim.SaturationThroughput(base)
+	if err != nil {
+		return nil, err
+	}
+
+	am := &analytic.Model{
+		Topo:        t,
+		Routing:     r,
+		LinkLatency: cost.LinkLatencies,
+		RouterDelay: RouterDelay,
+		PacketLen:   base.PacketLen,
+	}
+	azl, err := am.ZeroLoadLatency()
+	if err != nil {
+		return nil, err
+	}
+	abound, err := am.SaturationBound()
+	if err != nil {
+		return nil, err
+	}
+
+	maxLat := 0
+	for _, l := range cost.LinkLatencies {
+		if l > maxLat {
+			maxLat = l
+		}
+	}
+	return &Prediction{
+		Topology:           t.Kind,
+		RouterRadix:        t.MaxRadix(),
+		Diameter:           t.Diameter(),
+		AvgHops:            r.AvgHops(),
+		NumLinks:           t.NumLinks(),
+		TotalAreaMm2:       cost.TotalAreaMm2,
+		AreaOverheadPct:    100 * cost.AreaOverhead,
+		TotalPowerW:        cost.TotalPowerW,
+		NoCPowerW:          cost.NoCPowerW,
+		ChannelUtilization: cost.ChannelUtilization,
+		MaxLinkLatency:     maxLat,
+		ZeroLoadLatency:    sat.ZeroLoadLatency,
+		SaturationPct:      100 * sat.SaturationRate,
+		RoutingName:        r.Name,
+		AnalyticZeroLoad:   azl,
+		AnalyticBoundPct:   100 * abound,
+	}, nil
+}
+
+// PredictCostOnly runs only the physical model — the fast inner loop
+// of the customization strategy, which needs cost and hop estimates
+// without cycle-accurate simulation.
+func PredictCostOnly(arch *tech.Arch, t *topo.Topology) (*Prediction, *phys.Result, error) {
+	cost, err := phys.Evaluate(arch, t)
+	if err != nil {
+		return nil, nil, err
+	}
+	p := &Prediction{
+		Topology:           t.Kind,
+		RouterRadix:        t.MaxRadix(),
+		Diameter:           t.Diameter(),
+		AvgHops:            t.AverageHops(),
+		NumLinks:           t.NumLinks(),
+		TotalAreaMm2:       cost.TotalAreaMm2,
+		AreaOverheadPct:    100 * cost.AreaOverhead,
+		TotalPowerW:        cost.TotalPowerW,
+		NoCPowerW:          cost.NoCPowerW,
+		ChannelUtilization: cost.ChannelUtilization,
+	}
+	return p, cost, nil
+}
+
+// packetLen returns the simulated packet length in flits: the number
+// of flits needed to move one cache-line-sized payload (4 flits for
+// the 512-bit KNC scenarios) with a floor of one flit for wide links
+// relative to the request size (MemPool's single-word accesses).
+func packetLen(arch *tech.Arch) int {
+	if arch.Name == "mempool" {
+		return 1
+	}
+	return 4
+}

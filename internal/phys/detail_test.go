@@ -1,0 +1,188 @@
+package phys
+
+import (
+	"testing"
+
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+// planFor builds a fully-evaluated plan for white-box inspection.
+func planFor(t *testing.T, arch *tech.Arch, tp *topo.Topology) *plan {
+	t.Helper()
+	p := newPlan(arch, tp)
+	p.sizeTiles()
+	p.globalRoute()
+	p.assignTracks()
+	p.buildCellGrid()
+	p.detailedRoute()
+	return p
+}
+
+func TestCellGridGeometry(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	tp, err := topo.NewSparseHamming(8, 8, topo.HammingParams{SR: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, arch, tp)
+
+	// Channel g's cell extent equals its track count, and tiles slot
+	// exactly between channels.
+	x := 0
+	for c := 0; c <= 8; c++ {
+		if p.chanX0[c] != x {
+			t.Fatalf("v-channel %d origin %d, want %d", c, p.chanX0[c], x)
+		}
+		x += p.vchan[c].tracks
+		if c < 8 {
+			if p.tileX0[c] != x {
+				t.Fatalf("tile col %d origin %d, want %d", c, p.tileX0[c], x)
+			}
+			x += p.tileCellsX
+		}
+	}
+	if p.cellsX != x {
+		t.Fatalf("cellsX %d, want %d", p.cellsX, x)
+	}
+	// Tile dimensions quantize up.
+	if float64(p.tileCellsX)*p.cellW < p.tileW {
+		t.Error("tile cells narrower than tile")
+	}
+}
+
+func TestTrackAssignmentNoOverlap(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	fb, err := topo.NewFlattenedButterfly(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, arch, fb)
+	// Within every channel, two runs on the same track never overlap.
+	for _, ch := range append(append([]*channel{}, p.hchan...), p.vchan...) {
+		for i, a := range ch.runs {
+			if a.track >= ch.tracks {
+				t.Fatalf("run track %d >= channel tracks %d", a.track, ch.tracks)
+			}
+			for _, b := range ch.runs[i+1:] {
+				if a.track == b.track && a.from <= b.to && b.from <= a.to {
+					t.Fatalf("overlapping runs [%d,%d] and [%d,%d] share track %d",
+						a.from, a.to, b.from, b.to, a.track)
+				}
+			}
+		}
+	}
+}
+
+func TestPortSlotsDistinctPerFace(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	fb, err := topo.NewFlattenedButterfly(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newPlan(arch, fb)
+	p.sizeTiles()
+	p.globalRoute()
+	p.assignTracks()
+	p.buildCellGrid()
+	// Allocate a dozen slots on one face: all distinct, all in range.
+	seen := map[int]bool{}
+	for k := 0; k < 12; k++ {
+		x := p.portSlot(0, 'N')
+		if x < p.tileX0[0] || x >= p.tileX0[0]+p.tileCellsX {
+			t.Fatalf("slot %d outside tile face", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate slot %d", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestLShapeRealization(t *testing.T) {
+	// SlimNoC has non-aligned links; its routes must produce both
+	// horizontal and vertical cells and stay collision-accounted.
+	arch := tech.Scenario(tech.ScenarioC)
+	sn, err := topo.NewSlimNoC(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := planFor(t, arch, sn)
+	sawL := false
+	for _, rt := range p.routes {
+		if rt.kind == lShape {
+			sawL = true
+			if rt.hChan < 0 || rt.vChan < 0 || rt.hRun == nil || rt.vRun == nil {
+				t.Fatal("l-shape route missing channel assignment")
+			}
+		}
+	}
+	if !sawL {
+		t.Fatal("slimnoc produced no L-shaped routes")
+	}
+	// Every link got a positive physical length and latency.
+	for i := range p.linkLenMm {
+		if p.linkLenMm[i] <= 0 || p.linkLatency[i] < 1 {
+			t.Fatalf("link %d: length %v latency %d", i, p.linkLenMm[i], p.linkLatency[i])
+		}
+	}
+}
+
+func TestMarkCollisionCounting(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	m, err := topo.NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newPlan(arch, m)
+	p.sizeTiles()
+	p.globalRoute()
+	p.assignTracks()
+	p.buildCellGrid()
+	// Two horizontal segments over the same cells: second one collides.
+	if n := p.markH(10, 14, 5); n != 5 {
+		t.Fatalf("marked %d cells, want 5", n)
+	}
+	if p.collisions != 0 {
+		t.Fatalf("collisions after first mark = %d", p.collisions)
+	}
+	p.markH(12, 16, 5)
+	if p.collisions != 3 { // cells 12,13,14 double-claimed
+		t.Errorf("collisions = %d, want 3", p.collisions)
+	}
+	// Vertical direction is independent: no extra collisions.
+	before := p.collisions
+	p.markV(3, 7, 12)
+	if p.collisions != before {
+		t.Error("vertical mark collided with horizontal occupancy")
+	}
+	// Degenerate/clamped ranges.
+	if n := p.markH(5, 4, 0); n != 0 {
+		t.Errorf("inverted range marked %d cells", n)
+	}
+	if n := p.markV(-10, -5, 0); n == 0 {
+		// Clamped to a single cell at the boundary; any non-negative
+		// count is fine, but it must not panic.
+		_ = n
+	}
+}
+
+func TestAspectRatioChangesTileShape(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	arch.TileAspect = 2 // tall tiles
+	m, err := topo.NewMesh(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Evaluate(arch, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TileHeightMm <= res.TileWidthMm {
+		t.Errorf("aspect 2: height %v not above width %v", res.TileHeightMm, res.TileWidthMm)
+	}
+	ratio := res.TileHeightMm / res.TileWidthMm
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("aspect ratio %v, want ~2", ratio)
+	}
+}

@@ -1,0 +1,239 @@
+package phys
+
+import (
+	"sort"
+
+	"sparsehamming/internal/topo"
+)
+
+// channel is one routing channel: the space between two adjacent rows
+// (horizontal channel, carrying east-west link runs) or columns
+// (vertical channel, carrying north-south runs) of tiles.
+//
+// Occupancy is tracked at tile granularity: occ[i] counts the link
+// runs overlapping tile position i. The number of tracks needed is the
+// maximum occupancy (interval graphs are perfect, so max clique =
+// chromatic number and the left-edge algorithm achieves it).
+type channel struct {
+	occ    []int
+	tracks int
+	runs   []*run
+}
+
+func newChannel(positions int) *channel {
+	return &channel{occ: make([]int, positions)}
+}
+
+// maxOccIn returns the maximum occupancy over positions [from, to].
+func (c *channel) maxOccIn(from, to int) int {
+	m := 0
+	for i := from; i <= to; i++ {
+		if c.occ[i] > m {
+			m = c.occ[i]
+		}
+	}
+	return m
+}
+
+// place records a run spanning positions [from, to].
+func (c *channel) place(r *run) {
+	for i := r.from; i <= r.to; i++ {
+		c.occ[i]++
+	}
+	c.runs = append(c.runs, r)
+}
+
+// run is one straight segment of a link routed along a channel.
+type run struct {
+	from, to int // tile positions covered (inclusive)
+	track    int // assigned by the left-edge pass
+}
+
+// routeKind classifies how a link is realized geometrically.
+type routeKind int
+
+const (
+	// crossV: unit-length horizontal link crossing one vertical
+	// channel directly (east-west neighbors).
+	crossV routeKind = iota
+	// crossH: unit-length vertical link crossing one horizontal
+	// channel directly (north-south neighbors).
+	crossH
+	// runH: long row link running along a horizontal channel.
+	runH
+	// runV: long column link running along a vertical channel.
+	runV
+	// lShape: non-aligned link: a horizontal run plus a vertical run
+	// joined by one bend (SlimNoC cross links).
+	lShape
+)
+
+// route is the global-routing decision for one topology link.
+type route struct {
+	link topo.Link
+	kind routeKind
+
+	hChan int  // horizontal channel index, -1 if unused
+	hRun  *run // run inside hChan
+	vChan int
+	vRun  *run
+}
+
+// globalRoute performs step 2: assign every link to routing channels
+// with a greedy heuristic that processes long links first and puts
+// each run into the side channel where it increases the peak track
+// demand the least (balancing densities, design principle 2 /
+// criterion ULD).
+func (p *plan) globalRoute() {
+	R, C := p.topo.Rows, p.topo.Cols
+	p.hchan = make([]*channel, R+1)
+	for g := range p.hchan {
+		p.hchan[g] = newChannel(C)
+	}
+	p.vchan = make([]*channel, C+1)
+	for g := range p.vchan {
+		p.vchan[g] = newChannel(R)
+	}
+
+	links := p.topo.Links()
+	order := make([]int, len(links))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return links[order[a]].GridLength() > links[order[b]].GridLength()
+	})
+
+	p.routes = make([]route, len(links))
+	for _, li := range order {
+		p.routes[li] = p.routeLink(links[li])
+	}
+}
+
+// routeLink chooses channels for a single link.
+func (p *plan) routeLink(l topo.Link) route {
+	a, b := l.A, l.B
+	switch {
+	case a.Row == b.Row && abs(a.Col-b.Col) == 1:
+		// Unit horizontal: cross the vertical channel between them.
+		g := max(a.Col, b.Col)
+		return route{link: l, kind: crossV, hChan: -1, vChan: g}
+	case a.Col == b.Col && abs(a.Row-b.Row) == 1:
+		// Unit vertical: cross the horizontal channel between them.
+		g := max(a.Row, b.Row)
+		return route{link: l, kind: crossH, hChan: g, vChan: -1}
+	case a.Row == b.Row:
+		// Long row link: run along the channel above or below row a.Row.
+		lo, hi := minMax(a.Col, b.Col)
+		r := &run{from: lo, to: hi}
+		g := p.chooseChannel(p.hchan, a.Row, a.Row+1, r)
+		p.hchan[g].place(r)
+		return route{link: l, kind: runH, hChan: g, hRun: r, vChan: -1}
+	case a.Col == b.Col:
+		lo, hi := minMax(a.Row, b.Row)
+		r := &run{from: lo, to: hi}
+		g := p.chooseChannel(p.vchan, a.Col, a.Col+1, r)
+		p.vchan[g].place(r)
+		return route{link: l, kind: runV, vChan: g, vRun: r, hChan: -1}
+	default:
+		// Non-aligned: horizontal run in a channel adjacent to the
+		// source row, vertical run in a channel adjacent to the
+		// destination column, joined at the bend.
+		loC, hiC := minMax(a.Col, b.Col)
+		hr := &run{from: loC, to: hiC}
+		hg := p.chooseChannel(p.hchan, a.Row, a.Row+1, hr)
+		p.hchan[hg].place(hr)
+		loR, hiR := minMax(a.Row, b.Row)
+		vr := &run{from: loR, to: hiR}
+		vg := p.chooseChannel(p.vchan, b.Col, b.Col+1, vr)
+		p.vchan[vg].place(vr)
+		return route{link: l, kind: lShape, hChan: hg, hRun: hr, vChan: vg, vRun: vr}
+	}
+}
+
+// chooseChannel picks between the two candidate channels g1 and g2 the
+// one whose peak occupancy over the run's span is lower (ties go to
+// the lower index, keeping the result deterministic).
+func (p *plan) chooseChannel(chs []*channel, g1, g2 int, r *run) int {
+	o1 := chs[g1].maxOccIn(r.from, r.to)
+	o2 := chs[g2].maxOccIn(r.from, r.to)
+	if o2 < o1 {
+		return g2
+	}
+	return g1
+}
+
+// assignTracks performs step 3 and the track-assignment half of step
+// 5: each channel's track count is its peak occupancy, and concrete
+// tracks are assigned with the left-edge algorithm (sort runs by left
+// endpoint, give each the lowest track that is free at that point).
+func (p *plan) assignTracks() {
+	for _, ch := range append(append([]*channel{}, p.hchan...), p.vchan...) {
+		assignLeftEdge(ch)
+	}
+}
+
+func assignLeftEdge(ch *channel) {
+	peak := 0
+	for _, o := range ch.occ {
+		if o > peak {
+			peak = o
+		}
+	}
+	ch.tracks = peak
+	if peak == 0 {
+		return
+	}
+	runs := append([]*run{}, ch.runs...)
+	sort.SliceStable(runs, func(a, b int) bool {
+		if runs[a].from != runs[b].from {
+			return runs[a].from < runs[b].from
+		}
+		return runs[a].to > runs[b].to
+	})
+	// trackFreeAt[t] = first position where track t is free again.
+	trackFreeAt := make([]int, peak)
+	for i := range trackFreeAt {
+		trackFreeAt[i] = -1
+	}
+	for _, r := range runs {
+		assigned := false
+		for t := 0; t < peak; t++ {
+			if trackFreeAt[t] < r.from {
+				r.track = t
+				trackFreeAt[t] = r.to
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			// Cannot happen for interval graphs (peak = chromatic
+			// number), but degrade gracefully rather than panic.
+			r.track = peak
+			ch.tracks = peak + 1
+			trackFreeAt = append(trackFreeAt, r.to)
+			peak++
+		}
+	}
+}
+
+func minMax(a, b int) (int, int) {
+	if a < b {
+		return a, b
+	}
+	return b, a
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,270 @@
+package phys
+
+import (
+	"math"
+	"testing"
+
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+func evalTopo(t *testing.T, arch *tech.Arch) func(*topo.Topology, error) *Result {
+	return func(tp *topo.Topology, err error) *Result {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("topology: %v", err)
+		}
+		res, err := Evaluate(arch, tp)
+		if err != nil {
+			t.Fatalf("Evaluate: %v", err)
+		}
+		return res
+	}
+}
+
+func TestEvaluateMeshBasics(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	res := evalTopo(t, arch)(topo.NewMesh(8, 8))
+
+	if res.AreaOverhead <= 0 || res.AreaOverhead >= 1 {
+		t.Fatalf("area overhead = %v, want (0,1)", res.AreaOverhead)
+	}
+	if res.TotalAreaMm2 <= res.NoNoCAreaMm2 {
+		t.Error("total area must exceed no-NoC area")
+	}
+	if res.NoCPowerW <= 0 {
+		t.Errorf("NoC power = %v, want > 0", res.NoCPowerW)
+	}
+	if len(res.LinkLatencies) != 2*8*7 {
+		t.Fatalf("latencies for %d links, want %d", len(res.LinkLatencies), 2*8*7)
+	}
+	for i, l := range res.LinkLatencies {
+		if l < 1 {
+			t.Fatalf("link %d latency %d < 1", i, l)
+		}
+	}
+	// A mesh has no long links, so no channel needs along-channel tracks.
+	for g, tr := range res.HChanTracks {
+		if tr != 0 {
+			t.Errorf("mesh h-channel %d has %d tracks, want 0", g, tr)
+		}
+	}
+	for g, tr := range res.VChanTracks {
+		if tr != 0 {
+			t.Errorf("mesh v-channel %d has %d tracks, want 0", g, tr)
+		}
+	}
+	if res.Collisions != 0 {
+		t.Errorf("mesh routed with %d collisions, want 0", res.Collisions)
+	}
+	if res.ChannelUtilization != 1 {
+		t.Errorf("mesh channel utilization = %v, want vacuous 1", res.ChannelUtilization)
+	}
+}
+
+func TestGridMismatchRejected(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA) // 8x8
+	m, _ := topo.NewMesh(4, 4)
+	if _, err := Evaluate(arch, m); err == nil {
+		t.Error("grid mismatch not rejected")
+	}
+}
+
+// TestCostOrdering checks the fundamental cost relationships the
+// paper's Figure 6 relies on: ring < mesh < sparse Hamming < flattened
+// butterfly in area overhead, and the same ordering in NoC power.
+func TestCostOrdering(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	ring := evalTopo(t, arch)(topo.NewRing(8, 8))
+	mesh := evalTopo(t, arch)(topo.NewMesh(8, 8))
+	shg := evalTopo(t, arch)(topo.NewSparseHamming(8, 8,
+		topo.HammingParams{SR: []int{4}, SC: []int{2, 5}}))
+	fb := evalTopo(t, arch)(topo.NewFlattenedButterfly(8, 8))
+
+	if !(ring.AreaOverhead < mesh.AreaOverhead) {
+		t.Errorf("area: ring %.3f !< mesh %.3f", ring.AreaOverhead, mesh.AreaOverhead)
+	}
+	if !(mesh.AreaOverhead < shg.AreaOverhead) {
+		t.Errorf("area: mesh %.3f !< shg %.3f", mesh.AreaOverhead, shg.AreaOverhead)
+	}
+	if !(shg.AreaOverhead < fb.AreaOverhead) {
+		t.Errorf("area: shg %.3f !< fb %.3f", shg.AreaOverhead, fb.AreaOverhead)
+	}
+	if !(ring.NoCPowerW < mesh.NoCPowerW && mesh.NoCPowerW < fb.NoCPowerW) {
+		t.Errorf("power ordering violated: ring %.2f mesh %.2f fb %.2f",
+			ring.NoCPowerW, mesh.NoCPowerW, fb.NoCPowerW)
+	}
+}
+
+// TestFigure6Calibration pins the absolute area-overhead bands that
+// the evaluation depends on: the customized SHG must sit at or below
+// the paper's 40% constraint while the flattened butterfly must
+// exceed it, and the mesh must be a low-cost topology (<20%).
+func TestFigure6Calibration(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	mesh := evalTopo(t, arch)(topo.NewMesh(8, 8))
+	shg := evalTopo(t, arch)(topo.NewSparseHamming(8, 8,
+		topo.HammingParams{SR: []int{4}, SC: []int{2, 5}}))
+	fb := evalTopo(t, arch)(topo.NewFlattenedButterfly(8, 8))
+
+	if mesh.AreaOverhead > 0.20 {
+		t.Errorf("mesh area overhead = %.1f%%, want < 20%%", 100*mesh.AreaOverhead)
+	}
+	if shg.AreaOverhead > 0.42 {
+		t.Errorf("customized SHG area overhead = %.1f%%, want <= ~40%%", 100*shg.AreaOverhead)
+	}
+	if fb.AreaOverhead < 0.40 {
+		t.Errorf("FB area overhead = %.1f%%, want > 40%%", 100*fb.AreaOverhead)
+	}
+}
+
+func TestLatencyGrowsWithLinkLength(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	fb, err := topo.NewFlattenedButterfly(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := evalTopo(t, arch)(fb, nil)
+	// The longest links must have strictly larger physical length than
+	// the shortest, and latency must be monotone in length.
+	links := fb.Links()
+	var shortLen, longLen float64
+	var shortLat, longLat int
+	for i, l := range links {
+		switch l.GridLength() {
+		case 1:
+			shortLen, shortLat = res.LinkLengthsMm[i], res.LinkLatencies[i]
+		case 7:
+			longLen, longLat = res.LinkLengthsMm[i], res.LinkLatencies[i]
+		}
+	}
+	if longLen <= shortLen {
+		t.Errorf("7-span link length %v <= 1-span %v", longLen, shortLen)
+	}
+	if longLat < shortLat {
+		t.Errorf("7-span latency %d < 1-span %d", longLat, shortLat)
+	}
+	if longLat < 2 {
+		t.Errorf("a 7-tile link at 1.2 GHz should need pipelining, got %d cycles", longLat)
+	}
+}
+
+func TestTorusChannelsUniform(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	res := evalTopo(t, arch)(topo.NewTorus(8, 8))
+	// One wrap link per row/column: interior channels need at most 1
+	// track per side, and utilization is high (ULD criterion).
+	for _, tr := range res.HChanTracks {
+		if tr > 1 {
+			t.Errorf("torus h-channel tracks = %d, want <= 1", tr)
+		}
+	}
+	if res.ChannelUtilization < 0.8 {
+		t.Errorf("torus channel utilization = %.2f, want >= 0.8", res.ChannelUtilization)
+	}
+}
+
+func TestSlimNoCChannelsNonUniform(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioC) // 8x16
+	slim := evalTopo(t, arch)(topo.NewSlimNoC(8, 16))
+	fb := evalTopo(t, arch)(topo.NewFlattenedButterfly(8, 16))
+	if slim.ChannelUtilization >= fb.ChannelUtilization {
+		t.Errorf("SlimNoC utilization %.2f should be below FB %.2f (ULD violation)",
+			slim.ChannelUtilization, fb.ChannelUtilization)
+	}
+}
+
+func TestAreaFormulaConsistency(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	res := evalTopo(t, arch)(topo.NewMesh(8, 8))
+	// A_tot = N_cell * A_C by definition.
+	want := float64(res.CellsX*res.CellsY) * res.CellWidthMm * res.CellHeightMm
+	if math.Abs(res.TotalAreaMm2-want)/want > 1e-9 {
+		t.Errorf("A_tot = %v, want N_cell*A_C = %v", res.TotalAreaMm2, want)
+	}
+	// Chip must be at least as large as the tiles it contains.
+	tiles := 64 * res.TileWidthMm * res.TileHeightMm
+	if res.TotalAreaMm2 < tiles {
+		t.Errorf("total area %v < tile area %v", res.TotalAreaMm2, tiles)
+	}
+}
+
+func TestPowerDecomposition(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	res := evalTopo(t, arch)(topo.NewMesh(8, 8))
+	if math.Abs(res.TotalPowerW-(res.NoNoCPowerW+res.NoCPowerW)) > 1e-9 {
+		t.Error("P_tot != P_noNoC + P_NoC")
+	}
+	if res.NoNoCPowerW <= 0 {
+		t.Error("no-NoC power must be positive")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	sh, err := topo.NewSparseHamming(8, 8, topo.HammingParams{SR: []int{2, 4}, SC: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Evaluate(arch, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Evaluate(arch, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalAreaMm2 != r2.TotalAreaMm2 || r1.NoCPowerW != r2.NoCPowerW ||
+		r1.Collisions != r2.Collisions {
+		t.Error("Evaluate is not deterministic")
+	}
+	for i := range r1.LinkLatencies {
+		if r1.LinkLatencies[i] != r2.LinkLatencies[i] {
+			t.Fatalf("link %d latency differs between runs", i)
+		}
+	}
+}
+
+func TestLeftEdgeTrackAssignment(t *testing.T) {
+	// Four runs with max overlap 2 must fit in 2 tracks.
+	ch := newChannel(10)
+	runs := []*run{
+		{from: 0, to: 3},
+		{from: 2, to: 5},
+		{from: 4, to: 7},
+		{from: 6, to: 9},
+	}
+	for _, r := range runs {
+		ch.place(r)
+	}
+	assignLeftEdge(ch)
+	if ch.tracks != 2 {
+		t.Fatalf("tracks = %d, want 2", ch.tracks)
+	}
+	// No two overlapping runs share a track.
+	for i, a := range runs {
+		for _, b := range runs[i+1:] {
+			if a.track == b.track && a.from <= b.to && b.from <= a.to {
+				t.Fatalf("overlapping runs share track %d", a.track)
+			}
+		}
+	}
+}
+
+func TestMoreLinksNeverCheaper(t *testing.T) {
+	// Adding offsets to an SHG must not reduce its area.
+	arch := tech.Scenario(tech.ScenarioA)
+	prev := 0.0
+	for _, p := range []topo.HammingParams{
+		{},
+		{SR: []int{4}},
+		{SR: []int{4}, SC: []int{4}},
+		{SR: []int{2, 4}, SC: []int{2, 4}},
+	} {
+		res := evalTopo(t, arch)(topo.NewSparseHamming(8, 8, p))
+		if res.TotalAreaMm2 < prev {
+			t.Errorf("params %v: area %v smaller than sparser config %v", p, res.TotalAreaMm2, prev)
+		}
+		prev = res.TotalAreaMm2
+	}
+}

@@ -1,0 +1,151 @@
+package route
+
+import (
+	"fmt"
+
+	"sparsehamming/internal/topo"
+)
+
+// buildMonotoneDOR constructs monotone dimension-order routing for
+// topologies whose links are all row- or column-aligned (mesh, sparse
+// Hamming graph, flattened butterfly): a flit first travels within its
+// source row to the destination column, then within that column to the
+// destination row. At every hop it moves strictly toward the
+// destination coordinate and never overshoots, taking the hop-minimal
+// monotone step sequence (computed by dynamic programming over each
+// row/column line graph).
+//
+// Deadlock freedom with a single VC class: within a line, monotone
+// paths induce channel dependencies only between same-direction
+// channels with strictly advancing coordinates (acyclic), and the
+// row-then-column order forbids column-to-row dependencies.
+//
+// Physical minimality: monotone movement along a line accumulates
+// exactly the coordinate distance, so every routed path has physical
+// length equal to the Manhattan distance — the paths design
+// principle 4 asks the routing to use.
+func buildMonotoneDOR(t *topo.Topology) (*Routing, error) {
+	if !t.AllLinksAligned() {
+		return nil, fmt.Errorf("route: monotone DOR requires aligned links (topology %s)", t.Kind)
+	}
+	R, C := t.Rows, t.Cols
+
+	// rowNext[r][a][b] = next column when moving monotonically from
+	// column a toward column b within row r (-1 if unreachable).
+	rowNext := make([][][]int, R)
+	for r := 0; r < R; r++ {
+		adj := make([][]int, C)
+		for c := 0; c < C; c++ {
+			for _, nb := range t.Neighbors(t.Index(topo.Coord{Row: r, Col: c})) {
+				nc := t.CoordOf(nb)
+				if nc.Row == r {
+					adj[c] = append(adj[c], nc.Col)
+				}
+			}
+		}
+		rowNext[r] = monotoneNext(adj, C)
+	}
+	colNext := make([][][]int, C)
+	for c := 0; c < C; c++ {
+		adj := make([][]int, R)
+		for r := 0; r < R; r++ {
+			for _, nb := range t.Neighbors(t.Index(topo.Coord{Row: r, Col: c})) {
+				nc := t.CoordOf(nb)
+				if nc.Col == c {
+					adj[r] = append(adj[r], nc.Row)
+				}
+			}
+		}
+		colNext[c] = monotoneNext(adj, R)
+	}
+
+	n := t.NumTiles()
+	paths := newPaths(n)
+	for s := 0; s < n; s++ {
+		sc := t.CoordOf(s)
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			dc := t.CoordOf(d)
+			tiles := []int32{int32(s)}
+			// Row phase.
+			col := sc.Col
+			for col != dc.Col {
+				nxt := rowNext[sc.Row][col][dc.Col]
+				if nxt < 0 {
+					return nil, fmt.Errorf("route: no monotone row path %v->%v", sc, dc)
+				}
+				col = nxt
+				tiles = append(tiles, int32(t.Index(topo.Coord{Row: sc.Row, Col: col})))
+			}
+			// Column phase.
+			row := sc.Row
+			for row != dc.Row {
+				nxt := colNext[dc.Col][row][dc.Row]
+				if nxt < 0 {
+					return nil, fmt.Errorf("route: no monotone column path %v->%v", sc, dc)
+				}
+				row = nxt
+				tiles = append(tiles, int32(t.Index(topo.Coord{Row: row, Col: dc.Col})))
+			}
+			paths[s][d] = Path{Tiles: tiles, Classes: make([]int8, len(tiles)-1)}
+		}
+	}
+	return &Routing{
+		Name:       "monotone-dor/" + t.Kind,
+		Topo:       t,
+		NumClasses: 1,
+		paths:      paths,
+	}, nil
+}
+
+// monotoneNext computes, for a 1-D line with adjacency adj over
+// positions [0, n), the hop-minimal monotone next step next[a][b] from
+// a toward b. Monotone means every step lands strictly between the
+// current position and b (inclusive of b). Ties prefer the longest
+// stride (identical physical length, fewer downstream hops through
+// congested routers).
+func monotoneNext(adj [][]int, n int) [][]int {
+	next := make([][]int, n)
+	for a := range next {
+		next[a] = make([]int, n)
+		for b := range next[a] {
+			next[a][b] = -1
+		}
+	}
+	// For each destination b, dynamic program over distance to b.
+	dist := make([]int, n)
+	for b := 0; b < n; b++ {
+		for i := range dist {
+			dist[i] = 1 << 30
+		}
+		dist[b] = 0
+		// Positions left of b, processed from b-1 down to 0: steps go
+		// rightward into (a, b].
+		for a := b - 1; a >= 0; a-- {
+			for _, v := range adj[a] {
+				if v > a && v <= b && dist[v]+1 <= dist[a] {
+					// <= with decreasing v? We iterate adjacency in
+					// arbitrary order; prefer longer stride on ties.
+					if dist[v]+1 < dist[a] || (dist[v]+1 == dist[a] && v > next[a][b]) {
+						dist[a] = dist[v] + 1
+						next[a][b] = v
+					}
+				}
+			}
+		}
+		// Positions right of b: steps go leftward into [b, a).
+		for a := b + 1; a < n; a++ {
+			for _, v := range adj[a] {
+				if v < a && v >= b && dist[v]+1 <= dist[a] {
+					if dist[v]+1 < dist[a] || (dist[v]+1 == dist[a] && (next[a][b] < 0 || v < next[a][b])) {
+						dist[a] = dist[v] + 1
+						next[a][b] = v
+					}
+				}
+			}
+		}
+	}
+	return next
+}

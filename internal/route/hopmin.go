@@ -1,0 +1,141 @@
+package route
+
+import (
+	"fmt"
+
+	"sparsehamming/internal/topo"
+)
+
+// buildECube constructs e-cube routing for the Gray-code-placed
+// hypercube: the differing ID bits between source and destination are
+// corrected in a fixed order (column bits from least significant up,
+// then row bits), which makes the channel dependency graph acyclic
+// with a single VC class. This is the classic hypercube routing; it
+// minimizes hops (one per differing bit) but not physical length,
+// matching the paper's Table I entry for the hypercube.
+func buildECube(t *topo.Topology) (*Routing, error) {
+	if t.Kind != "hypercube" {
+		return nil, fmt.Errorf("route: e-cube requires a hypercube, got %s", t.Kind)
+	}
+	R, C := t.Rows, t.Cols
+	colOf := invGray(C)
+	rowOf := invGray(R)
+
+	n := t.NumTiles()
+	paths := newPaths(n)
+	for s := 0; s < n; s++ {
+		sc := t.CoordOf(s)
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			dc := t.CoordOf(d)
+			tiles := []int32{int32(s)}
+			// Correct column bits lowest-first.
+			gc, gcd := gray(sc.Col), gray(dc.Col)
+			col, row := sc.Col, sc.Row
+			for b := 1; b < C; b <<= 1 {
+				if (gc^gcd)&b != 0 {
+					gc ^= b
+					col = colOf[gc]
+					tiles = append(tiles, int32(t.Index(topo.Coord{Row: row, Col: col})))
+				}
+			}
+			// Then row bits lowest-first.
+			gr, grd := gray(sc.Row), gray(dc.Row)
+			for b := 1; b < R; b <<= 1 {
+				if (gr^grd)&b != 0 {
+					gr ^= b
+					row = rowOf[gr]
+					tiles = append(tiles, int32(t.Index(topo.Coord{Row: row, Col: col})))
+				}
+			}
+			paths[s][d] = Path{Tiles: tiles, Classes: make([]int8, len(tiles)-1)}
+		}
+	}
+	return &Routing{Name: "e-cube/" + t.Kind, Topo: t, NumClasses: 1, paths: paths}, nil
+}
+
+func gray(i int) int { return i ^ (i >> 1) }
+
+func invGray(n int) []int {
+	inv := make([]int, n)
+	for i := 0; i < n; i++ {
+		inv[gray(i)] = i
+	}
+	return inv
+}
+
+// buildHopMinimal constructs hop-count-minimal table routing for an
+// arbitrary topology, breaking ties toward physically shorter paths
+// (design principle 4) and then lowest tile index (determinism).
+// Deadlock freedom comes from hop-layered VC classes: a flit uses VC
+// class h on its h-th hop, so channel dependencies always point from
+// class h to class h+1 and the dependency graph is a DAG. The number
+// of classes equals the topology diameter, which bounds the scheme to
+// low-diameter topologies (SlimNoC's diameter is 2).
+func buildHopMinimal(t *topo.Topology) (*Routing, error) {
+	diam := t.Diameter()
+	if diam < 0 {
+		return nil, fmt.Errorf("route: hop-minimal routing on disconnected topology %s", t.Kind)
+	}
+	if diam < 1 {
+		diam = 1
+	}
+	n := t.NumTiles()
+	paths := newPaths(n)
+
+	// For each destination, compute hop distance and physically
+	// shortest next-hop by reverse BFS with tie-breaking.
+	hops := make([]int, n)
+	phys := make([]int, n)
+	next := make([]int32, n)
+	for d := 0; d < n; d++ {
+		for i := range hops {
+			hops[i], phys[i], next[i] = -1, 1<<30, -1
+		}
+		hops[d], phys[d] = 0, 0
+		frontier := []int{d}
+		for len(frontier) > 0 {
+			var nf []int
+			for _, u := range frontier {
+				for _, v := range t.Neighbors(u) {
+					if hops[v] < 0 {
+						hops[v] = hops[u] + 1
+						nf = append(nf, v)
+					}
+				}
+			}
+			// Relax phys/next within the new layer.
+			for _, u := range frontier {
+				cu := t.CoordOf(u)
+				for _, v := range t.Neighbors(u) {
+					if hops[v] != hops[u]+1 {
+						continue
+					}
+					w := phys[u] + topo.Manhattan(cu, t.CoordOf(v))
+					if w < phys[v] || (w == phys[v] && (next[v] < 0 || int32(u) < next[v])) {
+						phys[v] = w
+						next[v] = int32(u)
+					}
+				}
+			}
+			frontier = nf
+		}
+		for s := 0; s < n; s++ {
+			if s == d {
+				continue
+			}
+			tiles := []int32{int32(s)}
+			classes := make([]int8, 0, hops[s])
+			cur := s
+			for cur != d {
+				classes = append(classes, int8(len(tiles)-1))
+				cur = int(next[cur])
+				tiles = append(tiles, int32(cur))
+			}
+			paths[s][d] = Path{Tiles: tiles, Classes: classes}
+		}
+	}
+	return &Routing{Name: "hop-minimal/" + t.Kind, Topo: t, NumClasses: diam, paths: paths}, nil
+}

@@ -1,0 +1,242 @@
+package route
+
+import (
+	"fmt"
+
+	"sparsehamming/internal/topo"
+)
+
+// buildCycleDateline constructs routing for a topology whose links
+// form a single Hamiltonian cycle (the ring): flits travel the shorter
+// way around the cycle, and a dateline between the last and first tile
+// of the cycle splits traffic into two VC classes, breaking the cyclic
+// channel dependency of the ring (Dally & Towles' dateline scheme).
+func buildCycleDateline(t *topo.Topology) (*Routing, error) {
+	order, err := cycleOrder(t)
+	if err != nil {
+		return nil, err
+	}
+	n := t.NumTiles()
+	pos := make([]int, n) // tile -> position in cycle
+	for i, tile := range order {
+		pos[tile] = i
+	}
+	paths := newPaths(n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			fwd := (pos[d] - pos[s] + n) % n
+			bwd := n - fwd
+			dir := 1
+			steps := fwd
+			if bwd < fwd || (bwd == fwd && pos[s]%2 == 1) {
+				dir, steps = -1, bwd
+			}
+			tiles := make([]int32, 0, steps+1)
+			classes := make([]int8, 0, steps)
+			tiles = append(tiles, int32(s))
+			class := int8(0)
+			p := pos[s]
+			for i := 0; i < steps; i++ {
+				np := ((p+dir)%n + n) % n
+				// The dateline sits between cycle positions n-1 and 0.
+				if (dir == 1 && np == 0) || (dir == -1 && np == n-1) {
+					class = 1
+				}
+				tiles = append(tiles, int32(order[np]))
+				classes = append(classes, class)
+				p = np
+			}
+			paths[s][d] = Path{Tiles: tiles, Classes: classes}
+		}
+	}
+	return &Routing{Name: "cycle-dateline/" + t.Kind, Topo: t, NumClasses: 2, paths: paths}, nil
+}
+
+// cycleOrder returns the tiles of a degree-2 connected topology in
+// cycle order starting from tile 0.
+func cycleOrder(t *topo.Topology) ([]int, error) {
+	n := t.NumTiles()
+	for i := 0; i < n; i++ {
+		if t.Degree(i) != 2 {
+			return nil, fmt.Errorf("route: topology %s is not a simple cycle (tile %d has degree %d)",
+				t.Kind, i, t.Degree(i))
+		}
+	}
+	order := make([]int, 0, n)
+	order = append(order, 0)
+	prev, cur := -1, 0
+	for len(order) < n {
+		nbs := t.Neighbors(cur)
+		next := nbs[0]
+		if next == prev {
+			next = nbs[1]
+		}
+		if next == 0 {
+			return nil, fmt.Errorf("route: topology %s has a subcycle of length %d < %d",
+				t.Kind, len(order), n)
+		}
+		order = append(order, next)
+		prev, cur = cur, next
+	}
+	return order, nil
+}
+
+// buildTorusDOR constructs dimension-order routing for topologies
+// whose rows and columns each form cycles (2D torus and folded 2D
+// torus): a flit first travels the shorter way around its source
+// row's cycle, then around the destination column's cycle. Each line
+// cycle has a dateline, giving two VC classes; the strict row-then-
+// column order prevents cross-dimension cycles.
+func buildTorusDOR(t *topo.Topology) (*Routing, error) {
+	R, C := t.Rows, t.Cols
+	// Cycle order of every row and column line.
+	rowOrder := make([][]int, R) // rowOrder[r] = columns in cycle order
+	for r := 0; r < R; r++ {
+		o, err := lineCycle(t, lineRow, r)
+		if err != nil {
+			return nil, err
+		}
+		rowOrder[r] = o
+	}
+	colOrder := make([][]int, C)
+	for c := 0; c < C; c++ {
+		o, err := lineCycle(t, lineCol, c)
+		if err != nil {
+			return nil, err
+		}
+		colOrder[c] = o
+	}
+
+	n := t.NumTiles()
+	paths := newPaths(n)
+	for s := 0; s < n; s++ {
+		sc := t.CoordOf(s)
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			dc := t.CoordOf(d)
+			tiles := []int32{int32(s)}
+			var classes []int8
+			// Row phase along the row cycle.
+			cols, cls := cycleSteps(rowOrder[sc.Row], sc.Col, dc.Col)
+			for i, col := range cols {
+				tiles = append(tiles, int32(t.Index(topo.Coord{Row: sc.Row, Col: col})))
+				classes = append(classes, cls[i])
+			}
+			// Column phase along the destination column cycle.
+			rows, cls2 := cycleSteps(colOrder[dc.Col], sc.Row, dc.Row)
+			for i, row := range rows {
+				tiles = append(tiles, int32(t.Index(topo.Coord{Row: row, Col: dc.Col})))
+				classes = append(classes, cls2[i])
+			}
+			paths[s][d] = Path{Tiles: tiles, Classes: classes}
+		}
+	}
+	return &Routing{Name: "torus-dor/" + t.Kind, Topo: t, NumClasses: 2, paths: paths}, nil
+}
+
+type lineKind int
+
+const (
+	lineRow lineKind = iota
+	lineCol
+)
+
+// lineCycle returns the positions (columns for a row line, rows for a
+// column line) of one grid line in cycle order, verifying that the
+// line subgraph is a simple cycle. Two-tile lines (degree-1 path) are
+// returned as a trivial 2-cycle order.
+func lineCycle(t *topo.Topology, kind lineKind, idx int) ([]int, error) {
+	var m int
+	if kind == lineRow {
+		m = t.Cols
+	} else {
+		m = t.Rows
+	}
+	adj := make([][]int, m)
+	for p := 0; p < m; p++ {
+		var c topo.Coord
+		if kind == lineRow {
+			c = topo.Coord{Row: idx, Col: p}
+		} else {
+			c = topo.Coord{Row: p, Col: idx}
+		}
+		for _, nb := range t.Neighbors(t.Index(c)) {
+			nc := t.CoordOf(nb)
+			if kind == lineRow && nc.Row == idx {
+				adj[p] = append(adj[p], nc.Col)
+			}
+			if kind == lineCol && nc.Col == idx {
+				adj[p] = append(adj[p], nc.Row)
+			}
+		}
+	}
+	if m == 2 {
+		return []int{0, 1}, nil
+	}
+	for p := 0; p < m; p++ {
+		if len(adj[p]) != 2 {
+			return nil, fmt.Errorf("route: %s line %d of %s is not a cycle", kindName(kind), idx, t.Kind)
+		}
+	}
+	order := []int{0}
+	prev, cur := -1, 0
+	for len(order) < m {
+		next := adj[cur][0]
+		if next == prev {
+			next = adj[cur][1]
+		}
+		if next == 0 {
+			return nil, fmt.Errorf("route: %s line %d of %s has a subcycle", kindName(kind), idx, t.Kind)
+		}
+		order = append(order, next)
+		prev, cur = cur, next
+	}
+	return order, nil
+}
+
+func kindName(k lineKind) string {
+	if k == lineRow {
+		return "row"
+	}
+	return "column"
+}
+
+// cycleSteps returns the sequence of positions (excluding the start)
+// and per-step VC classes when traveling from position `from` to `to`
+// the shorter way around the cycle given by order. The dateline sits
+// between cycle indices len-1 and 0.
+func cycleSteps(order []int, from, to int) ([]int, []int8) {
+	if from == to {
+		return nil, nil
+	}
+	n := len(order)
+	pos := make(map[int]int, n)
+	for i, v := range order {
+		pos[v] = i
+	}
+	fwd := (pos[to] - pos[from] + n) % n
+	bwd := n - fwd
+	dir, steps := 1, fwd
+	if bwd < fwd || (bwd == fwd && pos[from]%2 == 1) {
+		dir, steps = -1, bwd
+	}
+	var seq []int
+	var classes []int8
+	class := int8(0)
+	p := pos[from]
+	for i := 0; i < steps; i++ {
+		np := ((p+dir)%n + n) % n
+		if (dir == 1 && np == 0) || (dir == -1 && np == n-1) {
+			class = 1
+		}
+		seq = append(seq, order[np])
+		classes = append(classes, class)
+		p = np
+	}
+	return seq, classes
+}

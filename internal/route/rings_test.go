@@ -1,0 +1,143 @@
+package route
+
+import (
+	"testing"
+
+	"sparsehamming/internal/topo"
+)
+
+func TestCycleOrderVisitsAll(t *testing.T) {
+	rg, err := topo.NewRing(4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	order, err := cycleOrder(rg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 24 {
+		t.Fatalf("cycle order has %d tiles, want 24", len(order))
+	}
+	seen := make([]bool, 24)
+	for i, v := range order {
+		if seen[v] {
+			t.Fatalf("tile %d visited twice", v)
+		}
+		seen[v] = true
+		// Consecutive tiles must be linked.
+		next := order[(i+1)%len(order)]
+		if !rg.HasLink(rg.CoordOf(v), rg.CoordOf(next)) {
+			t.Fatalf("cycle order step %d->%d without a link", v, next)
+		}
+	}
+}
+
+func TestCycleOrderRejectsNonCycle(t *testing.T) {
+	m, _ := topo.NewMesh(3, 3)
+	if _, err := cycleOrder(m); err == nil {
+		t.Error("mesh accepted as a cycle")
+	}
+}
+
+func TestDatelineClassesMonotone(t *testing.T) {
+	// A flit's VC class along any ring path never decreases, and
+	// changes at most once (crossing the dateline).
+	rg, err := topo.NewRing(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := For(rg, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			p := r.Path(s, d)
+			changes := 0
+			for i := 1; i < len(p.Classes); i++ {
+				if p.Classes[i] < p.Classes[i-1] {
+					t.Fatalf("path %d->%d class decreased", s, d)
+				}
+				if p.Classes[i] != p.Classes[i-1] {
+					changes++
+				}
+			}
+			if changes > 1 {
+				t.Fatalf("path %d->%d crosses the dateline twice", s, d)
+			}
+		}
+	}
+}
+
+func TestTorusRowThenColumn(t *testing.T) {
+	tr, err := topo.NewTorus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := For(tr, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 16; s++ {
+		for d := 0; d < 16; d++ {
+			p := r.Path(s, d)
+			sawCol := false
+			for i := 0; i+1 < len(p.Tiles); i++ {
+				a := tr.CoordOf(int(p.Tiles[i]))
+				b := tr.CoordOf(int(p.Tiles[i+1]))
+				if a.Row != b.Row {
+					sawCol = true
+				} else if sawCol {
+					t.Fatalf("path %d->%d moves in the row after the column", s, d)
+				}
+			}
+		}
+	}
+}
+
+func TestHopMinimalMatchesBFSDistances(t *testing.T) {
+	sn, err := topo.NewSlimNoC(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := For(sn, HopMinimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sn.Graph().APSP()
+	for s := 0; s < sn.NumTiles(); s++ {
+		for dst := 0; dst < sn.NumTiles(); dst++ {
+			if got := r.Path(s, dst).Hops(); got != d[s][dst] {
+				t.Fatalf("path %d->%d hops %d, BFS %d", s, dst, got, d[s][dst])
+			}
+		}
+	}
+}
+
+func TestPathSelfIsTrivial(t *testing.T) {
+	m, _ := topo.NewMesh(4, 4)
+	r, err := For(m, Auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := r.Path(5, 5)
+	if p.Hops() != 0 || len(p.Tiles) != 1 || int(p.Tiles[0]) != 5 {
+		t.Errorf("self path = %+v", p)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	names := map[Algorithm]string{
+		Auto:          "auto",
+		MonotoneDOR:   "monotone-dor",
+		CycleDateline: "cycle-dateline",
+		TorusDOR:      "torus-dor",
+		ECube:         "e-cube",
+		HopMinimal:    "hop-minimal",
+	}
+	for alg, want := range names {
+		if got := alg.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", alg, got, want)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package route constructs deterministic routing functions for NoC
+// topologies, co-designed with each topology family as design
+// principle 4 demands: the routing must use the physically-minimal
+// paths the topology provides without sacrificing throughput, and it
+// must be provably deadlock-free.
+//
+// A Routing stores one precomputed path per (source, destination)
+// pair, annotated per hop with a virtual-channel class. The simulator
+// maps VC classes onto disjoint subsets of the router's VCs; the
+// channel dependency graph over (directed link, class) pairs is
+// acyclic for every routing this package constructs, which
+// VerifyDeadlockFree checks explicitly (Dally's criterion).
+//
+// Implemented algorithms:
+//
+//   - Monotone dimension-order routing (mesh, sparse Hamming graph,
+//     flattened butterfly): row first, then column, never overshooting
+//     the destination coordinate. One VC class.
+//   - Cycle routing with dateline classes (ring, and the row/column
+//     rings of the 2D torus and folded 2D torus). Two VC classes.
+//   - E-cube bit-order routing (hypercube). One VC class.
+//   - Hop-minimal table routing with hop-layered VC classes (SlimNoC
+//     and any low-diameter topology; class = hops taken so far).
+package route
+
+import (
+	"fmt"
+
+	"sparsehamming/internal/graphalg"
+	"sparsehamming/internal/topo"
+)
+
+// Algorithm selects a routing construction.
+type Algorithm int
+
+// Available algorithms. Auto dispatches on the topology kind.
+const (
+	Auto Algorithm = iota
+	MonotoneDOR
+	CycleDateline
+	TorusDOR
+	ECube
+	HopMinimal
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case MonotoneDOR:
+		return "monotone-dor"
+	case CycleDateline:
+		return "cycle-dateline"
+	case TorusDOR:
+		return "torus-dor"
+	case ECube:
+		return "e-cube"
+	case HopMinimal:
+		return "hop-minimal"
+	default:
+		return "auto"
+	}
+}
+
+// Path is the precomputed route between one source/destination pair.
+type Path struct {
+	// Tiles lists the tile indices from source to destination,
+	// inclusive; len >= 1 (a tile routing to itself has just itself).
+	Tiles []int32
+	// Classes[i] is the VC class used on the channel from Tiles[i] to
+	// Tiles[i+1]; len(Classes) == len(Tiles)-1.
+	Classes []int8
+}
+
+// Hops returns the number of router-to-router hops.
+func (p Path) Hops() int { return len(p.Tiles) - 1 }
+
+// Routing is a complete deterministic routing function for one
+// topology.
+type Routing struct {
+	Name       string
+	Topo       *topo.Topology
+	NumClasses int
+	paths      [][]Path // [src][dst]
+}
+
+// For constructs a routing for the topology with the given algorithm.
+func For(t *topo.Topology, alg Algorithm) (*Routing, error) {
+	if alg == Auto {
+		alg = autoAlgorithm(t)
+	}
+	var (
+		r   *Routing
+		err error
+	)
+	switch alg {
+	case MonotoneDOR:
+		r, err = buildMonotoneDOR(t)
+	case CycleDateline:
+		r, err = buildCycleDateline(t)
+	case TorusDOR:
+		r, err = buildTorusDOR(t)
+	case ECube:
+		r, err = buildECube(t)
+	case HopMinimal:
+		r, err = buildHopMinimal(t)
+	default:
+		return nil, fmt.Errorf("route: unknown algorithm %d", alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := r.VerifyConnected(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// autoAlgorithm picks the co-designed default for a topology family.
+func autoAlgorithm(t *topo.Topology) Algorithm {
+	switch t.Kind {
+	case "ring":
+		return CycleDateline
+	case "torus", "folded-torus":
+		return TorusDOR
+	case "hypercube":
+		return ECube
+	case "slimnoc":
+		return HopMinimal
+	case "mesh", "sparse-hamming", "flattened-butterfly":
+		return MonotoneDOR
+	default:
+		if t.AllLinksAligned() {
+			return MonotoneDOR
+		}
+		return HopMinimal
+	}
+}
+
+// Path returns the path from src to dst (tile indices).
+func (r *Routing) Path(src, dst int) Path { return r.paths[src][dst] }
+
+// AvgHops returns the mean hop count over all ordered pairs of
+// distinct tiles.
+func (r *Routing) AvgHops() float64 {
+	n := r.Topo.NumTiles()
+	var sum int64
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				sum += int64(r.paths[s][d].Hops())
+			}
+		}
+	}
+	return float64(sum) / float64(n*(n-1))
+}
+
+// MaxHops returns the longest routed path in hops.
+func (r *Routing) MaxHops() int {
+	m := 0
+	for s := range r.paths {
+		for d := range r.paths[s] {
+			if h := r.paths[s][d].Hops(); h > m {
+				m = h
+			}
+		}
+	}
+	return m
+}
+
+// VerifyConnected checks that every path starts at its source, ends at
+// its destination, follows existing links, and has consistent class
+// annotations.
+func (r *Routing) VerifyConnected() error {
+	n := r.Topo.NumTiles()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			p := r.paths[s][d]
+			if len(p.Tiles) == 0 || int(p.Tiles[0]) != s || int(p.Tiles[len(p.Tiles)-1]) != d {
+				return fmt.Errorf("route %s: path %d->%d malformed", r.Name, s, d)
+			}
+			if len(p.Classes) != len(p.Tiles)-1 {
+				return fmt.Errorf("route %s: path %d->%d has %d classes for %d hops",
+					r.Name, s, d, len(p.Classes), len(p.Tiles)-1)
+			}
+			for i := 0; i+1 < len(p.Tiles); i++ {
+				a := r.Topo.CoordOf(int(p.Tiles[i]))
+				b := r.Topo.CoordOf(int(p.Tiles[i+1]))
+				if !r.Topo.HasLink(a, b) {
+					return fmt.Errorf("route %s: path %d->%d uses missing link %v-%v",
+						r.Name, s, d, a, b)
+				}
+				if c := p.Classes[i]; int(c) < 0 || int(c) >= r.NumClasses {
+					return fmt.Errorf("route %s: path %d->%d class %d out of range [0,%d)",
+						r.Name, s, d, c, r.NumClasses)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyDeadlockFree builds the channel dependency graph over
+// (directed link, VC class) vertices and reports an error if it
+// contains a cycle (a necessary and, for deterministic routing,
+// sufficient condition for deadlock under credit flow control).
+func (r *Routing) VerifyDeadlockFree() error {
+	n := r.Topo.NumTiles()
+	// Dense numbering of (directed link, class) channels.
+	ids := make(map[[3]int32]int)
+	idOf := func(from, to int32, class int8) int {
+		key := [3]int32{from, to, int32(class)}
+		if id, ok := ids[key]; ok {
+			return id
+		}
+		id := len(ids)
+		ids[key] = id
+		return id
+	}
+	type dep struct{ a, b int }
+	var deps []dep
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			p := r.paths[s][d]
+			for i := 0; i+2 < len(p.Tiles); i++ {
+				c1 := idOf(p.Tiles[i], p.Tiles[i+1], p.Classes[i])
+				c2 := idOf(p.Tiles[i+1], p.Tiles[i+2], p.Classes[i+1])
+				deps = append(deps, dep{c1, c2})
+			}
+			// Ensure single-hop channels exist as vertices too.
+			for i := 0; i+1 < len(p.Tiles); i++ {
+				idOf(p.Tiles[i], p.Tiles[i+1], p.Classes[i])
+			}
+		}
+	}
+	g := graphalg.NewGraph(len(ids))
+	seen := make(map[[2]int]struct{}, len(deps))
+	for _, e := range deps {
+		k := [2]int{e.a, e.b}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		g.AddEdge(e.a, e.b)
+	}
+	if g.HasCycle() {
+		return fmt.Errorf("route %s: channel dependency graph has a cycle (deadlock possible)", r.Name)
+	}
+	return nil
+}
+
+// MinimalPathsUsed reports whether every routed path has physical
+// length equal to the Manhattan distance of its endpoints (the "Used"
+// column of Table I, evaluated against this concrete routing).
+func (r *Routing) MinimalPathsUsed() bool {
+	n := r.Topo.NumTiles()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			p := r.paths[s][d]
+			phys := 0
+			for i := 0; i+1 < len(p.Tiles); i++ {
+				phys += topo.Manhattan(r.Topo.CoordOf(int(p.Tiles[i])), r.Topo.CoordOf(int(p.Tiles[i+1])))
+			}
+			if phys > topo.Manhattan(r.Topo.CoordOf(s), r.Topo.CoordOf(d)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// newPaths allocates the path matrix with trivial self-paths.
+func newPaths(n int) [][]Path {
+	paths := make([][]Path, n)
+	for s := 0; s < n; s++ {
+		paths[s] = make([]Path, n)
+		paths[s][s] = Path{Tiles: []int32{int32(s)}}
+	}
+	return paths
+}

@@ -1,0 +1,352 @@
+package route
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sparsehamming/internal/topo"
+)
+
+func mustRoute(t *testing.T, tp *topo.Topology, terr error, alg Algorithm) *Routing {
+	t.Helper()
+	if terr != nil {
+		t.Fatalf("topology: %v", terr)
+	}
+	r, err := For(tp, alg)
+	if err != nil {
+		t.Fatalf("For(%s, %v): %v", tp.Kind, alg, err)
+	}
+	return r
+}
+
+func TestMeshDORIsXY(t *testing.T) {
+	m, err := topo.NewMesh(6, 7)
+	r := mustRoute(t, m, err, Auto)
+	if r.NumClasses != 1 {
+		t.Errorf("mesh DOR classes = %d, want 1", r.NumClasses)
+	}
+	// Hops equal Manhattan distance for every pair.
+	for s := 0; s < m.NumTiles(); s++ {
+		for d := 0; d < m.NumTiles(); d++ {
+			want := topo.Manhattan(m.CoordOf(s), m.CoordOf(d))
+			if got := r.Path(s, d).Hops(); got != want {
+				t.Fatalf("mesh path %d->%d hops = %d, want %d", s, d, got, want)
+			}
+		}
+	}
+	// XY order: column changes happen before row changes.
+	p := r.Path(m.Index(topo.Coord{Row: 0, Col: 0}), m.Index(topo.Coord{Row: 3, Col: 4}))
+	sawRowChange := false
+	for i := 0; i+1 < len(p.Tiles); i++ {
+		a, b := m.CoordOf(int(p.Tiles[i])), m.CoordOf(int(p.Tiles[i+1]))
+		if a.Row != b.Row {
+			sawRowChange = true
+		} else if sawRowChange {
+			t.Fatal("column movement after row movement: not dimension-ordered")
+		}
+	}
+	if !r.MinimalPathsUsed() {
+		t.Error("mesh DOR must use physically minimal paths")
+	}
+	if err := r.VerifyDeadlockFree(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSparseHammingMonotone(t *testing.T) {
+	sh, err := topo.NewSparseHamming(8, 8, topo.HammingParams{SR: []int{4}, SC: []int{2, 5}})
+	r := mustRoute(t, sh, err, Auto)
+	if r.Name != "monotone-dor/sparse-hamming" {
+		t.Errorf("auto algorithm = %s", r.Name)
+	}
+	if !r.MinimalPathsUsed() {
+		t.Error("monotone DOR on SHG must use physically minimal paths")
+	}
+	if err := r.VerifyDeadlockFree(); err != nil {
+		t.Error(err)
+	}
+	// Monotone routing uses skip links where they do not overshoot:
+	// (0,0)->(0,4) is one hop over the offset-4 link.
+	if h := r.Path(0, sh.Index(topo.Coord{Row: 0, Col: 4})).Hops(); h != 1 {
+		t.Errorf("(0,0)->(0,4) hops = %d, want 1 (skip link)", h)
+	}
+	// (0,0)->(0,3): monotone takes 1+1+1, hop-minimal would overshoot
+	// via column 4 in 2 hops.
+	if h := r.Path(0, sh.Index(topo.Coord{Row: 0, Col: 3})).Hops(); h != 3 {
+		t.Errorf("(0,0)->(0,3) monotone hops = %d, want 3", h)
+	}
+}
+
+func TestHopMinimalOvershoots(t *testing.T) {
+	sh, err := topo.NewSparseHamming(8, 8, topo.HammingParams{SR: []int{4}, SC: []int{2, 5}})
+	r := mustRoute(t, sh, err, HopMinimal)
+	if h := r.Path(0, sh.Index(topo.Coord{Row: 0, Col: 3})).Hops(); h != 2 {
+		t.Errorf("(0,0)->(0,3) hop-minimal hops = %d, want 2 (overshoot via col 4)", h)
+	}
+	// Overshooting is physically non-minimal.
+	if r.MinimalPathsUsed() {
+		t.Error("hop-minimal routing on this SHG should not be physically minimal")
+	}
+	// Hop-layered classes keep it deadlock free anyway.
+	if err := r.VerifyDeadlockFree(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingDateline(t *testing.T) {
+	rg, err := topo.NewRing(4, 4)
+	r := mustRoute(t, rg, err, Auto)
+	if r.NumClasses != 2 {
+		t.Errorf("ring classes = %d, want 2", r.NumClasses)
+	}
+	if got := r.MaxHops(); got != 8 {
+		t.Errorf("ring 16-tile max hops = %d, want 8", got)
+	}
+	if err := r.VerifyDeadlockFree(); err != nil {
+		t.Error(err)
+	}
+	// Without the dateline the ring's dependency graph must be cyclic;
+	// force all classes to 0 and check the verifier catches it.
+	broken := &Routing{Name: "ring-no-dateline", Topo: rg, NumClasses: 1, paths: newPaths(rg.NumTiles())}
+	for s := 0; s < rg.NumTiles(); s++ {
+		for d := 0; d < rg.NumTiles(); d++ {
+			p := r.Path(s, d)
+			cls := make([]int8, len(p.Classes))
+			broken.paths[s][d] = Path{Tiles: p.Tiles, Classes: cls}
+		}
+	}
+	if err := broken.VerifyDeadlockFree(); err == nil {
+		t.Error("ring without dateline classes should be flagged as deadlock-prone")
+	}
+}
+
+func TestTorusDOR(t *testing.T) {
+	tr, err := topo.NewTorus(6, 8)
+	r := mustRoute(t, tr, err, Auto)
+	if r.NumClasses != 2 {
+		t.Errorf("torus classes = %d, want 2", r.NumClasses)
+	}
+	if got, want := r.MaxHops(), 3+4; got != want {
+		t.Errorf("torus 6x8 max hops = %d, want %d", got, want)
+	}
+	if err := r.VerifyDeadlockFree(); err != nil {
+		t.Error(err)
+	}
+	if r.MinimalPathsUsed() {
+		t.Error("torus DOR uses wrap links: not physically minimal")
+	}
+}
+
+func TestFoldedTorusDOR(t *testing.T) {
+	ft, err := topo.NewFoldedTorus(8, 8)
+	r := mustRoute(t, ft, err, Auto)
+	if got, want := r.MaxHops(), 8; got != want {
+		t.Errorf("folded torus 8x8 max hops = %d, want %d", got, want)
+	}
+	if err := r.VerifyDeadlockFree(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestECubeHypercube(t *testing.T) {
+	h, err := topo.NewHypercube(8, 8)
+	r := mustRoute(t, h, err, Auto)
+	if r.NumClasses != 1 {
+		t.Errorf("e-cube classes = %d, want 1", r.NumClasses)
+	}
+	if got := r.MaxHops(); got != 6 {
+		t.Errorf("hypercube max hops = %d, want 6", got)
+	}
+	if err := r.VerifyDeadlockFree(); err != nil {
+		t.Error(err)
+	}
+	// E-cube's fixed bit order is not physically minimal (Table I).
+	if r.MinimalPathsUsed() {
+		t.Error("e-cube should not be physically minimal")
+	}
+}
+
+func TestSlimNoCHopMinimal(t *testing.T) {
+	s, err := topo.NewSlimNoC(8, 16)
+	r := mustRoute(t, s, err, Auto)
+	if r.Name != "hop-minimal/slimnoc" {
+		t.Errorf("auto algorithm = %s", r.Name)
+	}
+	if got := r.MaxHops(); got != 2 {
+		t.Errorf("slimnoc max hops = %d, want diameter 2", got)
+	}
+	if r.NumClasses != 2 {
+		t.Errorf("slimnoc classes = %d, want 2", r.NumClasses)
+	}
+	if err := r.VerifyDeadlockFree(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlattenedButterflyDOR(t *testing.T) {
+	fb, err := topo.NewFlattenedButterfly(8, 8)
+	r := mustRoute(t, fb, err, Auto)
+	if got := r.MaxHops(); got != 2 {
+		t.Errorf("FB max hops = %d, want 2", got)
+	}
+	if !r.MinimalPathsUsed() {
+		t.Error("FB DOR must be physically minimal")
+	}
+	if err := r.VerifyDeadlockFree(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAvgHopsOrdering(t *testing.T) {
+	// More links -> fewer average hops.
+	mesh, _ := topo.NewMesh(8, 8)
+	shg, _ := topo.NewSparseHamming(8, 8, topo.HammingParams{SR: []int{4}, SC: []int{2, 5}})
+	fb, _ := topo.NewFlattenedButterfly(8, 8)
+	rm := mustRoute(t, mesh, nil, Auto)
+	rs := mustRoute(t, shg, nil, Auto)
+	rf := mustRoute(t, fb, nil, Auto)
+	if !(rf.AvgHops() < rs.AvgHops() && rs.AvgHops() < rm.AvgHops()) {
+		t.Errorf("avg hops ordering violated: fb %.2f shg %.2f mesh %.2f",
+			rf.AvgHops(), rs.AvgHops(), rm.AvgHops())
+	}
+}
+
+func TestMonotoneRejectsUnaligned(t *testing.T) {
+	s, err := topo.NewSlimNoC(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := For(s, MonotoneDOR); err == nil {
+		t.Error("monotone DOR on unaligned topology should fail")
+	}
+}
+
+func TestECubeRejectsNonHypercube(t *testing.T) {
+	m, _ := topo.NewMesh(4, 4)
+	if _, err := For(m, ECube); err == nil {
+		t.Error("e-cube on mesh should fail")
+	}
+}
+
+// TestQuickSHGDeadlockFree: for random sparse Hamming graphs, the
+// default routing is always deadlock-free and physically minimal —
+// the paper's central co-design claim.
+func TestQuickSHGDeadlockFree(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 3 + rng.Intn(6)
+		cols := 3 + rng.Intn(6)
+		var p topo.HammingParams
+		for x := 2; x < cols; x++ {
+			if rng.Intn(3) == 0 {
+				p.SR = append(p.SR, x)
+			}
+		}
+		for x := 2; x < rows; x++ {
+			if rng.Intn(3) == 0 {
+				p.SC = append(p.SC, x)
+			}
+		}
+		sh, err := topo.NewSparseHamming(rows, cols, p)
+		if err != nil {
+			return false
+		}
+		r, err := For(sh, Auto)
+		if err != nil {
+			return false
+		}
+		return r.VerifyDeadlockFree() == nil && r.MinimalPathsUsed()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHopsNeverBelowBFS: routed hop counts are never below the
+// true shortest-path distance, and monotone DOR is never worse than
+// the mesh's Manhattan bound.
+func TestQuickHopsNeverBelowBFS(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 3 + rng.Intn(5)
+		cols := 3 + rng.Intn(5)
+		var p topo.HammingParams
+		for x := 2; x < cols; x++ {
+			if rng.Intn(2) == 0 {
+				p.SR = append(p.SR, x)
+			}
+		}
+		sh, err := topo.NewSparseHamming(rows, cols, p)
+		if err != nil {
+			return false
+		}
+		r, err := For(sh, Auto)
+		if err != nil {
+			return false
+		}
+		d := sh.Graph().APSP()
+		for s := 0; s < sh.NumTiles(); s++ {
+			for dst := 0; dst < sh.NumTiles(); dst++ {
+				h := r.Path(s, dst).Hops()
+				if h < d[s][dst] {
+					return false
+				}
+				man := topo.Manhattan(sh.CoordOf(s), sh.CoordOf(dst))
+				if h > man {
+					return false // monotone never exceeds unit-step count
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableIUsedColumn(t *testing.T) {
+	// The "Minimal Paths Used" column of Table I, evaluated with each
+	// topology's co-designed routing (footnote ***).
+	cases := []struct {
+		name string
+		mk   func() (*topo.Topology, error)
+		want bool
+	}{
+		{"mesh", func() (*topo.Topology, error) { return topo.NewMesh(8, 8) }, true},
+		{"torus", func() (*topo.Topology, error) { return topo.NewTorus(8, 8) }, false},
+		{"folded-torus", func() (*topo.Topology, error) { return topo.NewFoldedTorus(8, 8) }, false},
+		{"hypercube", func() (*topo.Topology, error) { return topo.NewHypercube(8, 8) }, false},
+		{"fb", func() (*topo.Topology, error) { return topo.NewFlattenedButterfly(8, 8) }, true},
+		{"ring", func() (*topo.Topology, error) { return topo.NewRing(8, 8) }, false},
+	}
+	for _, c := range cases {
+		tp, err := c.mk()
+		r := mustRoute(t, tp, err, Auto)
+		if got := r.MinimalPathsUsed(); got != c.want {
+			t.Errorf("%s minimal-paths-used = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestAllDefaultsDeadlockFree(t *testing.T) {
+	topos := []func() (*topo.Topology, error){
+		func() (*topo.Topology, error) { return topo.NewRing(8, 8) },
+		func() (*topo.Topology, error) { return topo.NewMesh(8, 8) },
+		func() (*topo.Topology, error) { return topo.NewTorus(8, 8) },
+		func() (*topo.Topology, error) { return topo.NewFoldedTorus(8, 8) },
+		func() (*topo.Topology, error) { return topo.NewHypercube(8, 8) },
+		func() (*topo.Topology, error) { return topo.NewSlimNoC(8, 16) },
+		func() (*topo.Topology, error) { return topo.NewFlattenedButterfly(8, 16) },
+		func() (*topo.Topology, error) {
+			return topo.NewSparseHamming(8, 16, topo.HammingParams{SR: []int{3}, SC: []int{2, 5}})
+		},
+	}
+	for _, mk := range topos {
+		tp, err := mk()
+		r := mustRoute(t, tp, err, Auto)
+		if err := r.VerifyDeadlockFree(); err != nil {
+			t.Errorf("%s: %v", r.Name, err)
+		}
+	}
+}

@@ -1,0 +1,567 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sparsehamming/internal/route"
+)
+
+// packet is one in-flight packet.
+type packet struct {
+	src, dst int32
+	inject   int64
+	measured bool
+	path     route.Path
+	// nextSeq is the flit sequence number the destination expects
+	// next; it verifies in-order, loss-free, duplication-free
+	// delivery (wormhole flow control guarantees all three).
+	nextSeq int16
+}
+
+// Stats summarizes one simulation run.
+type Stats struct {
+	Cycles int64
+
+	// Offered and accepted load, in flits per node per cycle over the
+	// measurement window.
+	OfferedRate  float64
+	AcceptedRate float64
+
+	// Packet latency statistics over measured packets (injection of
+	// the head flit to ejection of the tail flit, including source
+	// queueing).
+	AvgPacketLatency float64
+	MaxPacketLatency int64
+
+	// P50/P99PacketLatency are latency percentiles over measured
+	// packets (0 when nothing was measured).
+	P50PacketLatency float64
+	P99PacketLatency float64
+
+	// MeasuredInjected / MeasuredEjected count packets generated in
+	// the measurement window and how many of them were delivered
+	// before the drain limit. A ratio well below 1 means the network
+	// is past saturation.
+	MeasuredInjected int64
+	MeasuredEjected  int64
+
+	AvgHops float64 // routing property, for reference
+
+	// MaxLinkUtilization is the highest per-directed-channel flit
+	// rate observed during the measurement window (flits per cycle,
+	// at most 1); it identifies the bottleneck channel.
+	MaxLinkUtilization float64
+
+	// OrderViolations counts flits that arrived at their destination
+	// out of sequence (must be 0: wormhole flow control delivers each
+	// packet's flits in order on a single path).
+	OrderViolations int64
+
+	// Deadlocked is set if the watchdog saw no forward progress while
+	// flits were in flight. The routings in package route are verified
+	// deadlock-free, so this indicates a simulator misconfiguration.
+	Deadlocked bool
+}
+
+// DeliveredFraction returns MeasuredEjected / MeasuredInjected.
+func (s Stats) DeliveredFraction() float64 {
+	if s.MeasuredInjected == 0 {
+		return 1
+	}
+	return float64(s.MeasuredEjected) / float64(s.MeasuredInjected)
+}
+
+// Simulator executes one configuration. Create with New, run with Run.
+type Simulator struct {
+	cfg     Config
+	routers []*router
+	chans   []*dchan
+	packets []packet
+	rng     *rand.Rand
+	now     int64
+
+	vcPerClass int
+
+	flitsInFlight int64
+	lastProgress  int64
+
+	measureStart, measureEnd int64
+	winFlits                 int64
+	measInjected             int64
+	measEjected              int64
+	latencySum               int64
+	latencyMax               int64
+	latencies                []int64
+	orderViolations          int64
+	linkFlits                []int64 // flits traversed per dchan in the window
+}
+
+// watchdogCycles is how long the watchdog waits without any flit
+// movement before declaring deadlock.
+const watchdogCycles = 8000
+
+// New builds a simulator for the configuration (applying defaults).
+func New(cfg Config) (*Simulator, error) {
+	cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		vcPerClass: cfg.NumVCs / cfg.Routing.NumClasses,
+	}
+	s.build()
+	return s, nil
+}
+
+// build creates routers and directed channels.
+func (s *Simulator) build() {
+	t := s.cfg.Topo
+	n := t.NumTiles()
+	s.routers = make([]*router, n)
+
+	// Per-link latency lookup.
+	latOf := make(map[[2]int32]int64)
+	for i, l := range t.Links() {
+		lat := int64(1)
+		if s.cfg.LinkLatency != nil {
+			lat = int64(s.cfg.LinkLatency[i])
+			if lat < 1 {
+				lat = 1
+			}
+		}
+		a, b := int32(t.Index(l.A)), int32(t.Index(l.B))
+		latOf[[2]int32{a, b}] = lat
+		latOf[[2]int32{b, a}] = lat
+	}
+
+	// Port numbering: position of the neighbor in the sorted neighbor
+	// list (both for input and output ports).
+	portOf := func(node, nb int) int16 {
+		for i, v := range t.Neighbors(node) {
+			if v == nb {
+				return int16(i)
+			}
+		}
+		panic("sim: neighbor not found")
+	}
+
+	for id := 0; id < n; id++ {
+		deg := t.Degree(id)
+		r := &router{
+			id:       int32(id),
+			inChans:  make([]int32, deg),
+			outChans: make([]int32, deg),
+			injVC:    -1,
+		}
+		r.vcs = make([][]vcState, deg+1)
+		for p := range r.vcs {
+			r.vcs[p] = make([]vcState, s.cfg.NumVCs)
+			for v := range r.vcs[p] {
+				r.vcs[p][v].outPort = -1
+				r.vcs[p][v].outVC = -1
+			}
+		}
+		r.credits = make([][]int16, deg+1)
+		r.ovcOwner = make([][]int32, deg+1)
+		for o := range r.credits {
+			r.credits[o] = make([]int16, s.cfg.NumVCs)
+			r.ovcOwner[o] = make([]int32, s.cfg.NumVCs)
+			for v := range r.credits[o] {
+				r.credits[o][v] = int16(s.cfg.BufDepth)
+				r.ovcOwner[o][v] = -1
+			}
+		}
+		r.vaRR = make([]int, deg+1)
+		r.saInRR = make([]int, deg+1)
+		r.saOutRR = make([]int, deg+1)
+		s.routers[id] = r
+	}
+
+	// Directed channels: one per (from, to) adjacency.
+	for id := 0; id < n; id++ {
+		for _, nb := range t.Neighbors(id) {
+			c := &dchan{
+				from:    int32(id),
+				to:      int32(nb),
+				outPort: portOf(id, nb),
+				inPort:  portOf(nb, id),
+				latency: latOf[[2]int32{int32(id), int32(nb)}],
+			}
+			idx := int32(len(s.chans))
+			s.chans = append(s.chans, c)
+			s.routers[id].outChans[c.outPort] = idx
+			s.routers[nb].inChans[c.inPort] = idx
+		}
+	}
+	s.linkFlits = make([]int64, len(s.chans))
+}
+
+// classVCRange returns the VC interval [lo, hi) serving a VC class.
+func (s *Simulator) classVCRange(class int8) (int, int) {
+	lo := int(class) * s.vcPerClass
+	hi := lo + s.vcPerClass
+	if int(class) == s.cfg.Routing.NumClasses-1 {
+		hi = s.cfg.NumVCs
+	}
+	return lo, hi
+}
+
+// Run executes the configured warmup/measure/drain schedule and
+// returns the statistics.
+func (s *Simulator) Run() Stats {
+	cfg := &s.cfg
+	s.measureStart = int64(cfg.Warmup)
+	s.measureEnd = int64(cfg.Warmup + cfg.Measure)
+	injectUntil := s.measureEnd
+	drainEnd := s.measureEnd + int64(cfg.Drain)
+	s.lastProgress = 0
+
+	deadlocked := false
+	for {
+		t := s.now
+		if t >= drainEnd {
+			break
+		}
+		if t >= injectUntil && s.measEjected == s.measInjected && s.flitsInFlight == 0 {
+			break
+		}
+		if s.flitsInFlight > 0 && t-s.lastProgress > watchdogCycles {
+			deadlocked = true
+			break
+		}
+		s.step(t < injectUntil)
+	}
+
+	st := Stats{
+		Cycles:           s.now,
+		OfferedRate:      cfg.InjectionRate,
+		AcceptedRate:     float64(s.winFlits) / (float64(cfg.Measure) * float64(cfg.Topo.NumTiles())),
+		MeasuredInjected: s.measInjected,
+		MeasuredEjected:  s.measEjected,
+		MaxPacketLatency: s.latencyMax,
+		AvgHops:          cfg.Routing.AvgHops(),
+		OrderViolations:  s.orderViolations,
+		Deadlocked:       deadlocked,
+	}
+	if s.measEjected > 0 {
+		st.AvgPacketLatency = float64(s.latencySum) / float64(s.measEjected)
+		sort.Slice(s.latencies, func(a, b int) bool { return s.latencies[a] < s.latencies[b] })
+		st.P50PacketLatency = float64(s.latencies[len(s.latencies)/2])
+		st.P99PacketLatency = float64(s.latencies[len(s.latencies)*99/100])
+	}
+	var maxFlits int64
+	for _, n := range s.linkFlits {
+		if n > maxFlits {
+			maxFlits = n
+		}
+	}
+	if cfg.Measure > 0 {
+		st.MaxLinkUtilization = float64(maxFlits) / float64(cfg.Measure)
+	}
+	return st
+}
+
+// step advances the network by one cycle.
+func (s *Simulator) step(inject bool) {
+	t := s.now
+
+	// Phase 1: deliver flits and credits that arrive this cycle.
+	for _, c := range s.chans {
+		for c.flits.len() > 0 && c.flits.front().arrive <= t {
+			f := c.flits.pop()
+			vc := &s.routers[c.to].vcs[c.inPort][f.vc]
+			vc.buf.push(flitRef{pkt: f.pkt, seq: f.seq, ready: t + int64(s.cfg.RouterDelay)})
+		}
+		for c.credits.len() > 0 && c.credits.front().arrive <= t {
+			cr := c.credits.pop()
+			s.routers[c.from].credits[c.outPort][cr.vc]++
+		}
+	}
+
+	// Phase 2: traffic generation and source injection.
+	if inject {
+		s.generate(t)
+	}
+	for _, r := range s.routers {
+		s.injectFlits(r, t)
+	}
+
+	// Phase 3: virtual-channel allocation.
+	for _, r := range s.routers {
+		s.vcAlloc(r, t)
+	}
+
+	// Phase 4+5: switch allocation and traversal.
+	for _, r := range s.routers {
+		s.switchAllocTraverse(r, t)
+	}
+
+	s.now++
+}
+
+// generate draws new packets for every node (Bernoulli process with
+// rate InjectionRate/PacketLen packets per node per cycle).
+func (s *Simulator) generate(t int64) {
+	pPkt := s.cfg.InjectionRate / float64(s.cfg.PacketLen)
+	measured := t >= s.measureStart && t < s.measureEnd
+	for id := range s.routers {
+		if s.rng.Float64() >= pPkt {
+			continue
+		}
+		dst := s.cfg.Pattern.Dest(id, s.rng)
+		if dst < 0 || dst == id {
+			continue
+		}
+		pk := packet{
+			src:      int32(id),
+			dst:      int32(dst),
+			inject:   t,
+			measured: measured,
+			path:     s.cfg.Routing.Path(id, dst),
+		}
+		if measured {
+			s.measInjected++
+		}
+		s.packets = append(s.packets, pk)
+		s.routers[id].srcQ.push(int32(len(s.packets) - 1))
+	}
+}
+
+// injectFlits moves at most one flit per cycle from the source queue
+// into the injection port, choosing a VC of the packet's first hop
+// class for each new packet.
+func (s *Simulator) injectFlits(r *router, t int64) {
+	if r.srcQ.len() == 0 {
+		return
+	}
+	inj := r.injPort()
+	if r.injVC < 0 {
+		// Pick the emptiest VC of the packet's first-hop class.
+		// Injection is serialized packet-by-packet, so packets queued
+		// in the same VC never interleave flits.
+		pk := &s.packets[*r.srcQ.front()]
+		class := int8(0)
+		if len(pk.path.Classes) > 0 {
+			class = pk.path.Classes[0]
+		}
+		lo, hi := s.classVCRange(class)
+		best, bestFree := -1, 0
+		for v := lo; v < hi; v++ {
+			if free := s.cfg.BufDepth - r.vcs[inj][v].buf.len(); free > bestFree {
+				best, bestFree = v, free
+			}
+		}
+		if best < 0 {
+			return
+		}
+		r.injVC = int16(best)
+		r.injSeq = 0
+	}
+	vc := &r.vcs[inj][r.injVC]
+	if vc.buf.len() >= s.cfg.BufDepth {
+		return
+	}
+	pid := *r.srcQ.front()
+	vc.buf.push(flitRef{pkt: pid, seq: r.injSeq, ready: t + int64(s.cfg.RouterDelay)})
+	s.flitsInFlight++
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvInject, Pkt: pid, Seq: r.injSeq, Node: r.id, Peer: -1, VC: r.injVC})
+	}
+	r.injSeq++
+	if int(r.injSeq) == s.cfg.PacketLen {
+		r.srcQ.pop()
+		r.injVC = -1
+	}
+}
+
+// hopIndex returns the position of node in the packet's path.
+func hopIndex(p *packet, node int32) int {
+	for i, v := range p.path.Tiles {
+		if v == node {
+			return i
+		}
+	}
+	return -1
+}
+
+// vcAlloc performs separable VC allocation: every input VC whose head
+// is an unrouted head flit requests an output VC of its path's class;
+// output VCs are granted first-come in round-robin order over inputs.
+func (s *Simulator) vcAlloc(r *router, t int64) {
+	nIn := r.numIn()
+	V := s.cfg.NumVCs
+	total := nIn * V
+	start := r.vaRR[0] % total
+	for k := 0; k < total; k++ {
+		enc := (start + k) % total
+		ip, v := enc/V, enc%V
+		vc := &r.vcs[ip][v]
+		if vc.outVC >= 0 || vc.outPort >= 0 || vc.buf.len() == 0 {
+			continue
+		}
+		head := vc.buf.front()
+		if head.seq != 0 || head.ready > t {
+			continue
+		}
+		pk := &s.packets[head.pkt]
+		hi := hopIndex(pk, r.id)
+		if hi < 0 {
+			continue // cannot happen with verified routings
+		}
+		if int(pk.dst) == int(r.id) {
+			// Ejection needs no VC allocation.
+			vc.outPort = int16(r.ejPort())
+			vc.outVC = 0
+			continue
+		}
+		next := pk.path.Tiles[hi+1]
+		class := pk.path.Classes[hi]
+		outPort := s.outPortTo(r, next)
+		lo, hiVC := s.classVCRange(class)
+		for ov := lo; ov < hiVC; ov++ {
+			if r.ovcOwner[outPort][ov] < 0 {
+				r.ovcOwner[outPort][ov] = int32(enc)
+				vc.outPort = int16(outPort)
+				vc.outVC = int16(ov)
+				break
+			}
+		}
+	}
+	r.vaRR[0] = (start + 1) % total
+}
+
+// outPortTo returns the output port index at r leading to tile next.
+func (s *Simulator) outPortTo(r *router, next int32) int {
+	for i, ci := range r.outChans {
+		if s.chans[ci].to == next {
+			return i
+		}
+	}
+	panic("sim: no channel to next hop")
+}
+
+// switchAllocTraverse performs separable (input-first) switch
+// allocation and moves the winning flits.
+func (s *Simulator) switchAllocTraverse(r *router, t int64) {
+	nIn, nOut := r.numIn(), r.numOut()
+	V := s.cfg.NumVCs
+	ej := r.ejPort()
+
+	// Input arbitration: one candidate VC per input port.
+	cand := make([]int16, nIn) // VC index or -1
+	for ip := 0; ip < nIn; ip++ {
+		cand[ip] = -1
+		start := r.saInRR[ip]
+		for k := 0; k < V; k++ {
+			v := (start + k) % V
+			vc := &r.vcs[ip][v]
+			if vc.outPort < 0 || vc.buf.len() == 0 {
+				continue
+			}
+			head := vc.buf.front()
+			if head.ready > t {
+				continue
+			}
+			if int(vc.outPort) != ej && r.credits[vc.outPort][vc.outVC] <= 0 {
+				continue
+			}
+			cand[ip] = int16(v)
+			break
+		}
+	}
+
+	// Output arbitration: one winner per output port.
+	for op := 0; op < nOut; op++ {
+		start := r.saOutRR[op]
+		for k := 0; k < nIn; k++ {
+			ip := (start + k) % nIn
+			v := cand[ip]
+			if v < 0 || int(r.vcs[ip][v].outPort) != op {
+				continue
+			}
+			s.traverse(r, ip, int(v), op, t)
+			r.saInRR[ip] = (int(v) + 1) % V
+			r.saOutRR[op] = (ip + 1) % nIn
+			break
+		}
+	}
+}
+
+// traverse moves one flit from input VC (ip, v) through output port op.
+func (s *Simulator) traverse(r *router, ip, v, op int, t int64) {
+	vc := &r.vcs[ip][v]
+	f := vc.buf.pop()
+	isTail := int(f.seq) == s.cfg.PacketLen-1
+
+	if op == r.ejPort() {
+		s.flitsInFlight--
+		s.lastProgress = t
+		pk := &s.packets[f.pkt]
+		if f.seq != pk.nextSeq {
+			s.orderViolations++
+		}
+		pk.nextSeq = f.seq + 1
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvEject, Pkt: f.pkt, Seq: f.seq, Node: r.id, Peer: -1, VC: int16(v)})
+		}
+		if t >= s.measureStart && t < s.measureEnd {
+			s.winFlits++
+		}
+		if isTail {
+			if pk.measured {
+				s.measEjected++
+				lat := t + 1 - pk.inject
+				s.latencySum += lat
+				s.latencies = append(s.latencies, lat)
+				if lat > s.latencyMax {
+					s.latencyMax = lat
+				}
+			}
+		}
+	} else {
+		ci := r.outChans[op]
+		c := s.chans[ci]
+		c.flits.push(timedFlit{pkt: f.pkt, seq: f.seq, vc: vc.outVC, arrive: t + c.latency})
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvTraverse, Pkt: f.pkt, Seq: f.seq, Node: r.id, Peer: c.to, VC: vc.outVC})
+		}
+		r.credits[op][vc.outVC]--
+		if t >= s.measureStart && t < s.measureEnd {
+			s.linkFlits[ci]++
+		}
+		s.lastProgress = t
+	}
+
+	// Return a credit upstream for the freed buffer slot.
+	if ip != r.injPort() {
+		uc := s.chans[r.inChans[ip]]
+		uc.credits.push(timedCredit{vc: int16(v), arrive: t + uc.latency})
+	}
+
+	if isTail {
+		if op != r.ejPort() {
+			r.ovcOwner[op][vc.outVC] = -1
+		}
+		vc.outPort = -1
+		vc.outVC = -1
+	}
+}
+
+// RunConfig is a convenience wrapper: build and run in one call.
+func RunConfig(cfg Config) (Stats, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Run(), nil
+}
+
+// String renders key stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("offered=%.3f accepted=%.3f lat=%.1f delivered=%.2f",
+		s.OfferedRate, s.AcceptedRate, s.AvgPacketLatency, s.DeliveredFraction())
+}

@@ -1,0 +1,120 @@
+package sim
+
+// This file implements the two performance estimates the toolchain
+// reports (Figure 3): zero-load latency and saturation throughput.
+
+// ZeroLoadLatency measures the average packet latency at a very low
+// injection rate (0.5% of capacity), where queueing is negligible and
+// the latency reflects hop counts, router pipelines, link pipelining,
+// and serialization only.
+func ZeroLoadLatency(cfg Config) (float64, error) {
+	cfg.Defaults()
+	cfg.InjectionRate = 0.005
+	cfg.Warmup = 1000
+	if cfg.Measure < 20000 {
+		cfg.Measure = 20000
+	}
+	st, err := RunConfig(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return st.AvgPacketLatency, nil
+}
+
+// SaturationResult reports the outcome of a saturation search.
+type SaturationResult struct {
+	// SaturationRate is the highest offered load (flits/node/cycle, in
+	// [0,1]) the network sustains: delivery stays complete and average
+	// latency stays below the latency threshold.
+	SaturationRate float64
+	// ZeroLoadLatency is the reference latency used for the threshold.
+	ZeroLoadLatency float64
+	// Samples holds the load/latency curve probed by the search.
+	Samples []Stats
+}
+
+// latencyBlowupFactor defines saturation: the offered load at which
+// average latency exceeds this multiple of the zero-load latency
+// (standard practice for load-latency curves; BookSim evaluations
+// typically use 2-3x).
+const latencyBlowupFactor = 3.0
+
+// SaturationThroughput binary-searches the offered load for the
+// saturation point. The passed config's InjectionRate is ignored.
+func SaturationThroughput(cfg Config) (SaturationResult, error) {
+	cfg.Defaults()
+	zl, err := ZeroLoadLatency(cfg)
+	if err != nil {
+		return SaturationResult{}, err
+	}
+	res := SaturationResult{ZeroLoadLatency: zl}
+
+	saturated := func(rate float64) (bool, Stats, error) {
+		c := cfg
+		c.InjectionRate = rate
+		// Shorter drain than the default: saturated runs never drain.
+		if c.Drain > 4*c.Measure {
+			c.Drain = 4 * c.Measure
+		}
+		st, err := RunConfig(c)
+		if err != nil {
+			return false, st, err
+		}
+		sat := st.Deadlocked ||
+			st.DeliveredFraction() < 0.95 ||
+			st.AvgPacketLatency > latencyBlowupFactor*zl ||
+			st.AcceptedRate < 0.85*rate
+		return sat, st, nil
+	}
+
+	lo, hi := 0.0, 1.0
+	// Establish whether full load already saturates (it almost always
+	// does except for near-ideal networks).
+	if sat, st, err := saturated(1.0); err != nil {
+		return res, err
+	} else if !sat {
+		res.Samples = append(res.Samples, st)
+		res.SaturationRate = 1.0
+		return res, nil
+	} else {
+		res.Samples = append(res.Samples, st)
+	}
+	for i := 0; i < 7; i++ {
+		mid := (lo + hi) / 2
+		sat, st, err := saturated(mid)
+		if err != nil {
+			return res, err
+		}
+		res.Samples = append(res.Samples, st)
+		if sat {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	res.SaturationRate = lo
+	return res, nil
+}
+
+// LoadLatencyCurve sweeps the offered load over the given rates and
+// returns one Stats per point — the classic load-latency curve NoC
+// papers plot around their saturation discussions. Saturated points
+// (incomplete delivery) are included; callers can filter on
+// DeliveredFraction.
+func LoadLatencyCurve(cfg Config, rates []float64) ([]Stats, error) {
+	cfg.Defaults()
+	out := make([]Stats, 0, len(rates))
+	for _, r := range rates {
+		c := cfg
+		c.InjectionRate = r
+		if c.Drain > 3*c.Measure {
+			c.Drain = 3 * c.Measure
+		}
+		st, err := RunConfig(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	return out, nil
+}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+)
+
+// EventKind classifies a traced flit event.
+type EventKind int
+
+// Flit lifecycle events.
+const (
+	// EvInject: a flit entered the network at its source router's
+	// injection port.
+	EvInject EventKind = iota
+	// EvTraverse: a flit won switch allocation and was sent onto a
+	// link (Node is the sender, Peer the receiver).
+	EvTraverse
+	// EvEject: a flit left the network at its destination.
+	EvEject
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvInject:
+		return "inject"
+	case EvTraverse:
+		return "traverse"
+	case EvEject:
+		return "eject"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one traced flit event.
+type Event struct {
+	Cycle int64
+	Kind  EventKind
+	Pkt   int32
+	Seq   int16
+	Node  int32 // where the event happened
+	Peer  int32 // traversal target, -1 otherwise
+	VC    int16 // VC used (downstream VC for traversals)
+}
+
+// Tracer receives flit events as the simulation executes. Tracing is
+// optional; a nil Config.Tracer costs nothing.
+type Tracer interface {
+	Trace(ev Event)
+}
+
+// WriterTracer formats events as one text line each, BookSim
+// watch-style:
+//
+//	@142 traverse pkt=17.2 5->6 vc=3
+type WriterTracer struct {
+	W io.Writer
+}
+
+// Trace implements Tracer.
+func (t *WriterTracer) Trace(ev Event) {
+	switch ev.Kind {
+	case EvTraverse:
+		fmt.Fprintf(t.W, "@%d %s pkt=%d.%d %d->%d vc=%d\n",
+			ev.Cycle, ev.Kind, ev.Pkt, ev.Seq, ev.Node, ev.Peer, ev.VC)
+	default:
+		fmt.Fprintf(t.W, "@%d %s pkt=%d.%d node=%d vc=%d\n",
+			ev.Cycle, ev.Kind, ev.Pkt, ev.Seq, ev.Node, ev.VC)
+	}
+}
+
+// CountingTracer tallies events by kind; used in tests and for cheap
+// aggregate accounting.
+type CountingTracer struct {
+	Injects, Traversals, Ejects int64
+}
+
+// Trace implements Tracer.
+func (t *CountingTracer) Trace(ev Event) {
+	switch ev.Kind {
+	case EvInject:
+		t.Injects++
+	case EvTraverse:
+		t.Traversals++
+	case EvEject:
+		t.Ejects++
+	}
+}
+
+// PacketTracer records the full event sequence of selected packets
+// (BookSim's per-packet watch list).
+type PacketTracer struct {
+	// Watch selects the packet IDs to record; nil records everything.
+	Watch  map[int32]bool
+	Events []Event
+}
+
+// Trace implements Tracer.
+func (t *PacketTracer) Trace(ev Event) {
+	if t.Watch == nil || t.Watch[ev.Pkt] {
+		t.Events = append(t.Events, ev)
+	}
+}

@@ -1,0 +1,169 @@
+// Package sim is a cycle-accurate network-on-chip simulator, the
+// repository's stand-in for BookSim2 in the prediction toolchain of
+// Figure 3 (see DESIGN.md, "Substitutions").
+//
+// The simulated microarchitecture matches the paper's evaluation
+// configuration: input-queued routers with virtual channels (default
+// 8 VCs with 32-flit buffers), credit-based flow control, separable
+// round-robin VC and switch allocation, one-flit-per-cycle crossbars,
+// and multi-cycle pipelined links whose latencies come from the
+// physical model in package phys. Routing is table-based, following
+// the deterministic paths of package route, with VC classes mapped
+// onto disjoint VC ranges for deadlock freedom.
+//
+// The simulator reports the two performance metrics the paper uses:
+// zero-load latency and saturation throughput.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Pattern generates destinations for synthetic traffic.
+type Pattern interface {
+	// Dest returns the destination tile for a packet injected at tile
+	// src, or -1 to skip injection (e.g. a pattern's fixed point).
+	Dest(src int, rng *rand.Rand) int
+	// Name identifies the pattern.
+	Name() string
+}
+
+// UniformRandom sends every packet to a destination drawn uniformly
+// from all other tiles (the pattern used throughout the paper's
+// evaluation).
+type UniformRandom struct {
+	N int
+}
+
+// Name implements Pattern.
+func (u UniformRandom) Name() string { return "uniform" }
+
+// Dest implements Pattern.
+func (u UniformRandom) Dest(src int, rng *rand.Rand) int {
+	if u.N < 2 {
+		return -1
+	}
+	d := rng.Intn(u.N - 1)
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// Transpose sends (r, c) to (c, r); diagonal tiles stay silent. The
+// grid must be square.
+type Transpose struct {
+	Rows, Cols int
+}
+
+// Name implements Pattern.
+func (p Transpose) Name() string { return "transpose" }
+
+// Dest implements Pattern.
+func (p Transpose) Dest(src int, _ *rand.Rand) int {
+	r, c := src/p.Cols, src%p.Cols
+	if r == c {
+		return -1
+	}
+	return c*p.Cols + r
+}
+
+// BitComplement sends tile i to tile N-1-i.
+type BitComplement struct {
+	N int
+}
+
+// Name implements Pattern.
+func (p BitComplement) Name() string { return "bitcomp" }
+
+// Dest implements Pattern.
+func (p BitComplement) Dest(src int, _ *rand.Rand) int {
+	d := p.N - 1 - src
+	if d == src {
+		return -1
+	}
+	return d
+}
+
+// Shuffle sends tile i to tile (2i mod N-1) (perfect shuffle); tiles
+// mapping to themselves stay silent.
+type Shuffle struct {
+	N int
+}
+
+// Name implements Pattern.
+func (p Shuffle) Name() string { return "shuffle" }
+
+// Dest implements Pattern.
+func (p Shuffle) Dest(src int, _ *rand.Rand) int {
+	if p.N < 3 {
+		return -1
+	}
+	d := (2 * src) % (p.N - 1)
+	if src == p.N-1 {
+		d = p.N - 1
+	}
+	if d == src {
+		return -1
+	}
+	return d
+}
+
+// Hotspot sends a fraction of traffic to a fixed hot tile and the
+// rest uniformly.
+type Hotspot struct {
+	N        int
+	Hot      int
+	Fraction float64 // probability of targeting the hot tile
+}
+
+// Name implements Pattern.
+func (p Hotspot) Name() string { return "hotspot" }
+
+// Dest implements Pattern.
+func (p Hotspot) Dest(src int, rng *rand.Rand) int {
+	if rng.Float64() < p.Fraction && src != p.Hot {
+		return p.Hot
+	}
+	return UniformRandom{N: p.N}.Dest(src, rng)
+}
+
+// Neighbor sends every packet one tile to the east (wrapping), a
+// best-case locality pattern.
+type Neighbor struct {
+	Rows, Cols int
+}
+
+// Name implements Pattern.
+func (p Neighbor) Name() string { return "neighbor" }
+
+// Dest implements Pattern.
+func (p Neighbor) Dest(src int, _ *rand.Rand) int {
+	r, c := src/p.Cols, src%p.Cols
+	return r*p.Cols + (c+1)%p.Cols
+}
+
+// PatternByName constructs a pattern for an R x C grid by name.
+func PatternByName(name string, rows, cols int) (Pattern, error) {
+	n := rows * cols
+	switch name {
+	case "uniform", "":
+		return UniformRandom{N: n}, nil
+	case "transpose":
+		if rows != cols {
+			return nil, fmt.Errorf("sim: transpose requires a square grid, got %dx%d", rows, cols)
+		}
+		return Transpose{Rows: rows, Cols: cols}, nil
+	case "bitcomp":
+		return BitComplement{N: n}, nil
+	case "shuffle":
+		return Shuffle{N: n}, nil
+	case "hotspot":
+		return Hotspot{N: n, Hot: (rows/2)*cols + cols/2, Fraction: 0.1}, nil
+	case "neighbor":
+		return Neighbor{Rows: rows, Cols: cols}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown traffic pattern %q", name)
+	}
+}

@@ -1,0 +1,231 @@
+// Package tech models the technology node, transport protocol, and
+// architectural parameters that the prediction toolchain takes as
+// inputs (Table II of the paper).
+//
+// A technology node is described through six abstract functions
+// (gate-area, horizontal/vertical wire packing, logic/wire power
+// density, and buffered-wire delay); the transport protocol through
+// two (bandwidth-to-wires and router area). This package provides
+// those functions as methods over plain parameter structs, plus
+// calibrated presets for a 22 nm-class node and an AXI-like protocol
+// used by the paper's evaluation scenarios.
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node describes a technology node (Table II, "technology" rows).
+// All area inputs are in gate equivalents (GE), all distances in mm,
+// all powers in W, all times in s.
+type Node struct {
+	Name string
+
+	// GateAreaUm2 is the silicon area of one gate equivalent in µm²
+	// (defines f_GE→mm²).
+	GateAreaUm2 float64
+
+	// HorizontalPitchesNm / VerticalPitchesNm list the wire pitch (nm)
+	// of each metal layer available for horizontal respectively
+	// vertical signal routing. They define f^H_wires→mm and
+	// f^V_wires→mm exactly as in the paper's Section IV-B1 example:
+	// the space needed for x parallel wires is x divided by the sum of
+	// reciprocal pitches.
+	HorizontalPitchesNm []float64
+	VerticalPitchesNm   []float64
+
+	// LogicPowerWPerMm2 and WirePowerWPerMm2 are the approximate power
+	// densities of logic- and wire-dominated area (define f^L_mm²→W
+	// and f^W_mm²→W).
+	LogicPowerWPerMm2 float64
+	WirePowerWPerMm2  float64
+
+	// WireDelaySPerMm is the signal propagation delay along a buffered
+	// wire in s/mm (defines f_mm→s).
+	WireDelaySPerMm float64
+}
+
+// Validate checks that all parameters are physically meaningful.
+func (n *Node) Validate() error {
+	if n.GateAreaUm2 <= 0 {
+		return fmt.Errorf("tech %s: non-positive gate area", n.Name)
+	}
+	if len(n.HorizontalPitchesNm) == 0 || len(n.VerticalPitchesNm) == 0 {
+		return fmt.Errorf("tech %s: missing metal layers", n.Name)
+	}
+	for _, p := range append(append([]float64{}, n.HorizontalPitchesNm...), n.VerticalPitchesNm...) {
+		if p <= 0 {
+			return fmt.Errorf("tech %s: non-positive wire pitch", n.Name)
+		}
+	}
+	if n.LogicPowerWPerMm2 <= 0 || n.WirePowerWPerMm2 <= 0 {
+		return fmt.Errorf("tech %s: non-positive power density", n.Name)
+	}
+	if n.WireDelaySPerMm <= 0 {
+		return fmt.Errorf("tech %s: non-positive wire delay", n.Name)
+	}
+	return nil
+}
+
+// GEToMm2 implements f_GE→mm²(x): the area in mm² needed to
+// synthesize x GE of logic.
+func (n *Node) GEToMm2(ge float64) float64 {
+	return ge * n.GateAreaUm2 * 1e-6
+}
+
+// Mm2ToGE is the inverse of GEToMm2.
+func (n *Node) Mm2ToGE(mm2 float64) float64 {
+	return mm2 / (n.GateAreaUm2 * 1e-6)
+}
+
+// HWiresToMm implements f^H_wires→mm(x): the vertical space (channel
+// height, in mm) needed to run x parallel horizontal wires across all
+// horizontal metal layers.
+func (n *Node) HWiresToMm(x float64) float64 {
+	return wiresToMm(x, n.HorizontalPitchesNm)
+}
+
+// VWiresToMm implements f^V_wires→mm(x): the horizontal space (channel
+// width, in mm) needed to run x parallel vertical wires.
+func (n *Node) VWiresToMm(x float64) float64 {
+	return wiresToMm(x, n.VerticalPitchesNm)
+}
+
+// wiresToMm follows the paper's recipe: sum the reciprocal pitches
+// (wires per nm) over all layers for the direction, divide the wire
+// count by that density, convert nm to mm.
+func wiresToMm(x float64, pitchesNm []float64) float64 {
+	var density float64 // wires per nm
+	for _, p := range pitchesNm {
+		density += 1 / p
+	}
+	return x / density * 1e-6
+}
+
+// LogicPower implements f^L_mm²→W(x) for logic-dominated area.
+func (n *Node) LogicPower(mm2 float64) float64 { return mm2 * n.LogicPowerWPerMm2 }
+
+// WirePower implements f^W_mm²→W(x) for wire-dominated area.
+func (n *Node) WirePower(mm2 float64) float64 { return mm2 * n.WirePowerWPerMm2 }
+
+// WireDelay implements f_mm→s(x): the time for a signal to travel x mm
+// along a buffered wire.
+func (n *Node) WireDelay(mm float64) float64 { return mm * n.WireDelaySPerMm }
+
+// Protocol describes the on-chip transport protocol (Table II,
+// "transport protocol" rows): how many wires a link of a given
+// bandwidth needs, and how large a router is.
+type Protocol struct {
+	Name string
+
+	// WiresPerBit and WireFixed define f_bw→wires(x) = WiresPerBit*x +
+	// WireFixed: payload wires plus handshake/sideband overhead. An
+	// AXI-like protocol with separate request/response channels has
+	// WiresPerBit > 1.
+	WiresPerBit float64
+	WireFixed   float64
+
+	// Router area model f_AR(m, s, B), in GE. The router consists of
+	// per-port buffering (linear in ports), a crossbar (quadratic in
+	// ports, the dominant term for high radix per design principle 1),
+	// and allocation/control logic.
+	RouterBaseGE     float64 // fixed control overhead
+	BufGEPerBit      float64 // GE per bit of input buffering (FF-based)
+	XbarGEPerBitSq   float64 // GE per (m*s) per bit of datapath width
+	CtrlGEPerPortBit float64 // GE per port per bit for allocators etc.
+
+	// NumVCs and BufDepthFlits size the input buffering: each manager
+	// port holds NumVCs*BufDepthFlits flits of B bits each.
+	NumVCs        int
+	BufDepthFlits int
+}
+
+// Validate checks protocol parameters.
+func (p *Protocol) Validate() error {
+	if p.WiresPerBit <= 0 {
+		return fmt.Errorf("protocol %s: non-positive wires per bit", p.Name)
+	}
+	if p.NumVCs < 1 || p.BufDepthFlits < 1 {
+		return fmt.Errorf("protocol %s: need at least 1 VC and 1 buffer flit", p.Name)
+	}
+	if p.RouterBaseGE < 0 || p.BufGEPerBit < 0 || p.XbarGEPerBitSq < 0 || p.CtrlGEPerPortBit < 0 {
+		return fmt.Errorf("protocol %s: negative router area coefficient", p.Name)
+	}
+	return nil
+}
+
+// BWToWires implements f_bw→wires(x): the number of wires needed for a
+// link with a bandwidth of x bits/cycle.
+func (p *Protocol) BWToWires(bits float64) float64 {
+	return math.Ceil(p.WiresPerBit*bits + p.WireFixed)
+}
+
+// RouterAreaGE implements f_AR(m, s, B): the area in GE of a NoC
+// router with m manager ports, s subordinate ports, and per-link
+// bandwidth bwBits bits/cycle.
+func (p *Protocol) RouterAreaGE(m, s int, bwBits float64) float64 {
+	buf := p.BufGEPerBit * float64(m) * bwBits * float64(p.NumVCs*p.BufDepthFlits)
+	xbar := p.XbarGEPerBitSq * float64(m*s) * bwBits
+	ctrl := p.CtrlGEPerPortBit * float64(m+s) * bwBits
+	return p.RouterBaseGE + buf + xbar + ctrl
+}
+
+// Arch bundles the chip-level architectural parameters of Table II
+// with the technology node and protocol models.
+type Arch struct {
+	Name string
+
+	Rows, Cols int // tile grid (NT = Rows*Cols)
+
+	// EndpointGE is A_E: the combined area of all endpoints (cores and
+	// local memories) in one tile, in GE.
+	EndpointGE float64
+
+	// TileAspect is R_T, the tile's height:width ratio.
+	TileAspect float64
+
+	// FreqHz is F, the NoC clock frequency.
+	FreqHz float64
+
+	// LinkBWBits is B, the bandwidth of each router-to-router link in
+	// bits/cycle (also the flit width).
+	LinkBWBits float64
+
+	CoresPerTile int // informational, for scenario descriptions
+
+	Node  *Node
+	Proto *Protocol
+}
+
+// NumTiles returns N_T.
+func (a *Arch) NumTiles() int { return a.Rows * a.Cols }
+
+// Validate checks the architecture description.
+func (a *Arch) Validate() error {
+	if a.Rows < 1 || a.Cols < 1 {
+		return fmt.Errorf("arch %s: invalid grid %dx%d", a.Name, a.Rows, a.Cols)
+	}
+	if a.EndpointGE <= 0 {
+		return fmt.Errorf("arch %s: non-positive endpoint area", a.Name)
+	}
+	if a.TileAspect <= 0 {
+		return fmt.Errorf("arch %s: non-positive aspect ratio", a.Name)
+	}
+	if a.FreqHz <= 0 || a.LinkBWBits <= 0 {
+		return fmt.Errorf("arch %s: non-positive frequency or bandwidth", a.Name)
+	}
+	if a.Node == nil || a.Proto == nil {
+		return fmt.Errorf("arch %s: missing technology node or protocol", a.Name)
+	}
+	if err := a.Node.Validate(); err != nil {
+		return err
+	}
+	return a.Proto.Validate()
+}
+
+// NoNoCAreaMm2 returns A_noNoC = f_GE→mm²(N_T · A_E), the area of the
+// chip without any NoC.
+func (a *Arch) NoNoCAreaMm2() float64 {
+	return a.Node.GEToMm2(float64(a.NumTiles()) * a.EndpointGE)
+}

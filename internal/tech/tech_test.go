@@ -1,0 +1,162 @@
+package tech
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWiresToMmPaperExample(t *testing.T) {
+	// The worked example from Section IV-B1: horizontal layers with
+	// pitches 40, 50, 60 nm; vertical layers 45, 55 nm.
+	n := &Node{
+		Name:                "example",
+		GateAreaUm2:         1,
+		HorizontalPitchesNm: []float64{40, 50, 60},
+		VerticalPitchesNm:   []float64{45, 55},
+		LogicPowerWPerMm2:   1,
+		WirePowerWPerMm2:    1,
+		WireDelaySPerMm:     1e-12,
+	}
+	// f^H(x) = x*1e-6 / (1/40 + 1/50 + 1/60)
+	wantH := 1000 * 1e-6 / (1.0/40 + 1.0/50 + 1.0/60)
+	if got := n.HWiresToMm(1000); math.Abs(got-wantH) > 1e-12 {
+		t.Errorf("HWiresToMm(1000) = %v, want %v", got, wantH)
+	}
+	wantV := 1000 * 1e-6 / (1.0/45 + 1.0/55)
+	if got := n.VWiresToMm(1000); math.Abs(got-wantV) > 1e-12 {
+		t.Errorf("VWiresToMm(1000) = %v, want %v", got, wantV)
+	}
+}
+
+func TestGEToMm2RoundTrip(t *testing.T) {
+	n := Node22nm()
+	for _, ge := range []float64{1, 1e3, 35e6} {
+		mm2 := n.GEToMm2(ge)
+		if back := n.Mm2ToGE(mm2); math.Abs(back-ge)/ge > 1e-12 {
+			t.Errorf("round trip %v -> %v -> %v", ge, mm2, back)
+		}
+	}
+}
+
+func TestNode22nmPlausibility(t *testing.T) {
+	n := Node22nm()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// A 35 MGE KNC-like tile should be on the order of 10 mm^2
+	// (KNC: 62 tiles on a ~700 mm^2 die).
+	tile := n.GEToMm2(35e6)
+	if tile < 8 || tile > 15 {
+		t.Errorf("35 MGE tile area = %v mm^2, want ~10", tile)
+	}
+	// Signal should cross a 10 mm chip within a couple of ns.
+	d := n.WireDelay(10)
+	if d < 0.2e-9 || d > 2e-9 {
+		t.Errorf("10 mm wire delay = %v s, implausible", d)
+	}
+}
+
+func TestProtocolAXI(t *testing.T) {
+	p := ProtocolAXI()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := p.BWToWires(512)
+	if w < 512 {
+		t.Errorf("BWToWires(512) = %v, must exceed payload width", w)
+	}
+	if w != math.Ceil(w) {
+		t.Errorf("BWToWires must be integral, got %v", w)
+	}
+	// Router area must grow superlinearly with radix (principle 1:
+	// quadratic crossbar term).
+	a5 := p.RouterAreaGE(5, 5, 512)
+	a10 := p.RouterAreaGE(10, 10, 512)
+	a15 := p.RouterAreaGE(15, 15, 512)
+	if a10 <= a5 || a15 <= a10 {
+		t.Fatal("router area not increasing in radix")
+	}
+	if (a15 - a10) <= (a10 - a5) {
+		t.Error("router area not convex in radix (crossbar term should dominate)")
+	}
+}
+
+func TestRouterAreaScalesWithBandwidth(t *testing.T) {
+	p := ProtocolAXI()
+	if p.RouterAreaGE(5, 5, 512) <= p.RouterAreaGE(5, 5, 64) {
+		t.Error("router area must grow with bandwidth")
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	for _, id := range AllScenarios() {
+		a := Scenario(id)
+		if a == nil {
+			t.Fatalf("Scenario(%q) = nil", id)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("scenario %s: %v", id, err)
+		}
+	}
+	a := Scenario(ScenarioA)
+	if a.NumTiles() != 64 || a.EndpointGE != 35e6 || a.CoresPerTile != 1 {
+		t.Errorf("scenario a mismatch: %+v", a)
+	}
+	b := Scenario(ScenarioB)
+	if b.NumTiles() != 64 || b.EndpointGE != 70e6 || b.CoresPerTile != 2 {
+		t.Errorf("scenario b mismatch: %+v", b)
+	}
+	c := Scenario(ScenarioC)
+	if c.NumTiles() != 128 || c.EndpointGE != 35e6 {
+		t.Errorf("scenario c mismatch: %+v", c)
+	}
+	d := Scenario(ScenarioD)
+	if d.NumTiles() != 128 || d.EndpointGE != 70e6 || d.CoresPerTile != 2 {
+		t.Errorf("scenario d mismatch: %+v", d)
+	}
+	if Scenario("x") != nil {
+		t.Error("unknown scenario should return nil")
+	}
+}
+
+func TestScenarioCGridAllowsSlimNoC(t *testing.T) {
+	// 128 tiles must be arranged 8x16 so that SlimNoC (2*8^2) applies.
+	c := Scenario(ScenarioC)
+	if c.Rows != 8 || c.Cols != 16 {
+		t.Errorf("scenario c grid = %dx%d, want 8x16", c.Rows, c.Cols)
+	}
+}
+
+func TestMemPoolArch(t *testing.T) {
+	m := MemPool()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The no-NoC area should be in the ballpark of MemPool's published
+	// 21.16 mm^2 total (compute dominates).
+	a := m.NoNoCAreaMm2()
+	if a < 12 || a > 22 {
+		t.Errorf("MemPool no-NoC area = %v mm^2, want 12-22", a)
+	}
+	if m.CoresPerTile*m.NumTiles() != 256 {
+		t.Errorf("MemPool cores = %d, want 256", m.CoresPerTile*m.NumTiles())
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	n := Node22nm()
+	n.GateAreaUm2 = 0
+	if err := n.Validate(); err == nil {
+		t.Error("zero gate area not rejected")
+	}
+	p := ProtocolAXI()
+	p.NumVCs = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero VCs not rejected")
+	}
+	a := Scenario(ScenarioA)
+	a.Rows = 0
+	if err := a.Validate(); err == nil {
+		t.Error("zero rows not rejected")
+	}
+}

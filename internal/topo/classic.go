@@ -1,0 +1,270 @@
+package topo
+
+import "fmt"
+
+// NewRing returns a ring topology whose cycle visits every tile, as
+// drawn in the paper's Figure 1a. When the grid has an even number of
+// rows (or, after transposition, columns) the cycle is a Hamiltonian
+// cycle of the grid graph — a serpentine over columns 1..C-1 returning
+// up column 0 — so every link connects grid-adjacent tiles (short
+// links, satisfying criterion SL of design principle 2). For grids
+// where no such cycle exists (both dimensions odd) the serpentine
+// closes with one long link.
+func NewRing(rows, cols int) (*Topology, error) {
+	t, err := New("ring", rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	if t.NumTiles() < 2 {
+		return t, nil
+	}
+	order := ringOrder(rows, cols)
+	for i := 0; i < len(order); i++ {
+		t.AddLink(order[i], order[(i+1)%len(order)])
+	}
+	return t, nil
+}
+
+// ringOrder returns a cyclic visiting order of the grid, preferring a
+// Hamiltonian cycle of the grid graph when one exists.
+func ringOrder(rows, cols int) []Coord {
+	switch {
+	case rows == 1 || cols == 1:
+		return serpentine(rows, cols)
+	case rows%2 == 0:
+		return hamiltonianCycle(rows, cols, false)
+	case cols%2 == 0:
+		return hamiltonianCycle(cols, rows, true)
+	default:
+		return serpentine(rows, cols)
+	}
+}
+
+// hamiltonianCycle serpentines over columns 1..C-1 and returns along
+// column 0. rows must be even. If transpose is set, row/col are
+// swapped in the emitted coordinates.
+func hamiltonianCycle(rows, cols int, transpose bool) []Coord {
+	emit := func(r, c int) Coord {
+		if transpose {
+			return Coord{Row: c, Col: r}
+		}
+		return Coord{Row: r, Col: c}
+	}
+	order := make([]Coord, 0, rows*cols)
+	if cols == 1 {
+		for r := 0; r < rows; r++ {
+			order = append(order, emit(r, 0))
+		}
+		return order
+	}
+	for r := 0; r < rows; r++ {
+		if r%2 == 0 {
+			for c := 1; c < cols; c++ {
+				order = append(order, emit(r, c))
+			}
+		} else {
+			for c := cols - 1; c >= 1; c-- {
+				order = append(order, emit(r, c))
+			}
+		}
+	}
+	for r := rows - 1; r >= 0; r-- {
+		order = append(order, emit(r, 0))
+	}
+	return order
+}
+
+// serpentine returns the boustrophedon visiting order of the grid.
+func serpentine(rows, cols int) []Coord {
+	order := make([]Coord, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		if r%2 == 0 {
+			for c := 0; c < cols; c++ {
+				order = append(order, Coord{r, c})
+			}
+		} else {
+			for c := cols - 1; c >= 0; c-- {
+				order = append(order, Coord{r, c})
+			}
+		}
+	}
+	return order
+}
+
+// NewMesh returns a 2D mesh: neighboring tiles in the same row or
+// column are connected (Figure 1b).
+func NewMesh(rows, cols int) (*Topology, error) {
+	t, err := New("mesh", rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	addMeshLinks(t)
+	return t, nil
+}
+
+func addMeshLinks(t *Topology) {
+	for r := 0; r < t.Rows; r++ {
+		for c := 0; c < t.Cols; c++ {
+			if c+1 < t.Cols {
+				t.AddLink(Coord{r, c}, Coord{r, c + 1})
+			}
+			if r+1 < t.Rows {
+				t.AddLink(Coord{r, c}, Coord{r + 1, c})
+			}
+		}
+	}
+}
+
+// NewTorus returns a 2D torus: a mesh whose rows and columns each form
+// a cycle via wrap-around links (Figure 1c).
+func NewTorus(rows, cols int) (*Topology, error) {
+	t, err := New("torus", rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	addMeshLinks(t)
+	for r := 0; r < rows; r++ {
+		if cols > 2 {
+			t.AddLink(Coord{r, 0}, Coord{r, cols - 1})
+		}
+	}
+	for c := 0; c < cols; c++ {
+		if rows > 2 {
+			t.AddLink(Coord{0, c}, Coord{rows - 1, c})
+		}
+	}
+	return t, nil
+}
+
+// NewFoldedTorus returns a folded 2D torus (Figure 1d): each row and
+// each column forms a cycle built only from links of grid length two
+// (plus one length-one link at each end), eliminating the torus's long
+// wrap-around links at the cost of all interior links spanning two
+// tiles.
+func NewFoldedTorus(rows, cols int) (*Topology, error) {
+	t, err := New("folded-torus", rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rows; r++ {
+		addFoldedCycleRow(t, r)
+	}
+	for c := 0; c < cols; c++ {
+		addFoldedCycleCol(t, c)
+	}
+	return t, nil
+}
+
+// addFoldedCycleRow connects the tiles of row r in folded-torus
+// fashion: 0-2-4-...-end-...-5-3-1-0 using distance-2 links plus the
+// two end links.
+func addFoldedCycleRow(t *Topology, r int) {
+	n := t.Cols
+	if n < 2 {
+		return
+	}
+	if n == 2 {
+		t.AddLink(Coord{r, 0}, Coord{r, 1})
+		return
+	}
+	for c := 0; c+2 < n; c++ {
+		t.AddLink(Coord{r, c}, Coord{r, c + 2})
+	}
+	t.AddLink(Coord{r, 0}, Coord{r, 1})
+	t.AddLink(Coord{r, n - 2}, Coord{r, n - 1})
+}
+
+func addFoldedCycleCol(t *Topology, c int) {
+	n := t.Rows
+	if n < 2 {
+		return
+	}
+	if n == 2 {
+		t.AddLink(Coord{0, c}, Coord{1, c})
+		return
+	}
+	for r := 0; r+2 < n; r++ {
+		t.AddLink(Coord{r, c}, Coord{r + 2, c})
+	}
+	t.AddLink(Coord{0, c}, Coord{1, c})
+	t.AddLink(Coord{n - 2, c}, Coord{n - 1, c})
+}
+
+// NewHypercube returns a hypercube topology (Figure 1e): tiles are
+// connected iff their IDs differ in exactly one bit. Following the
+// paper's figure, tiles are placed in binary-reflected Gray-code
+// order (the IDs along the top row of Figure 1e read 00, 01, 11, 10),
+// so grid-adjacent tiles differ in exactly one bit and the mesh is a
+// subgraph of the hypercube. The ID of tile (r, c) is the
+// concatenation of gray(r) and gray(c), so every link stays row- or
+// column-aligned. Both dimensions must be powers of two.
+func NewHypercube(rows, cols int) (*Topology, error) {
+	if !isPow2(rows) || !isPow2(cols) {
+		return nil, fmt.Errorf("topo: hypercube requires power-of-two grid, got %dx%d", rows, cols)
+	}
+	t, err := New("hypercube", rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	// invGray[g] = position of Gray code g in sequence.
+	colOf := invGray(cols)
+	rowOf := invGray(rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			gr, gc := gray(r), gray(c)
+			for b := 1; b < cols; b <<= 1 {
+				c2 := colOf[gc^b]
+				if c2 > c {
+					t.AddLink(Coord{r, c}, Coord{r, c2})
+				}
+			}
+			for b := 1; b < rows; b <<= 1 {
+				r2 := rowOf[gr^b]
+				if r2 > r {
+					t.AddLink(Coord{r, c}, Coord{r2, c})
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// gray returns the binary-reflected Gray code of i.
+func gray(i int) int { return i ^ (i >> 1) }
+
+// invGray returns a table mapping Gray code value to sequence index,
+// for values in [0, n).
+func invGray(n int) []int {
+	inv := make([]int, n)
+	for i := 0; i < n; i++ {
+		inv[gray(i)] = i
+	}
+	return inv
+}
+
+// NewFlattenedButterfly returns a flattened butterfly (Figure 1g):
+// every pair of tiles in the same row and every pair in the same
+// column are directly connected.
+func NewFlattenedButterfly(rows, cols int) (*Topology, error) {
+	t, err := New("flattened-butterfly", rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	for r := 0; r < rows; r++ {
+		for c1 := 0; c1 < cols; c1++ {
+			for c2 := c1 + 1; c2 < cols; c2++ {
+				t.AddLink(Coord{r, c1}, Coord{r, c2})
+			}
+		}
+	}
+	for c := 0; c < cols; c++ {
+		for r1 := 0; r1 < rows; r1++ {
+			for r2 := r1 + 1; r2 < rows; r2++ {
+				t.AddLink(Coord{r1, c}, Coord{r2, c})
+			}
+		}
+	}
+	return t, nil
+}
+
+func isPow2(x int) bool { return x > 0 && x&(x-1) == 0 }

@@ -1,0 +1,70 @@
+package topo
+
+// Tri is a three-valued compliance mark used in Table I: Yes (check
+// mark), Partial (tilde / parenthesized check), or No (cross).
+type Tri int
+
+// Compliance mark values.
+const (
+	No Tri = iota
+	Partial
+	Yes
+)
+
+// String renders the mark with the paper's symbols.
+func (m Tri) String() string {
+	switch m {
+	case Yes:
+		return "Y"
+	case Partial:
+		return "~"
+	default:
+		return "N"
+	}
+}
+
+// StructuralCompliance holds the Table I columns that are pure graph
+// properties of a topology instance. The floorplan-dependent columns
+// (uniform link density, optimized port placement) and the
+// routing-dependent column (minimal paths used) are evaluated by
+// packages phys and route and assembled into the full table by
+// package noc.
+type StructuralCompliance struct {
+	RouterRadix         int
+	ShortLinks          Tri // SL: all links grid length 1 (Yes), <=2 (Partial)
+	AlignedLinks        Tri // AL: all links row- or column-aligned
+	Diameter            int
+	MinimalPathsPresent bool
+	MinimalPathsUsable  bool // best case for any hop-minimal routing
+}
+
+// Structural evaluates the graph-level compliance metrics of the
+// topology instance.
+func (t *Topology) Structural() StructuralCompliance {
+	return StructuralCompliance{
+		RouterRadix:         t.MaxRadix(),
+		ShortLinks:          t.shortLinksMark(),
+		AlignedLinks:        triFromBool(t.AllLinksAligned()),
+		Diameter:            t.Diameter(),
+		MinimalPathsPresent: t.MinimalPathsPresent(),
+		MinimalPathsUsable:  t.MinimalPathsUsable(),
+	}
+}
+
+func (t *Topology) shortLinksMark() Tri {
+	switch t.MaxLinkLength() {
+	case 0, 1:
+		return Yes
+	case 2:
+		return Partial
+	default:
+		return No
+	}
+}
+
+func triFromBool(b bool) Tri {
+	if b {
+		return Yes
+	}
+	return No
+}

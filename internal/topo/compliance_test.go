@@ -1,0 +1,95 @@
+package topo
+
+import "testing"
+
+func TestTriString(t *testing.T) {
+	if Yes.String() != "Y" || Partial.String() != "~" || No.String() != "N" {
+		t.Errorf("marks: %s %s %s", Yes, Partial, No)
+	}
+}
+
+func TestStructuralComplianceTable(t *testing.T) {
+	// The graph-level half of Table I for every family on 8x8.
+	cases := []struct {
+		name    string
+		make    func() (*Topology, error)
+		radix   int
+		sl      Tri
+		al      Tri
+		diam    int
+		present bool
+		usable  bool
+	}{
+		{"ring", func() (*Topology, error) { return NewRing(8, 8) }, 2, Yes, Yes, 32, false, false},
+		{"mesh", func() (*Topology, error) { return NewMesh(8, 8) }, 4, Yes, Yes, 14, true, true},
+		{"torus", func() (*Topology, error) { return NewTorus(8, 8) }, 4, No, Yes, 8, true, false},
+		{"folded", func() (*Topology, error) { return NewFoldedTorus(8, 8) }, 4, Partial, Yes, 8, false, false},
+		// Note: the Gray-coded hypercube admits hop-minimal paths that
+		// are physically minimal (usable=true); Table I's "Used" column
+		// is false because e-cube's fixed bit order does not take them
+		// (tested in package route).
+		{"hypercube", func() (*Topology, error) { return NewHypercube(8, 8) }, 6, No, Yes, 6, true, true},
+		{"fb", func() (*Topology, error) { return NewFlattenedButterfly(8, 8) }, 14, No, Yes, 2, true, true},
+	}
+	for _, c := range cases {
+		tp, err := c.make()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		sc := tp.Structural()
+		if sc.RouterRadix != c.radix {
+			t.Errorf("%s radix = %d, want %d", c.name, sc.RouterRadix, c.radix)
+		}
+		if sc.ShortLinks != c.sl {
+			t.Errorf("%s SL = %v, want %v", c.name, sc.ShortLinks, c.sl)
+		}
+		if sc.AlignedLinks != c.al {
+			t.Errorf("%s AL = %v, want %v", c.name, sc.AlignedLinks, c.al)
+		}
+		if sc.Diameter != c.diam {
+			t.Errorf("%s diameter = %d, want %d", c.name, sc.Diameter, c.diam)
+		}
+		if sc.MinimalPathsPresent != c.present {
+			t.Errorf("%s present = %v, want %v", c.name, sc.MinimalPathsPresent, c.present)
+		}
+		if sc.MinimalPathsUsable != c.usable {
+			t.Errorf("%s usable = %v, want %v", c.name, sc.MinimalPathsUsable, c.usable)
+		}
+	}
+}
+
+func TestHopMinimalPhysLengthsAgainstDijkstra(t *testing.T) {
+	// For the mesh, hop-minimal physical lengths equal the plain
+	// shortest physical distances (all paths are unit steps).
+	m, _ := NewMesh(5, 7)
+	for s := 0; s < m.NumTiles(); s++ {
+		phys := m.HopMinimalPhysLengths(s)
+		for d := 0; d < m.NumTiles(); d++ {
+			want := Manhattan(m.CoordOf(s), m.CoordOf(d))
+			if phys[d] != want {
+				t.Fatalf("mesh phys[%d->%d] = %d, want %d", s, d, phys[d], want)
+			}
+		}
+	}
+	// For the torus, hop-minimal routes may be physically longer than
+	// Manhattan for wrap pairs.
+	tr, _ := NewTorus(6, 6)
+	phys := tr.HopMinimalPhysLengths(0)
+	// (0,0) -> (0,5): 1 hop over the wrap link of physical length 5.
+	if got := phys[tr.Index(Coord{Row: 0, Col: 5})]; got != 5 {
+		t.Errorf("torus wrap pair phys length = %d, want 5", got)
+	}
+}
+
+func TestLinkLengthHistogram(t *testing.T) {
+	sh, err := NewSparseHamming(4, 4, HammingParams{SR: []int{2}, SC: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sh.LinkLengthHistogram()
+	// Mesh links: 24 of length 1; offset 2: 2 per row x 4 rows = 8;
+	// offset 3: 1 per column x 4 columns = 4.
+	if h[1] != 24 || h[2] != 8 || h[3] != 4 {
+		t.Errorf("histogram = %v", h)
+	}
+}

@@ -1,0 +1,104 @@
+package topo
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HammingParams are the two offset sets that parameterize a sparse
+// Hamming graph (Section III-b of the paper): SR is a set of column
+// offsets in [2, C-1] applied within each row, SC a set of row offsets
+// in [2, R-1] applied within each column. The mesh's offset 1 is
+// always present implicitly.
+type HammingParams struct {
+	SR []int // row links: connect (r,i) to (r,i+x) for x in SR
+	SC []int // column links: connect (i,c) to (i+x,c) for x in SC
+}
+
+// Clone returns a deep copy of the parameters with sorted,
+// deduplicated offset sets.
+func (p HammingParams) Clone() HammingParams {
+	return HammingParams{SR: normalizeOffsets(p.SR), SC: normalizeOffsets(p.SC)}
+}
+
+// String renders the parameters as "SR={...} SC={...}".
+func (p HammingParams) String() string {
+	return fmt.Sprintf("SR=%v SC=%v", normalizeOffsets(p.SR), normalizeOffsets(p.SC))
+}
+
+func normalizeOffsets(s []int) []int {
+	seen := make(map[int]struct{}, len(s))
+	out := make([]int, 0, len(s))
+	for _, x := range s {
+		if _, dup := seen[x]; !dup {
+			seen[x] = struct{}{}
+			out = append(out, x)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NewSparseHamming returns a sparse Hamming graph on an R x C grid
+// (Section III-b): a 2D mesh plus, for every row r and every offset
+// x in SR, links (r,i)-(r,i+x) for all valid i, and symmetrically for
+// columns with SC. With empty sets it is exactly the mesh; with
+// SR = {2..C-1} and SC = {2..R-1} it is the flattened butterfly.
+//
+// Offsets outside [2, C-1] (rows) or [2, R-1] (columns) are rejected.
+func NewSparseHamming(rows, cols int, params HammingParams) (*Topology, error) {
+	p := params.Clone()
+	for _, x := range p.SR {
+		if x < 2 || x >= cols {
+			return nil, fmt.Errorf("topo: SR offset %d outside [2,%d]", x, cols-1)
+		}
+	}
+	for _, x := range p.SC {
+		if x < 2 || x >= rows {
+			return nil, fmt.Errorf("topo: SC offset %d outside [2,%d]", x, rows-1)
+		}
+	}
+	t, err := New("sparse-hamming", rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	addMeshLinks(t)
+	for r := 0; r < rows; r++ {
+		for _, x := range p.SR {
+			for i := 0; i+x < cols; i++ {
+				t.AddLink(Coord{r, i}, Coord{r, i + x})
+			}
+		}
+	}
+	for c := 0; c < cols; c++ {
+		for _, x := range p.SC {
+			for i := 0; i+x < rows; i++ {
+				t.AddLink(Coord{i, c}, Coord{i + x, c})
+			}
+		}
+	}
+	return t, nil
+}
+
+// RowOffsets returns the full set of column offsets available within a
+// row, i.e. {1} union SR, sorted.
+func (p HammingParams) RowOffsets() []int { return append([]int{1}, normalizeOffsets(p.SR)...) }
+
+// ColOffsets returns the full set of row offsets available within a
+// column, i.e. {1} union SC, sorted.
+func (p HammingParams) ColOffsets() []int { return append([]int{1}, normalizeOffsets(p.SC)...) }
+
+// NumConfigurations returns the number of distinct sparse Hamming
+// graph configurations for a given grid, 2^(R+C-4) (Table I), as a
+// float64 to avoid overflow for large grids.
+func NumConfigurations(rows, cols int) float64 {
+	exp := rows + cols - 4
+	if exp < 0 {
+		return 1
+	}
+	res := 1.0
+	for i := 0; i < exp; i++ {
+		res *= 2
+	}
+	return res
+}

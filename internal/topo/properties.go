@@ -1,0 +1,162 @@
+package topo
+
+import (
+	"sparsehamming/internal/graphalg"
+)
+
+// Manhattan returns the Manhattan distance between two tiles in tile
+// units; this is the minimal possible physical path length between
+// them (design principle 4).
+func Manhattan(a, b Coord) int {
+	return abs(a.Row-b.Row) + abs(a.Col-b.Col)
+}
+
+// PhysGraph returns the topology as a weighted graph whose edge
+// weights are the links' grid (Manhattan) lengths, the model used
+// throughout Section II-C for physical path lengths.
+func (t *Topology) PhysGraph() *graphalg.WeightedGraph {
+	g := graphalg.NewWeightedGraph(t.NumTiles())
+	for _, l := range t.links {
+		g.AddUndirected(t.Index(l.A), t.Index(l.B), float64(l.GridLength()))
+	}
+	return g
+}
+
+// MinimalPathsPresent reports whether, for every pair of tiles, the
+// topology contains a path whose physical length equals the Manhattan
+// distance between the tiles (column "Minimal Paths: Present" of
+// Table I).
+func (t *Topology) MinimalPathsPresent() bool {
+	g := t.PhysGraph()
+	n := t.NumTiles()
+	for i := 0; i < n; i++ {
+		dist := g.Dijkstra(i)
+		a := t.CoordOf(i)
+		for j := i + 1; j < n; j++ {
+			if dist[j] > float64(Manhattan(a, t.CoordOf(j)))+1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// HopMinimalPhysLengths returns, for source tile src, the minimal
+// physical length achievable by any hop-count-minimal path to every
+// other tile. It is computed with a layered BFS dynamic program: among
+// all paths with the minimum hop count, take the one with minimal
+// total grid length.
+func (t *Topology) HopMinimalPhysLengths(src int) []int {
+	t.buildAdj()
+	n := t.NumTiles()
+	hops := make([]int, n)
+	phys := make([]int, n)
+	for i := range hops {
+		hops[i] = -1
+		phys[i] = 1 << 30
+	}
+	hops[src] = 0
+	phys[src] = 0
+	frontier := []int{src}
+	for len(frontier) > 0 {
+		var next []int
+		// First pass: discover next-layer vertices.
+		for _, u := range frontier {
+			for _, v := range t.adj[u] {
+				if hops[v] < 0 {
+					hops[v] = hops[u] + 1
+					next = append(next, v)
+				}
+			}
+		}
+		// Second pass: relax physical lengths within the next layer
+		// (every hop-minimal predecessor of v is in the current
+		// frontier, so one pass suffices).
+		for _, u := range frontier {
+			cu := t.CoordOf(u)
+			for _, v := range t.adj[u] {
+				if hops[v] == hops[u]+1 {
+					w := phys[u] + Manhattan(cu, t.CoordOf(v))
+					if w < phys[v] {
+						phys[v] = w
+					}
+				}
+			}
+		}
+		frontier = next
+	}
+	return phys
+}
+
+// MinimalPathsUsable reports whether, for every pair of tiles, there
+// exists a hop-count-minimal path whose physical length equals the
+// Manhattan distance. This is the best any hop-minimizing routing
+// algorithm can do; the "Used" column of Table I additionally depends
+// on the concrete routing function (evaluated in package route).
+func (t *Topology) MinimalPathsUsable() bool {
+	n := t.NumTiles()
+	for i := 0; i < n; i++ {
+		phys := t.HopMinimalPhysLengths(i)
+		a := t.CoordOf(i)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if phys[j] > Manhattan(a, t.CoordOf(j)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// LinkLengthHistogram returns a map from grid length to the number of
+// links of that length.
+func (t *Topology) LinkLengthHistogram() map[int]int {
+	h := make(map[int]int)
+	for _, l := range t.links {
+		h[l.GridLength()]++
+	}
+	return h
+}
+
+// AllLinksAligned reports whether every link stays within one row or
+// one column (criterion AL of design principle 2).
+func (t *Topology) AllLinksAligned() bool {
+	for _, l := range t.links {
+		if !l.Aligned() {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxLinkLength returns the maximum grid length over all links, or 0
+// for a linkless topology.
+func (t *Topology) MaxLinkLength() int {
+	max := 0
+	for _, l := range t.links {
+		if g := l.GridLength(); g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// BisectionLinks returns the number of links crossing the vertical
+// bisection of the grid (between columns C/2-1 and C/2). It is a
+// standard capacity indicator used by the throughput sanity checks.
+func (t *Topology) BisectionLinks() int {
+	cut := t.Cols / 2
+	n := 0
+	for _, l := range t.links {
+		lo, hi := l.A.Col, l.B.Col
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo < cut && hi >= cut {
+			n++
+		}
+	}
+	return n
+}

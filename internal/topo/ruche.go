@@ -1,0 +1,47 @@
+package topo
+
+import "fmt"
+
+// NewRuche returns a Ruche network (Jung et al., NOCS 2020): a 2D mesh
+// augmented with length-r skip links in both dimensions, where r is
+// the "Ruche factor". The paper's related-work section positions
+// sparse Hamming graphs as a superset of Ruche networks — a Ruche
+// network is exactly the sparse Hamming graph with SR = SC = {r} —
+// and this constructor is implemented that way, making the subset
+// relation true by construction.
+//
+// A Ruche factor of 0 or 1 yields the plain mesh.
+func NewRuche(rows, cols, factor int) (*Topology, error) {
+	if factor < 0 {
+		return nil, fmt.Errorf("topo: negative ruche factor %d", factor)
+	}
+	var p HammingParams
+	if factor >= 2 {
+		if factor >= cols || factor >= rows {
+			return nil, fmt.Errorf("topo: ruche factor %d too large for %dx%d grid", factor, rows, cols)
+		}
+		p = HammingParams{SR: []int{factor}, SC: []int{factor}}
+	}
+	t, err := NewSparseHamming(rows, cols, p)
+	if err != nil {
+		return nil, err
+	}
+	t.Kind = "ruche"
+	return t, nil
+}
+
+// RucheConfigurations returns the number of distinct Ruche networks on
+// a grid (one per feasible factor, plus the mesh), compared with the
+// sparse Hamming graph's 2^(R+C-4): the related-work claim that sparse
+// Hamming graphs offer a far finer cost-performance adjustment.
+func RucheConfigurations(rows, cols int) int {
+	max := rows
+	if cols < rows {
+		max = cols
+	}
+	// Factors 2..max-1, plus the mesh (factor <= 1).
+	if max <= 2 {
+		return 1
+	}
+	return max - 2 + 1
+}

@@ -1,0 +1,76 @@
+package topo
+
+import "testing"
+
+func TestRucheIsSparseHammingSubset(t *testing.T) {
+	// A Ruche network with factor r is the SHG with SR = SC = {r}.
+	ruche, err := NewRuche(8, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shg, err := NewSparseHamming(8, 8, HammingParams{SR: []int{3}, SC: []int{3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruche.NumLinks() != shg.NumLinks() {
+		t.Fatalf("ruche links %d != shg links %d", ruche.NumLinks(), shg.NumLinks())
+	}
+	for _, l := range shg.Links() {
+		if !ruche.HasLink(l.A, l.B) {
+			t.Fatalf("ruche missing %v-%v", l.A, l.B)
+		}
+	}
+	if ruche.Kind != "ruche" {
+		t.Errorf("kind = %s", ruche.Kind)
+	}
+}
+
+func TestRucheMeshDegenerate(t *testing.T) {
+	for _, f := range []int{0, 1} {
+		r, err := NewRuche(5, 5, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, _ := NewMesh(5, 5)
+		if r.NumLinks() != m.NumLinks() {
+			t.Errorf("factor %d: links %d, mesh %d", f, r.NumLinks(), m.NumLinks())
+		}
+	}
+}
+
+func TestRucheRejectsBadFactor(t *testing.T) {
+	if _, err := NewRuche(4, 4, -1); err == nil {
+		t.Error("negative factor accepted")
+	}
+	if _, err := NewRuche(4, 4, 4); err == nil {
+		t.Error("factor >= grid dimension accepted")
+	}
+	if _, err := NewRuche(4, 8, 5); err == nil {
+		t.Error("factor >= rows accepted")
+	}
+}
+
+func TestRucheConfigurationCount(t *testing.T) {
+	// 8x8: factors {mesh, 2..7} = 7 configurations vs SHG's 4096 —
+	// the related-work claim that SHG offers far finer adjustment.
+	if got := RucheConfigurations(8, 8); got != 7 {
+		t.Errorf("ruche configs = %d, want 7", got)
+	}
+	if got := NumConfigurations(8, 8); got != 4096 {
+		t.Errorf("shg configs = %v, want 4096", got)
+	}
+	if got := RucheConfigurations(2, 8); got != 1 {
+		t.Errorf("2x8 ruche configs = %d, want 1", got)
+	}
+}
+
+func TestRucheReducesDiameter(t *testing.T) {
+	mesh, _ := NewMesh(8, 8)
+	ruche, err := NewRuche(8, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ruche.Diameter() >= mesh.Diameter() {
+		t.Errorf("ruche diameter %d not below mesh %d", ruche.Diameter(), mesh.Diameter())
+	}
+}

@@ -1,0 +1,220 @@
+// Package topo defines NoC topologies on an R x C grid of tiles and
+// implements the eight topologies compared in the paper: ring, 2D mesh,
+// 2D torus, folded 2D torus, hypercube, SlimNoC, flattened butterfly,
+// and the paper's contribution, the sparse Hamming graph.
+//
+// A topology is an undirected multigraph-free graph whose vertices are
+// tiles identified by (row, col) grid coordinates. Links carry no
+// weights here; physical lengths and latencies are derived later by the
+// floorplanning model in package phys.
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"sparsehamming/internal/graphalg"
+)
+
+// Coord identifies a tile by its row and column in the grid.
+type Coord struct {
+	Row, Col int
+}
+
+// String returns "(r,c)".
+func (c Coord) String() string { return fmt.Sprintf("(%d,%d)", c.Row, c.Col) }
+
+// Link is an undirected connection between the routers of two tiles.
+// Links are stored in canonical order (A before B in row-major index
+// order).
+type Link struct {
+	A, B Coord
+}
+
+// Aligned reports whether the link stays within one row or one column.
+func (l Link) Aligned() bool {
+	return l.A.Row == l.B.Row || l.A.Col == l.B.Col
+}
+
+// GridLength returns the Manhattan distance between the endpoints in
+// tile units.
+func (l Link) GridLength() int {
+	return abs(l.A.Row-l.B.Row) + abs(l.A.Col-l.B.Col)
+}
+
+// Topology is a NoC topology on an R x C grid of tiles.
+// Construct topologies with the New* constructors; the zero value is
+// an empty topology.
+type Topology struct {
+	Kind string // human-readable topology family name
+	Rows int
+	Cols int
+
+	links   []Link
+	linkSet map[[2]int]struct{} // canonical (minIdx, maxIdx) pairs
+	adj     [][]int             // tile index -> sorted neighbor tile indices
+	adjDone bool
+}
+
+// New returns an empty topology (no links) on an R x C grid.
+func New(kind string, rows, cols int) (*Topology, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("topo: invalid grid %dx%d", rows, cols)
+	}
+	return &Topology{
+		Kind:    kind,
+		Rows:    rows,
+		Cols:    cols,
+		linkSet: make(map[[2]int]struct{}),
+	}, nil
+}
+
+// NumTiles returns R*C.
+func (t *Topology) NumTiles() int { return t.Rows * t.Cols }
+
+// Index returns the row-major index of coordinate c.
+func (t *Topology) Index(c Coord) int { return c.Row*t.Cols + c.Col }
+
+// CoordOf returns the coordinate of tile index i.
+func (t *Topology) CoordOf(i int) Coord { return Coord{Row: i / t.Cols, Col: i % t.Cols} }
+
+// InBounds reports whether c lies within the grid.
+func (t *Topology) InBounds(c Coord) bool {
+	return c.Row >= 0 && c.Row < t.Rows && c.Col >= 0 && c.Col < t.Cols
+}
+
+// AddLink adds an undirected link between a and b. Duplicate links and
+// self-loops are silently ignored, keeping constructors simple.
+// It panics if either endpoint is out of bounds (a constructor bug,
+// not a runtime condition).
+func (t *Topology) AddLink(a, b Coord) {
+	if !t.InBounds(a) || !t.InBounds(b) {
+		panic(fmt.Sprintf("topo: link endpoint out of bounds: %v-%v on %dx%d", a, b, t.Rows, t.Cols))
+	}
+	ia, ib := t.Index(a), t.Index(b)
+	if ia == ib {
+		return
+	}
+	if ia > ib {
+		ia, ib = ib, ia
+		a, b = b, a
+	}
+	key := [2]int{ia, ib}
+	if _, dup := t.linkSet[key]; dup {
+		return
+	}
+	t.linkSet[key] = struct{}{}
+	t.links = append(t.links, Link{A: a, B: b})
+	t.adjDone = false
+}
+
+// HasLink reports whether an undirected link between a and b exists.
+func (t *Topology) HasLink(a, b Coord) bool {
+	ia, ib := t.Index(a), t.Index(b)
+	if ia > ib {
+		ia, ib = ib, ia
+	}
+	_, ok := t.linkSet[[2]int{ia, ib}]
+	return ok
+}
+
+// Links returns all links in deterministic (insertion) order. The
+// returned slice is owned by the topology and must not be modified.
+func (t *Topology) Links() []Link { return t.links }
+
+// NumLinks returns the number of undirected links.
+func (t *Topology) NumLinks() int { return len(t.links) }
+
+// buildAdj (re)builds the adjacency lists.
+func (t *Topology) buildAdj() {
+	if t.adjDone {
+		return
+	}
+	n := t.NumTiles()
+	t.adj = make([][]int, n)
+	for _, l := range t.links {
+		ia, ib := t.Index(l.A), t.Index(l.B)
+		t.adj[ia] = append(t.adj[ia], ib)
+		t.adj[ib] = append(t.adj[ib], ia)
+	}
+	for i := range t.adj {
+		sort.Ints(t.adj[i])
+	}
+	t.adjDone = true
+}
+
+// Neighbors returns the sorted neighbor tile indices of tile i. The
+// returned slice is owned by the topology and must not be modified.
+func (t *Topology) Neighbors(i int) []int {
+	t.buildAdj()
+	return t.adj[i]
+}
+
+// Degree returns the number of inter-tile links attached to tile i
+// (the router radix excluding local endpoint ports).
+func (t *Topology) Degree(i int) int {
+	t.buildAdj()
+	return len(t.adj[i])
+}
+
+// MaxRadix returns the maximum router radix over all tiles, excluding
+// local endpoint ports (matching the paper's Table I convention).
+func (t *Topology) MaxRadix() int {
+	max := 0
+	for i := 0; i < t.NumTiles(); i++ {
+		if d := t.Degree(i); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Graph returns the topology as an undirected graphalg.Graph over tile
+// indices.
+func (t *Topology) Graph() *graphalg.Graph {
+	g := graphalg.NewGraph(t.NumTiles())
+	for _, l := range t.links {
+		g.AddUndirected(t.Index(l.A), t.Index(l.B))
+	}
+	return g
+}
+
+// Connected reports whether the topology is connected.
+func (t *Topology) Connected() bool { return t.Graph().Connected() }
+
+// Diameter returns the network diameter in router-to-router hops.
+// It returns -1 if the topology is disconnected.
+func (t *Topology) Diameter() int {
+	d, ok := t.Graph().Diameter()
+	if !ok {
+		return -1
+	}
+	return d
+}
+
+// AverageHops returns the average hop distance over all distinct pairs.
+func (t *Topology) AverageHops() float64 { return t.Graph().AverageDistance() }
+
+// Validate checks structural invariants: connectivity, in-bounds
+// endpoints (guaranteed by AddLink), and no isolated tiles for grids
+// with more than one tile.
+func (t *Topology) Validate() error {
+	if t.NumTiles() > 1 {
+		for i := 0; i < t.NumTiles(); i++ {
+			if t.Degree(i) == 0 {
+				return fmt.Errorf("topo %s: isolated tile %v", t.Kind, t.CoordOf(i))
+			}
+		}
+	}
+	if !t.Connected() {
+		return fmt.Errorf("topo %s: disconnected", t.Kind)
+	}
+	return nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

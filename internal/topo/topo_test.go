@@ -1,0 +1,506 @@
+package topo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// mustTopo returns a checker bound to t that unwraps a constructor
+// result and validates the topology.
+func mustTopo(t *testing.T) func(*Topology, error) *Topology {
+	return func(tp *Topology, err error) *Topology {
+		t.Helper()
+		if err != nil {
+			t.Fatalf("constructor: %v", err)
+		}
+		if err := tp.Validate(); err != nil {
+			t.Fatalf("validate: %v", err)
+		}
+		return tp
+	}
+}
+
+func TestMeshBasics(t *testing.T) {
+	m := mustTopo(t)(NewMesh(4, 5))
+	// Link count: R*(C-1) horizontal + C*(R-1) vertical.
+	want := 4*4 + 5*3
+	if m.NumLinks() != want {
+		t.Errorf("mesh 4x5 links = %d, want %d", m.NumLinks(), want)
+	}
+	if m.MaxRadix() != 4 {
+		t.Errorf("mesh radix = %d, want 4", m.MaxRadix())
+	}
+	if d := m.Diameter(); d != 4+5-2 {
+		t.Errorf("mesh diameter = %d, want %d", d, 7)
+	}
+	// Corner has degree 2, edge 3, interior 4.
+	if m.Degree(m.Index(Coord{0, 0})) != 2 {
+		t.Error("corner degree != 2")
+	}
+	if m.Degree(m.Index(Coord{0, 2})) != 3 {
+		t.Error("edge degree != 3")
+	}
+	if m.Degree(m.Index(Coord{1, 2})) != 4 {
+		t.Error("interior degree != 4")
+	}
+}
+
+func TestMeshIsShortAligned(t *testing.T) {
+	m := mustTopo(t)(NewMesh(8, 8))
+	if m.MaxLinkLength() != 1 {
+		t.Error("mesh has non-unit links")
+	}
+	if !m.AllLinksAligned() {
+		t.Error("mesh has unaligned links")
+	}
+	if !m.MinimalPathsPresent() {
+		t.Error("mesh should provide minimal paths")
+	}
+	if !m.MinimalPathsUsable() {
+		t.Error("mesh hop-minimal paths should be physically minimal")
+	}
+}
+
+func TestRingHamiltonian(t *testing.T) {
+	// Even rows: Hamiltonian cycle, all links short.
+	r := mustTopo(t)(NewRing(4, 5))
+	if r.NumLinks() != 20 {
+		t.Errorf("ring 4x5 links = %d, want 20", r.NumLinks())
+	}
+	if r.MaxRadix() != 2 {
+		t.Errorf("ring radix = %d, want 2", r.MaxRadix())
+	}
+	if r.MaxLinkLength() != 1 {
+		t.Errorf("ring 4x5 max link length = %d, want 1 (Hamiltonian)", r.MaxLinkLength())
+	}
+	if d := r.Diameter(); d != 10 {
+		t.Errorf("ring 4x5 diameter = %d, want RC/2 = 10", d)
+	}
+}
+
+func TestRingOddGrid(t *testing.T) {
+	// 3x3: no Hamiltonian cycle in the grid graph; serpentine closes long.
+	r := mustTopo(t)(NewRing(3, 3))
+	if r.MaxRadix() != 2 {
+		t.Errorf("ring radix = %d, want 2", r.MaxRadix())
+	}
+	if d := r.Diameter(); d != 4 {
+		t.Errorf("ring 3x3 diameter = %d, want 4", d)
+	}
+}
+
+func TestRingEvenColsOddRows(t *testing.T) {
+	r := mustTopo(t)(NewRing(5, 4))
+	if r.MaxLinkLength() != 1 {
+		t.Errorf("ring 5x4 max link length = %d, want 1 (transposed Hamiltonian)", r.MaxLinkLength())
+	}
+	if r.MaxRadix() != 2 {
+		t.Errorf("ring 5x4 radix = %d", r.MaxRadix())
+	}
+}
+
+func TestTorus(t *testing.T) {
+	tr := mustTopo(t)(NewTorus(6, 8))
+	if tr.MaxRadix() != 4 {
+		t.Errorf("torus radix = %d, want 4", tr.MaxRadix())
+	}
+	if d := tr.Diameter(); d != 3+4 {
+		t.Errorf("torus 6x8 diameter = %d, want 7", d)
+	}
+	if !tr.AllLinksAligned() {
+		t.Error("torus has unaligned links")
+	}
+	if tr.MaxLinkLength() <= 2 {
+		t.Error("torus should have long wrap links")
+	}
+	if !tr.MinimalPathsPresent() {
+		t.Error("torus contains the mesh, so minimal paths are present")
+	}
+	if tr.MinimalPathsUsable() {
+		t.Error("torus hop-minimal routing uses wrap links: not physically minimal")
+	}
+}
+
+func TestFoldedTorus(t *testing.T) {
+	ft := mustTopo(t)(NewFoldedTorus(6, 8))
+	if ft.MaxRadix() != 4 {
+		t.Errorf("folded torus radix = %d, want 4", ft.MaxRadix())
+	}
+	// Same diameter as torus.
+	if d := ft.Diameter(); d != 3+4 {
+		t.Errorf("folded torus 6x8 diameter = %d, want 7", d)
+	}
+	if ft.MaxLinkLength() != 2 {
+		t.Errorf("folded torus max link length = %d, want 2", ft.MaxLinkLength())
+	}
+	if ft.MinimalPathsPresent() {
+		t.Error("folded torus lacks physically minimal paths (no unit links in the interior)")
+	}
+	// Folded torus has the same number of links as the torus.
+	tr := mustTopo(t)(NewTorus(6, 8))
+	if ft.NumLinks() != tr.NumLinks() {
+		t.Errorf("folded torus links = %d, torus = %d", ft.NumLinks(), tr.NumLinks())
+	}
+}
+
+func TestHypercube(t *testing.T) {
+	h := mustTopo(t)(NewHypercube(8, 8))
+	if h.MaxRadix() != 6 {
+		t.Errorf("hypercube 8x8 radix = %d, want log2(64) = 6", h.MaxRadix())
+	}
+	if d := h.Diameter(); d != 6 {
+		t.Errorf("hypercube 8x8 diameter = %d, want 6", d)
+	}
+	// Every tile has exactly log2(RC) links (regular graph).
+	for i := 0; i < h.NumTiles(); i++ {
+		if h.Degree(i) != 6 {
+			t.Fatalf("hypercube degree at %v = %d, want 6", h.CoordOf(i), h.Degree(i))
+		}
+	}
+	if !h.AllLinksAligned() {
+		t.Error("hypercube (row/col bit split) should have aligned links")
+	}
+	// Gray-code placement: mesh is a subgraph, minimal paths present.
+	if !h.MinimalPathsPresent() {
+		t.Error("gray-coded hypercube should contain minimal paths")
+	}
+	if h.MaxLinkLength() == 1 {
+		t.Error("hypercube should have long links")
+	}
+}
+
+func TestHypercubeRejectsNonPow2(t *testing.T) {
+	if _, err := NewHypercube(6, 8); err == nil {
+		t.Error("NewHypercube(6,8) succeeded, want error")
+	}
+	if _, err := NewHypercube(8, 12); err == nil {
+		t.Error("NewHypercube(8,12) succeeded, want error")
+	}
+}
+
+func TestFlattenedButterfly(t *testing.T) {
+	fb := mustTopo(t)(NewFlattenedButterfly(4, 6))
+	if fb.MaxRadix() != 4+6-2 {
+		t.Errorf("FB radix = %d, want R+C-2 = 8", fb.MaxRadix())
+	}
+	if d := fb.Diameter(); d != 2 {
+		t.Errorf("FB diameter = %d, want 2", d)
+	}
+	// Link count: R*C(C-1)/2 + C*R(R-1)/2.
+	want := 4*6*5/2 + 6*4*3/2
+	if fb.NumLinks() != want {
+		t.Errorf("FB links = %d, want %d", fb.NumLinks(), want)
+	}
+	if !fb.MinimalPathsPresent() || !fb.MinimalPathsUsable() {
+		t.Error("FB should both contain and use minimal paths")
+	}
+}
+
+func TestSparseHammingDegenerateCases(t *testing.T) {
+	// Empty sets: exactly the mesh.
+	sh := mustTopo(t)(NewSparseHamming(5, 6, HammingParams{}))
+	mesh := mustTopo(t)(NewMesh(5, 6))
+	if sh.NumLinks() != mesh.NumLinks() {
+		t.Errorf("SHG({},{}) links = %d, mesh = %d", sh.NumLinks(), mesh.NumLinks())
+	}
+	for _, l := range mesh.Links() {
+		if !sh.HasLink(l.A, l.B) {
+			t.Fatalf("SHG({},{}) missing mesh link %v-%v", l.A, l.B)
+		}
+	}
+	// Full sets: exactly the flattened butterfly.
+	full := HammingParams{}
+	for x := 2; x < 6; x++ {
+		full.SR = append(full.SR, x)
+	}
+	for x := 2; x < 5; x++ {
+		full.SC = append(full.SC, x)
+	}
+	shFull := mustTopo(t)(NewSparseHamming(5, 6, full))
+	fb := mustTopo(t)(NewFlattenedButterfly(5, 6))
+	if shFull.NumLinks() != fb.NumLinks() {
+		t.Errorf("SHG(full) links = %d, FB = %d", shFull.NumLinks(), fb.NumLinks())
+	}
+	for _, l := range fb.Links() {
+		if !shFull.HasLink(l.A, l.B) {
+			t.Fatalf("SHG(full) missing FB link %v-%v", l.A, l.B)
+		}
+	}
+}
+
+func TestSparseHammingConstruction(t *testing.T) {
+	// 8x8 with SR={4}, SC={2,5} (paper scenario a parameters).
+	sh := mustTopo(t)(NewSparseHamming(8, 8, HammingParams{SR: []int{4}, SC: []int{2, 5}}))
+	// Each row adds (C-4) = 4 links for offset 4.
+	// Each column adds (R-2) + (R-5) = 6+3 = 9 links.
+	mesh := 8*7 + 8*7
+	want := mesh + 8*4 + 8*9
+	if sh.NumLinks() != want {
+		t.Errorf("SHG links = %d, want %d", sh.NumLinks(), want)
+	}
+	// Spot-check constructed links per Section III-b.
+	if !sh.HasLink(Coord{3, 0}, Coord{3, 4}) {
+		t.Error("missing row link (3,0)-(3,4) for offset 4")
+	}
+	if !sh.HasLink(Coord{0, 5}, Coord{2, 5}) {
+		t.Error("missing column link (0,5)-(2,5) for offset 2")
+	}
+	if !sh.HasLink(Coord{2, 7}, Coord{7, 7}) {
+		t.Error("missing column link (2,7)-(7,7) for offset 5")
+	}
+	if sh.HasLink(Coord{0, 0}, Coord{0, 3}) {
+		t.Error("unexpected row link of offset 3")
+	}
+	// All links aligned, minimal paths present (mesh subgraph).
+	if !sh.AllLinksAligned() {
+		t.Error("SHG links must be row/column aligned")
+	}
+	if !sh.MinimalPathsPresent() {
+		t.Error("SHG contains the mesh: minimal paths present")
+	}
+}
+
+func TestSparseHammingRejectsBadOffsets(t *testing.T) {
+	cases := []HammingParams{
+		{SR: []int{1}},
+		{SR: []int{8}}, // C-1 = 7 max for 8 cols
+		{SC: []int{0}},
+		{SC: []int{9}},
+		{SR: []int{-2}},
+	}
+	for _, p := range cases {
+		if _, err := NewSparseHamming(8, 8, p); err == nil {
+			t.Errorf("NewSparseHamming(8,8,%v) succeeded, want error", p)
+		}
+	}
+}
+
+func TestSparseHammingDiameterMonotone(t *testing.T) {
+	// Adding offsets can only reduce (or keep) the diameter.
+	prev := -1
+	params := []HammingParams{
+		{},
+		{SR: []int{4}},
+		{SR: []int{4}, SC: []int{2}},
+		{SR: []int{4}, SC: []int{2, 5}},
+		{SR: []int{2, 4}, SC: []int{2, 5}},
+	}
+	for i, p := range params {
+		sh := mustTopo(t)(NewSparseHamming(8, 8, p))
+		d := sh.Diameter()
+		if prev >= 0 && d > prev {
+			t.Errorf("step %d (%v): diameter %d > previous %d", i, p, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestNumConfigurations(t *testing.T) {
+	if got := NumConfigurations(8, 8); got != 4096 {
+		t.Errorf("NumConfigurations(8,8) = %v, want 2^12 = 4096", got)
+	}
+	if got := NumConfigurations(2, 2); got != 1 {
+		t.Errorf("NumConfigurations(2,2) = %v, want 1", got)
+	}
+}
+
+func TestSlimNoC(t *testing.T) {
+	// q=8: 128 tiles on an 8x16 grid.
+	s := mustTopo(t)(NewSlimNoC(8, 16))
+	if d := s.Diameter(); d != 2 {
+		t.Errorf("slimnoc diameter = %d, want 2", d)
+	}
+	// Radix 2q-1 = 15 for every tile.
+	for i := 0; i < s.NumTiles(); i++ {
+		if s.Degree(i) != 15 {
+			t.Fatalf("slimnoc degree at %v = %d, want 15", s.CoordOf(i), s.Degree(i))
+		}
+	}
+	if s.AllLinksAligned() {
+		t.Error("slimnoc should have unaligned (cross) links")
+	}
+	// Transposed arrangement.
+	st := mustTopo(t)(NewSlimNoC(16, 8))
+	if d := st.Diameter(); d != 2 {
+		t.Errorf("transposed slimnoc diameter = %d, want 2", d)
+	}
+	if st.NumLinks() != s.NumLinks() {
+		t.Errorf("transposed link count %d != %d", st.NumLinks(), s.NumLinks())
+	}
+}
+
+func TestSlimNoCApplicability(t *testing.T) {
+	if !SlimNoCApplicable(8, 16) {
+		t.Error("8x16 (q=8) should be applicable")
+	}
+	if !SlimNoCApplicable(5, 10) {
+		t.Error("5x10 (q=5) should be applicable")
+	}
+	if SlimNoCApplicable(8, 8) {
+		t.Error("8x8 (64 tiles) should not be applicable (matches paper scenarios a/b)")
+	}
+	if SlimNoCApplicable(6, 12) {
+		t.Error("q=6 is not a prime power")
+	}
+	if SlimNoCApplicable(4, 9) {
+		t.Error("grid must be q x 2q")
+	}
+}
+
+func TestSlimNoCSmallField(t *testing.T) {
+	// q=3: 18 tiles on 3x6.
+	s := mustTopo(t)(NewSlimNoC(3, 6))
+	if d := s.Diameter(); d != 2 {
+		t.Errorf("slimnoc q=3 diameter = %d, want 2", d)
+	}
+	for i := 0; i < s.NumTiles(); i++ {
+		if s.Degree(i) != 5 {
+			t.Fatalf("slimnoc q=3 degree = %d, want 2q-1 = 5", s.Degree(i))
+		}
+	}
+}
+
+func TestAddLinkDedupAndSelfLoop(t *testing.T) {
+	tp, err := New("test", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Coord{0, 0}, Coord{0, 1}
+	tp.AddLink(a, b)
+	tp.AddLink(b, a) // duplicate in reverse order
+	tp.AddLink(a, a) // self loop ignored
+	if tp.NumLinks() != 1 {
+		t.Errorf("links = %d, want 1", tp.NumLinks())
+	}
+	if !tp.HasLink(b, a) {
+		t.Error("HasLink not symmetric")
+	}
+}
+
+func TestAddLinkOutOfBoundsPanics(t *testing.T) {
+	tp, err := New("test", 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-bounds link")
+		}
+	}()
+	tp.AddLink(Coord{0, 0}, Coord{5, 5})
+}
+
+func TestIndexCoordRoundTrip(t *testing.T) {
+	tp, err := New("test", 7, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < tp.NumTiles(); i++ {
+		if got := tp.Index(tp.CoordOf(i)); got != i {
+			t.Fatalf("round trip %d -> %v -> %d", i, tp.CoordOf(i), got)
+		}
+	}
+}
+
+func TestBisectionLinks(t *testing.T) {
+	m, _ := NewMesh(4, 8)
+	if got := m.BisectionLinks(); got != 4 {
+		t.Errorf("mesh 4x8 bisection = %d, want 4", got)
+	}
+	fb, _ := NewFlattenedButterfly(4, 8)
+	// Each row contributes 4*4 = 16 pairs crossing the cut.
+	if got := fb.BisectionLinks(); got != 4*16 {
+		t.Errorf("FB 4x8 bisection = %d, want 64", got)
+	}
+}
+
+// TestQuickSparseHammingValid: random valid offset sets always yield
+// connected topologies with aligned links containing the mesh.
+func TestQuickSparseHammingValid(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 3 + rng.Intn(8)
+		cols := 3 + rng.Intn(8)
+		var p HammingParams
+		for x := 2; x < cols; x++ {
+			if rng.Intn(2) == 0 {
+				p.SR = append(p.SR, x)
+			}
+		}
+		for x := 2; x < rows; x++ {
+			if rng.Intn(2) == 0 {
+				p.SC = append(p.SC, x)
+			}
+		}
+		sh, err := NewSparseHamming(rows, cols, p)
+		if err != nil {
+			return false
+		}
+		if err := sh.Validate(); err != nil {
+			return false
+		}
+		return sh.AllLinksAligned() && sh.MinimalPathsPresent() && sh.MaxRadix() <= rows+cols-2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDiameterBounds: SHG diameter lies in [2, R+C-2] as Table I
+// claims (lower bound 2 only reachable for the full butterfly; general
+// instances are bounded by the mesh diameter above).
+func TestQuickDiameterBounds(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 3 + rng.Intn(6)
+		cols := 3 + rng.Intn(6)
+		var p HammingParams
+		for x := 2; x < cols; x++ {
+			if rng.Intn(3) == 0 {
+				p.SR = append(p.SR, x)
+			}
+		}
+		for x := 2; x < rows; x++ {
+			if rng.Intn(3) == 0 {
+				p.SC = append(p.SC, x)
+			}
+		}
+		sh, err := NewSparseHamming(rows, cols, p)
+		if err != nil {
+			return false
+		}
+		d := sh.Diameter()
+		return d >= 2 && d <= rows+cols-2 || (rows+cols-2) < 2
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStructuralComplianceMesh(t *testing.T) {
+	m, _ := NewMesh(8, 8)
+	c := m.Structural()
+	if c.RouterRadix != 4 || c.ShortLinks != Yes || c.AlignedLinks != Yes ||
+		c.Diameter != 14 || !c.MinimalPathsPresent || !c.MinimalPathsUsable {
+		t.Errorf("mesh compliance = %+v", c)
+	}
+}
+
+func TestStructuralComplianceFoldedTorus(t *testing.T) {
+	ft, _ := NewFoldedTorus(8, 8)
+	c := ft.Structural()
+	if c.ShortLinks != Partial {
+		t.Errorf("folded torus SL = %v, want Partial", c.ShortLinks)
+	}
+	if c.MinimalPathsPresent {
+		t.Error("folded torus should not provide minimal paths")
+	}
+}
+
+func TestHammingParamsString(t *testing.T) {
+	p := HammingParams{SR: []int{4, 2, 4}, SC: []int{5}}
+	if got := p.String(); got != "SR=[2 4] SC=[5]" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -1,0 +1,158 @@
+// Package viz renders topologies and floorplans as ASCII art, the
+// repository's stand-in for the paper's Figures 1, 2, and 5. The
+// drawings are meant for quick visual inspection in a terminal:
+// tiles are boxes, aligned links are drawn in the channels between
+// them, and non-aligned links are listed separately.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sparsehamming/internal/phys"
+	"sparsehamming/internal/topo"
+)
+
+// Topology draws the tile grid with its aligned links. Horizontal
+// links of grid length one are drawn as "--", longer ones as arcs
+// listed under the grid; vertical unit links as "|". Returns a
+// multi-line string.
+func Topology(t *topo.Topology) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  %dx%d  %d links  radix %d  diameter %d\n\n",
+		t.Kind, t.Rows, t.Cols, t.NumLinks(), t.MaxRadix(), t.Diameter())
+
+	// Cell layout: each tile is 4 characters wide ("[r,c]" shortened
+	// to "[]"), separated by link markers.
+	for r := 0; r < t.Rows; r++ {
+		// Tile row with horizontal unit links.
+		for c := 0; c < t.Cols; c++ {
+			fmt.Fprintf(&b, "[]")
+			if c+1 < t.Cols {
+				if t.HasLink(topo.Coord{Row: r, Col: c}, topo.Coord{Row: r, Col: c + 1}) {
+					b.WriteString("--")
+				} else {
+					b.WriteString("  ")
+				}
+			}
+		}
+		b.WriteByte('\n')
+		// Vertical unit links to the next row.
+		if r+1 < t.Rows {
+			for c := 0; c < t.Cols; c++ {
+				if t.HasLink(topo.Coord{Row: r, Col: c}, topo.Coord{Row: r + 1, Col: c}) {
+					b.WriteString("| ")
+				} else {
+					b.WriteString("  ")
+				}
+				if c+1 < t.Cols {
+					b.WriteString("  ")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+
+	// Longer links, grouped by length.
+	long := map[int][]topo.Link{}
+	for _, l := range t.Links() {
+		if l.GridLength() > 1 {
+			long[l.GridLength()] = append(long[l.GridLength()], l)
+		}
+	}
+	if len(long) > 0 {
+		b.WriteByte('\n')
+		lengths := make([]int, 0, len(long))
+		for k := range long {
+			lengths = append(lengths, k)
+		}
+		sort.Ints(lengths)
+		for _, k := range lengths {
+			links := long[k]
+			fmt.Fprintf(&b, "length-%d links (%d): ", k, len(links))
+			max := 8
+			for i, l := range links {
+				if i == max {
+					fmt.Fprintf(&b, "... (%d more)", len(links)-max)
+					break
+				}
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%v-%v", l.A, l.B)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Floorplan summarizes the physical model's channel structure: the
+// track count of every routing channel, as produced by the global
+// router (Figure 5c).
+func Floorplan(res *phys.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "chip %.2f x %.2f mm, tiles %.2f x %.2f mm, unit cell %.1f x %.1f um\n",
+		res.ChipWidthMm, res.ChipHeightMm, res.TileWidthMm, res.TileHeightMm,
+		1000*res.CellWidthMm, 1000*res.CellHeightMm)
+	fmt.Fprintf(&b, "area %.1f mm2 (overhead %.1f%%), power %.1f W (NoC %.1f W)\n",
+		res.TotalAreaMm2, 100*res.AreaOverhead, res.TotalPowerW, res.NoCPowerW)
+	fmt.Fprintf(&b, "horizontal channel tracks: %v\n", res.HChanTracks)
+	fmt.Fprintf(&b, "vertical channel tracks:   %v\n", res.VChanTracks)
+	fmt.Fprintf(&b, "channel utilization %.2f, collisions %d\n",
+		res.ChannelUtilization, res.Collisions)
+	return b.String()
+}
+
+// ChannelMap draws the routing-channel structure of a floorplan as a
+// grid: tiles are "[]" and the numbers between them are the track
+// counts of the horizontal and vertical channels (the spacing driver
+// of step 3, Figure 5c). Channels needing no tracks print as spaces,
+// making density imbalances (criterion ULD) visible at a glance.
+func ChannelMap(res *phys.Result) string {
+	var b strings.Builder
+	rows := len(res.HChanTracks) - 1
+	cols := len(res.VChanTracks) - 1
+	num := func(n int) string {
+		if n == 0 {
+			return "  "
+		}
+		return fmt.Sprintf("%2d", n)
+	}
+	for r := 0; r <= rows; r++ {
+		// Horizontal channel above row r: one number per tile column.
+		for c := 0; c < cols; c++ {
+			fmt.Fprintf(&b, "  %s ", num(res.HChanTracks[r]))
+		}
+		b.WriteByte('\n')
+		if r == rows {
+			break
+		}
+		// Tile row with vertical channel counts between tiles.
+		for c := 0; c <= cols; c++ {
+			fmt.Fprintf(&b, "%s", num(res.VChanTracks[c]))
+			if c < cols {
+				b.WriteString("[]")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// DOT exports the topology in Graphviz format for external rendering.
+func DOT(t *topo.Topology) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", t.Kind)
+	b.WriteString("  node [shape=box];\n")
+	for i := 0; i < t.NumTiles(); i++ {
+		c := t.CoordOf(i)
+		fmt.Fprintf(&b, "  t%d [label=\"%d,%d\" pos=\"%d,%d!\"];\n", i, c.Row, c.Col, c.Col, -c.Row)
+	}
+	for _, l := range t.Links() {
+		fmt.Fprintf(&b, "  t%d -- t%d;\n", t.Index(l.A), t.Index(l.B))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"sparsehamming/internal/phys"
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+func TestTopologyMesh(t *testing.T) {
+	m, err := topo.NewMesh(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Topology(m)
+	if !strings.Contains(s, "mesh") || !strings.Contains(s, "3x3") {
+		t.Errorf("header missing: %s", s)
+	}
+	// 3x3 mesh: every horizontal neighbor pair drawn.
+	if strings.Count(s, "--") != 6 {
+		t.Errorf("expected 6 horizontal links, got %d in:\n%s", strings.Count(s, "--"), s)
+	}
+	if strings.Count(s, "|") != 6 {
+		t.Errorf("expected 6 vertical links, got %d in:\n%s", strings.Count(s, "|"), s)
+	}
+	if strings.Contains(s, "length-") {
+		t.Error("mesh should have no long links")
+	}
+}
+
+func TestTopologyLongLinks(t *testing.T) {
+	sh, err := topo.NewSparseHamming(4, 4, topo.HammingParams{SR: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Topology(sh)
+	if !strings.Contains(s, "length-2 links (8)") {
+		t.Errorf("long links not listed:\n%s", s)
+	}
+}
+
+func TestFloorplan(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	m, _ := topo.NewMesh(8, 8)
+	res, err := phys.Evaluate(arch, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Floorplan(res)
+	for _, want := range []string{"chip", "overhead", "tracks", "utilization"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("floorplan missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestChannelMap(t *testing.T) {
+	arch := tech.Scenario(tech.ScenarioA)
+	sh, err := topo.NewSparseHamming(8, 8, topo.HammingParams{SR: []int{4}, SC: []int{2, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := phys.Evaluate(arch, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ChannelMap(res)
+	if !strings.Contains(s, "[]") {
+		t.Error("no tiles drawn")
+	}
+	// SHG has long row and column links, so some track numbers appear.
+	hasDigit := false
+	for _, r := range s {
+		if r >= '1' && r <= '9' {
+			hasDigit = true
+			break
+		}
+	}
+	if !hasDigit {
+		t.Errorf("no track counts rendered:\n%s", s)
+	}
+	// 8 tile rows + 9 channel rows of output.
+	if got := strings.Count(s, "\n"); got != 17 {
+		t.Errorf("channel map has %d lines, want 17", got)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	m, _ := topo.NewMesh(2, 2)
+	s := DOT(m)
+	if !strings.HasPrefix(s, "graph \"mesh\"") {
+		t.Errorf("bad DOT header: %s", s)
+	}
+	if strings.Count(s, " -- ") != 4 {
+		t.Errorf("2x2 mesh has 4 links, DOT shows %d", strings.Count(s, " -- "))
+	}
+	if !strings.Contains(s, "t0 [label=\"0,0\"") {
+		t.Error("node labels missing")
+	}
+}
