@@ -3,11 +3,16 @@
 // model and prints the Pareto frontier of (area overhead, average
 // hops), or the full point cloud as CSV.
 //
+// The enumeration runs as a parallel experiment campaign: one
+// cost-model job per configuration on a worker pool (-jobs), with an
+// optional on-disk result cache (-cache) so a repeated exploration of
+// the same grid recomputes nothing.
+//
 // Examples:
 //
 //	shdse -rows 6 -cols 6
-//	shdse -rows 5 -cols 8 -budget 30
-//	shdse -rows 6 -cols 6 -csv > points.csv
+//	shdse -rows 5 -cols 8 -budget 30 -jobs 8
+//	shdse -rows 6 -cols 6 -cache dse.json -csv > points.csv
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"sparsehamming/internal/cli"
 	"sparsehamming/internal/dse"
 	"sparsehamming/internal/tech"
 )
@@ -26,13 +32,19 @@ func main() {
 		budget = flag.Float64("budget", 40, "area-overhead budget in percent for the -best report")
 		csv    = flag.Bool("csv", false, "emit all points as CSV")
 		limit  = flag.Int("limit", 1<<16, "maximum number of configurations to enumerate")
+		jobs   = flag.Int("jobs", 0, "parallel evaluation workers (0 = all cores)")
+		cacheP = flag.String("cache", "", "JSON file memoizing results across invocations")
 	)
 	flag.Parse()
 
 	arch := tech.Scenario(tech.ScenarioA)
 	arch.Rows, arch.Cols = *rows, *cols
 
-	points, err := dse.Explore(arch, *limit)
+	runner := dse.NewRunner(*jobs, nil)
+	camp := cli.StartCampaign("shdse", *cacheP, runner, false)
+
+	points, err := dse.ExploreWith(arch, *limit, runner)
+	camp.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shdse:", err)
 		os.Exit(1)

@@ -4,11 +4,16 @@
 // simulation, printing area, power, zero-load latency, and saturation
 // throughput.
 //
+// Predictions run as experiment-campaign jobs, so -cache memoizes
+// them across invocations and -curve sweeps its load points in
+// parallel on a worker pool (-jobs).
+//
 // Examples:
 //
 //	shpredict -scenario a -topo sparse-hamming -sr 4 -sc 2,5
 //	shpredict -scenario c -topo slimnoc
 //	shpredict -scenario b -topo mesh -full
+//	shpredict -scenario a -topo mesh -curve -jobs 8 -cache results.json
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 
 	"sparsehamming/internal/cli"
+	"sparsehamming/internal/exp"
 	"sparsehamming/internal/noc"
 	"sparsehamming/internal/phys"
 	"sparsehamming/internal/route"
@@ -34,71 +40,97 @@ func main() {
 		full     = flag.Bool("full", false, "full-length simulation windows")
 		trace    = flag.Int("trace", 0, "additionally trace the first N packets of a short run")
 		curve    = flag.Bool("curve", false, "additionally print a load-latency curve")
+		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all cores)")
+		cacheP   = flag.String("cache", "", "JSON file memoizing results across invocations")
 	)
 	flag.Parse()
 
-	var arch *tech.Arch
-	if *scenario == "mempool" {
-		arch = tech.MemPool()
-	} else {
-		arch = tech.Scenario(tech.ScenarioID(*scenario))
-	}
-	if arch == nil {
-		fatal(fmt.Errorf("unknown scenario %q", *scenario))
-	}
-
-	t, err := cli.BuildTopology(*kind, arch.Rows, arch.Cols, *sr, *sc)
+	srs, err := cli.ParseInts(*sr)
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("-sr: %w", err))
+	}
+	scs, err := cli.ParseInts(*sc)
+	if err != nil {
+		fatal(fmt.Errorf("-sc: %w", err))
 	}
 	quality := noc.Quick
 	if *full {
 		quality = noc.Full
 	}
-	pred, err := noc.Predict(arch, t, quality)
-	if err != nil {
+
+	runner := noc.NewRunner(*jobs, nil)
+	camp := cli.StartCampaign("shpredict", *cacheP, runner, false)
+	campFatal := func(err error) {
+		camp.Close()
 		fatal(err)
 	}
+
+	job := exp.Job{
+		Mode:     exp.ModePredict,
+		Scenario: *scenario,
+		Topo:     *kind,
+		Quality:  noc.QualityName(quality),
+		Seed:     1,
+	}
+	// Only the kinds that read the offsets carry them in the spec;
+	// stray -sr/-sc on other topologies would needlessly fragment
+	// cache keys for otherwise identical jobs.
+	switch *kind {
+	case "sparse-hamming":
+		job.SR, job.SC = srs, scs
+	case "ruche":
+		job.SR = srs
+	}
+	arch, err := noc.ArchForJob(job)
+	if err != nil {
+		campFatal(err)
+	}
+
+	results, _, err := runner.Run([]exp.Job{job})
+	if err != nil {
+		campFatal(err)
+	}
+	pred := noc.PredictionFromResult(results[0])
 	fmt.Printf("scenario %s: %d tiles of %.0f MGE, %g bits/cycle at %.1f GHz\n\n",
 		*scenario, arch.NumTiles(), arch.EndpointGE/1e6, arch.LinkBWBits, arch.FreqHz/1e9)
 	fmt.Print(noc.FormatPrediction(pred))
 
 	if *curve {
-		if err := printCurve(arch, t); err != nil {
-			fatal(err)
+		if err := printCurve(runner, job); err != nil {
+			campFatal(err)
 		}
 	}
+	camp.Close()
 	if *trace > 0 {
+		t, err := cli.Build(*kind, arch.Rows, arch.Cols, srs, scs)
+		if err != nil {
+			fatal(err)
+		}
 		if err := tracePackets(arch, t, *trace); err != nil {
 			fatal(err)
 		}
 	}
 }
 
-// printCurve sweeps the offered load and prints the classic
-// load-latency curve.
-func printCurve(arch *tech.Arch, t *topo.Topology) error {
-	cost, err := phys.Evaluate(arch, t)
-	if err != nil {
-		return err
-	}
-	rt, err := route.For(t, route.Auto)
-	if err != nil {
-		return err
-	}
+// printCurve sweeps the offered load as one campaign batch of
+// single-point simulation jobs and prints the classic load-latency
+// curve.
+func printCurve(runner *exp.Runner, base exp.Job) error {
 	rates := []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
-	curve, err := sim.LoadLatencyCurve(sim.Config{
-		Topo: t, Routing: rt,
-		NumVCs: arch.Proto.NumVCs, BufDepth: arch.Proto.BufDepthFlits,
-		LinkLatency: cost.LinkLatencies, RouterDelay: noc.RouterDelay,
-		PacketLen: 4, Seed: 1, Warmup: 800, Measure: 2500,
-	}, rates)
+	jobsList := make([]exp.Job, len(rates))
+	for i, r := range rates {
+		j := base
+		j.Mode = exp.ModeLoad
+		j.Load = r
+		jobsList[i] = j
+	}
+	results, _, err := runner.Run(jobsList)
 	if err != nil {
 		return err
 	}
 	fmt.Println("\nload-latency curve (uniform random):")
 	fmt.Println("offered   accepted   avg lat    p99 lat")
-	for _, st := range curve {
+	for _, st := range results {
 		fmt.Printf(" %5.2f     %6.3f   %7.1f    %7.1f\n",
 			st.OfferedRate, st.AcceptedRate, st.AvgPacketLatency, st.P99PacketLatency)
 	}

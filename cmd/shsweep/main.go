@@ -3,10 +3,17 @@
 // as markdown tables or CSV. It can also print Table I (compliance)
 // and Table III (MemPool toolchain validation).
 //
+// The sweep runs as a parallel experiment campaign: every
+// scenario/topology pair is one job on a worker pool (-jobs), and
+// -cache memoizes results on disk so a repeated sweep performs zero
+// new simulations. Tables are byte-identical regardless of -jobs and
+// -cache; the campaign report and cache statistics go to stderr.
+//
 // Examples:
 //
 //	shsweep -scenario a
-//	shsweep -scenario all -csv > figure6.csv
+//	shsweep -scenario all -jobs 8 -csv > figure6.csv
+//	shsweep -scenario all -cache results.json -progress
 //	shsweep -table3
 package main
 
@@ -15,6 +22,7 @@ import (
 	"fmt"
 	"os"
 
+	"sparsehamming/internal/cli"
 	"sparsehamming/internal/noc"
 	"sparsehamming/internal/tech"
 )
@@ -25,6 +33,9 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of markdown")
 		table3   = flag.Bool("table3", false, "print Table III (MemPool validation) instead")
 		full     = flag.Bool("full", false, "full-length simulation windows")
+		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all cores)")
+		cacheP   = flag.String("cache", "", "JSON file memoizing results across invocations")
+		progress = flag.Bool("progress", false, "log per-job progress to stderr")
 	)
 	flag.Parse()
 
@@ -32,12 +43,20 @@ func main() {
 	if *full {
 		quality = noc.Full
 	}
+	runner := noc.NewRunner(*jobs, nil)
+	camp := cli.StartCampaign("shsweep", *cacheP, runner, *progress)
+	fatal := func(err error) {
+		camp.Close()
+		fmt.Fprintln(os.Stderr, "shsweep:", err)
+		os.Exit(1)
+	}
 
 	if *table3 {
-		rows, pred, err := noc.TableIII(quality)
+		rows, pred, err := noc.TableIIIWith(quality, runner)
 		if err != nil {
 			fatal(err)
 		}
+		camp.Close()
 		fmt.Println("Table III: MemPool toolchain validation")
 		fmt.Print(noc.FormatTableIII(rows))
 		fmt.Printf("\n(stand-in topology: %s, diameter %d, routing %s)\n",
@@ -52,14 +71,19 @@ func main() {
 		ids = []tech.ScenarioID{tech.ScenarioID(*scenario)}
 	}
 
+	// One campaign batch across all requested scenarios: the worker
+	// pool sees every panel's jobs at once.
+	panels, err := noc.Figure6Panels(ids, quality, runner)
+	if err != nil {
+		fatal(err)
+	}
+	camp.Close()
+
 	if *csv {
 		fmt.Println("scenario,topology,params,area_overhead_pct,noc_power_w,zero_load_latency_cycles,saturation_pct")
 	}
-	for _, id := range ids {
-		rows, err := noc.Figure6(id, quality)
-		if err != nil {
-			fatal(err)
-		}
+	for i, id := range ids {
+		rows := panels[i]
 		if *csv {
 			// Strip the header the formatter adds; keep data lines only.
 			out := noc.CSVFigure6(rows)
@@ -81,9 +105,4 @@ func indexAfterNewline(s string) int {
 		}
 	}
 	return 0
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "shsweep:", err)
-	os.Exit(1)
 }

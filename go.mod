@@ -1,0 +1,3 @@
+module sparsehamming
+
+go 1.24

@@ -26,6 +26,21 @@ func TopologyNames() []string {
 // other kinds, except ruche, which takes its factor from the first
 // value of sr).
 func BuildTopology(kind string, rows, cols int, sr, sc string) (*topo.Topology, error) {
+	srs, err := ParseInts(sr)
+	if err != nil {
+		return nil, fmt.Errorf("-sr: %w", err)
+	}
+	scs, err := ParseInts(sc)
+	if err != nil {
+		return nil, fmt.Errorf("-sc: %w", err)
+	}
+	return Build(kind, rows, cols, srs, scs)
+}
+
+// Build constructs a topology by kind name from parsed offset lists —
+// the programmatic counterpart of BuildTopology, shared with the
+// experiment-campaign job evaluators.
+func Build(kind string, rows, cols int, sr, sc []int) (*topo.Topology, error) {
 	switch kind {
 	case "ring":
 		return topo.NewRing(rows, cols)
@@ -42,23 +57,11 @@ func BuildTopology(kind string, rows, cols int, sr, sc string) (*topo.Topology, 
 	case "flattened-butterfly":
 		return topo.NewFlattenedButterfly(rows, cols)
 	case "sparse-hamming":
-		var p topo.HammingParams
-		var err error
-		if p.SR, err = ParseInts(sr); err != nil {
-			return nil, fmt.Errorf("-sr: %w", err)
-		}
-		if p.SC, err = ParseInts(sc); err != nil {
-			return nil, fmt.Errorf("-sc: %w", err)
-		}
-		return topo.NewSparseHamming(rows, cols, p)
+		return topo.NewSparseHamming(rows, cols, topo.HammingParams{SR: sr, SC: sc})
 	case "ruche":
-		f, err := ParseInts(sr)
-		if err != nil {
-			return nil, fmt.Errorf("-sr: %w", err)
-		}
 		factor := 2
-		if len(f) > 0 {
-			factor = f[0]
+		if len(sr) > 0 {
+			factor = sr[0]
 		}
 		return topo.NewRuche(rows, cols, factor)
 	default:

@@ -10,8 +10,11 @@ package dse
 
 import (
 	"fmt"
+	"reflect"
 	"sort"
+	"strings"
 
+	"sparsehamming/internal/exp"
 	"sparsehamming/internal/phys"
 	"sparsehamming/internal/tech"
 	"sparsehamming/internal/topo"
@@ -31,9 +34,82 @@ type Point struct {
 
 // Explore enumerates every sparse Hamming graph configuration of the
 // architecture's grid — all subsets of {2..C-1} x {2..R-1} — and
-// evaluates each with the cost model. It refuses grids with more than
-// maxConfigs configurations; use Frontier's greedy mode for those.
+// evaluates each with the cost model in parallel on all cores. It
+// refuses grids with more than maxConfigs configurations; use
+// Frontier's greedy mode for those. Use ExploreWith for explicit
+// worker and cache control.
 func Explore(arch *tech.Arch, maxConfigs int) ([]Point, error) {
+	return ExploreWith(arch, maxConfigs, nil)
+}
+
+// ExploreWith runs the exhaustive enumeration as a campaign batch on
+// the runner: one cost-model job per configuration, deduplicated and
+// memoized by the runner's cache, so a repeated exploration of the
+// same grid recomputes nothing. A nil runner means the default dse
+// runner (all cores, no cache).
+//
+// Campaign jobs are serialized specs, so they can only reproduce
+// preset architectures (the paper's scenarios or MemPool), possibly
+// with an overridden grid. An architecture customized beyond that
+// falls back to direct serial evaluation — the capability is kept,
+// only the parallelism and memoization need a preset.
+func ExploreWith(arch *tech.Arch, maxConfigs int, r *exp.Runner) ([]Point, error) {
+	params, err := enumerate(arch, maxConfigs)
+	if err != nil {
+		return nil, err
+	}
+	scenario, presetErr := presetScenario(arch)
+	if presetErr != nil {
+		points := make([]Point, 0, len(params))
+		for _, p := range params {
+			pt, err := evaluate(arch, p)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, pt)
+		}
+		markPareto(points)
+		return points, nil
+	}
+	if r == nil {
+		r = NewRunner(0, nil)
+	}
+	jobs := make([]exp.Job, 0, len(params))
+	for _, p := range params {
+		jobs = append(jobs, exp.Job{
+			Mode:     exp.ModeCost,
+			Scenario: scenario,
+			Rows:     arch.Rows,
+			Cols:     arch.Cols,
+			Topo:     "sparse-hamming",
+			SR:       p.SR,
+			SC:       p.SC,
+		})
+	}
+	results, _, err := r.Run(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("dse: exploration campaign: %w", err)
+	}
+	points := make([]Point, 0, len(params))
+	for i, res := range results {
+		points = append(points, Point{
+			Params:          params[i],
+			RouterRadix:     res.RouterRadix,
+			NumLinks:        res.NumLinks,
+			Diameter:        res.Diameter,
+			AvgHops:         res.AvgHops,
+			AreaOverheadPct: res.AreaOverheadPct,
+			NoCPowerW:       res.NoCPowerW,
+		})
+	}
+	markPareto(points)
+	return points, nil
+}
+
+// enumerate lists every sparse Hamming configuration of the grid —
+// all subsets of {2..C-1} x {2..R-1} — refusing grids beyond
+// maxConfigs.
+func enumerate(arch *tech.Arch, maxConfigs int) ([]topo.HammingParams, error) {
 	nr := arch.Cols - 2 // candidate row offsets 2..C-1
 	nc := arch.Rows - 2
 	if nr < 0 {
@@ -46,7 +122,7 @@ func Explore(arch *tech.Arch, maxConfigs int) ([]Point, error) {
 	if total > maxConfigs {
 		return nil, fmt.Errorf("dse: %d configurations exceed limit %d", total, maxConfigs)
 	}
-	points := make([]Point, 0, total)
+	params := make([]topo.HammingParams, 0, total)
 	for mask := 0; mask < total; mask++ {
 		var p topo.HammingParams
 		for i := 0; i < nr; i++ {
@@ -59,14 +135,107 @@ func Explore(arch *tech.Arch, maxConfigs int) ([]Point, error) {
 				p.SC = append(p.SC, i+2)
 			}
 		}
-		pt, err := evaluate(arch, p)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, pt)
+		params = append(params, p)
 	}
-	markPareto(points)
-	return points, nil
+	return params, nil
+}
+
+// presetScenario returns the scenario name when arch is a preset
+// customized at most in its grid — the condition for serializable,
+// cache-sound campaign jobs — and an error otherwise.
+func presetScenario(arch *tech.Arch) (string, error) {
+	scenario, err := scenarioName(arch)
+	if err != nil {
+		return "", err
+	}
+	ref, err := archByScenario(scenario)
+	if err != nil {
+		return "", err
+	}
+	ref.Rows, ref.Cols = arch.Rows, arch.Cols
+	if !reflect.DeepEqual(arch, ref) {
+		return "", fmt.Errorf("dse: architecture %q customized beyond its grid", arch.Name)
+	}
+	return scenario, nil
+}
+
+// NewRunner returns a campaign runner executing dse cost-model jobs
+// on workers goroutines (0 means all cores) with the optional cache.
+func NewRunner(workers int, cache *exp.Cache) *exp.Runner {
+	return &exp.Runner{Eval: EvalJob, Workers: workers, Cache: cache}
+}
+
+// EvalJob evaluates one cost-model job. Package dse deliberately
+// stays independent of the full toolchain in package noc, so its
+// evaluator accepts only ModeCost jobs on the sparse Hamming family —
+// the design space this package explores. For those jobs it produces
+// results identical to noc's evaluator (pinned by a test over there),
+// so the two toolchains can safely share one cache file.
+func EvalJob(j exp.Job) (*exp.Result, error) {
+	if j.Mode != exp.ModeCost {
+		return nil, fmt.Errorf("dse: evaluator supports mode %q only, got %q", exp.ModeCost, j.Mode)
+	}
+	if j.Topo != "sparse-hamming" {
+		return nil, fmt.Errorf("dse: evaluator explores the sparse-hamming family only, got %q", j.Topo)
+	}
+	arch, err := archByScenario(j.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if j.Rows > 0 {
+		arch.Rows = j.Rows
+	}
+	if j.Cols > 0 {
+		arch.Cols = j.Cols
+	}
+	p := topo.HammingParams{SR: j.SR, SC: j.SC}
+	t, err := topo.NewSparseHamming(arch.Rows, arch.Cols, p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := phys.Evaluate(arch, t)
+	if err != nil {
+		return nil, err
+	}
+	params := ""
+	if len(j.SR) > 0 || len(j.SC) > 0 {
+		params = p.String()
+	}
+	return &exp.Result{
+		Topology:           "sparse-hamming",
+		Params:             params,
+		RouterRadix:        t.MaxRadix(),
+		NumLinks:           t.NumLinks(),
+		Diameter:           t.Diameter(),
+		AvgHops:            t.AverageHops(),
+		TotalAreaMm2:       res.TotalAreaMm2,
+		AreaOverheadPct:    100 * res.AreaOverhead,
+		TotalPowerW:        res.TotalPowerW,
+		NoCPowerW:          res.NoCPowerW,
+		ChannelUtilization: res.ChannelUtilization,
+	}, nil
+}
+
+// scenarioName maps a preset architecture back to its job-spec
+// scenario name ("a".."d" or "mempool").
+func scenarioName(arch *tech.Arch) (string, error) {
+	if arch.Name == "mempool" {
+		return "mempool", nil
+	}
+	if id, ok := strings.CutPrefix(arch.Name, "knc-"); ok {
+		if a := tech.Scenario(tech.ScenarioID(id)); a != nil {
+			return id, nil
+		}
+	}
+	return "", fmt.Errorf("dse: architecture %q is not a preset; campaign jobs need a reproducible spec", arch.Name)
+}
+
+// archByScenario resolves a scenario name from a job spec.
+func archByScenario(name string) (*tech.Arch, error) {
+	if a := tech.ArchByName(name); a != nil {
+		return a, nil
+	}
+	return nil, fmt.Errorf("dse: unknown scenario %q", name)
 }
 
 func evaluate(arch *tech.Arch, p topo.HammingParams) (Point, error) {

@@ -1,9 +1,12 @@
 package dse
 
 import (
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
+	"sparsehamming/internal/exp"
 	"sparsehamming/internal/tech"
 	"sparsehamming/internal/topo"
 )
@@ -188,6 +191,97 @@ func contains(s []int, x int) bool {
 		}
 	}
 	return false
+}
+
+// TestExploreWithCacheAndParallel checks the campaign integration:
+// a parallel exploration equals the serial one, and a repeated run on
+// a persisted cache recomputes nothing.
+func TestExploreWithCacheAndParallel(t *testing.T) {
+	arch := smallArch(4, 4)
+	serial, err := ExploreWith(arch, 1<<10, NewRunner(1, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := ExploreWith(arch, 1<<10, NewRunner(8, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("parallel exploration differs from serial")
+	}
+
+	path := filepath.Join(t.TempDir(), "dse.json")
+	cache, err := exp.OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExploreWith(arch, 1<<10, NewRunner(0, cache)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cache.Save(); err != nil {
+		t.Fatal(err)
+	}
+	cache2, err := exp.OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ExploreWith(arch, 1<<10, NewRunner(0, cache2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cache2.Stats()
+	if misses != 0 || hits != 16 {
+		t.Errorf("repeated exploration: %d hits, %d misses, want 16/0", hits, misses)
+	}
+	if !reflect.DeepEqual(serial, again) {
+		t.Error("cached exploration differs from computed one")
+	}
+}
+
+// TestExploreCustomArchFallback pins the guard against silently
+// evaluating the wrong architecture: a preset customized beyond its
+// grid cannot become a serialized job spec, so exploration falls
+// back to direct evaluation of the architecture actually passed —
+// and its results must reflect the customization.
+func TestExploreCustomArchFallback(t *testing.T) {
+	base := smallArch(4, 4)
+	basePoints, err := Explore(base, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tweaked := smallArch(4, 4)
+	tweaked.EndpointGE = 2 * tweaked.EndpointGE
+	tweakedPoints, err := Explore(tweaked, 1<<10)
+	if err != nil {
+		t.Fatalf("customized preset must still be explorable: %v", err)
+	}
+	if len(tweakedPoints) != len(basePoints) {
+		t.Fatalf("%d points for the customized arch, want %d", len(tweakedPoints), len(basePoints))
+	}
+	// Bigger endpoints shrink the relative NoC overhead; identical
+	// numbers would mean the fallback evaluated the pristine preset.
+	if tweakedPoints[1].AreaOverheadPct == basePoints[1].AreaOverheadPct {
+		t.Error("customized architecture was ignored")
+	}
+	// Renamed architectures (not a preset at all) work the same way.
+	bespoke := smallArch(4, 4)
+	bespoke.Name = "bespoke"
+	if _, err := Explore(bespoke, 1<<10); err != nil {
+		t.Errorf("non-preset architecture must fall back, got %v", err)
+	}
+}
+
+func TestEvalJobRejectsForeignJobs(t *testing.T) {
+	bad := []exp.Job{
+		{Mode: exp.ModePredict, Scenario: "a", Topo: "sparse-hamming"},
+		{Mode: exp.ModeCost, Scenario: "a", Topo: "mesh"},
+		{Mode: exp.ModeCost, Scenario: "z", Topo: "sparse-hamming"},
+	}
+	for _, j := range bad {
+		if _, err := EvalJob(j); err == nil {
+			t.Errorf("EvalJob(%v) should fail", j)
+		}
+	}
 }
 
 func TestCSV(t *testing.T) {

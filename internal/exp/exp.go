@@ -1,0 +1,163 @@
+// Package exp is the experiment-campaign subsystem: a deterministic
+// parallel runner for batches of toolchain evaluations with
+// content-keyed result caching.
+//
+// The paper's whole evaluation is a design-space sweep — eight
+// topologies times four scenarios times load sweeps, plus 2^(R+C-4)
+// sparse Hamming configurations in design-space exploration — and
+// every point is an independent simulation or cost-model evaluation.
+// This package describes each point as a serializable Job, executes
+// job batches on a worker pool sized to GOMAXPROCS, and memoizes
+// results under a stable hash of the job spec so repeated campaigns
+// skip already-computed points.
+//
+// Determinism: a Job fully determines its Result. Every simulation
+// seed is part of the spec (Job.EffectiveSeed), jobs never share
+// mutable state, and Runner.Run assembles results in input order —
+// so a parallel run is bit-identical to a serial one, and cached
+// results are bit-identical to recomputed ones.
+//
+// The evaluation function itself is injected (Runner.Eval): package
+// noc wires the full prediction toolchain, package dse wires the fast
+// cost model, keeping exp free of dependencies on either.
+package exp
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Mode selects what a job evaluates.
+type Mode string
+
+// Available modes. ModePredict runs the full toolchain (physical
+// model, saturation search, analytic model); ModeCost runs only the
+// physical model; ModeLoad simulates a single offered-load point.
+const (
+	ModePredict Mode = "predict"
+	ModeCost    Mode = "cost"
+	ModeLoad    Mode = "load"
+)
+
+// Job is one serializable experiment point: everything needed to
+// reproduce one simulation or cost-model evaluation. The zero values
+// of Routing, Pattern, and Quality are canonicalized onto the
+// defaults they stand for ("auto", "uniform", "quick"), so those
+// spellings hash equally. Rows/Cols are hashed verbatim: a spec that
+// writes the preset's grid explicitly is a different key from one
+// that leaves it zero — producers should pick one convention (the
+// noc layers leave preset grids at zero; dse always writes the grid,
+// since overriding it is its purpose).
+type Job struct {
+	Mode Mode `json:"mode"`
+
+	// Scenario names the architecture preset: "a"|"b"|"c"|"d" for the
+	// paper's evaluation scenarios, or "mempool". Rows/Cols, when
+	// positive, override the preset's grid.
+	Scenario string `json:"scenario"`
+	Rows     int    `json:"rows,omitempty"`
+	Cols     int    `json:"cols,omitempty"`
+
+	// Topo is the topology kind ("mesh", "sparse-hamming", ...); SR
+	// and SC are the sparse Hamming offset sets (SR's first value is
+	// the ruche factor for kind "ruche").
+	Topo string `json:"topo"`
+	SR   []int  `json:"sr,omitempty"`
+	SC   []int  `json:"sc,omitempty"`
+
+	// Routing names the algorithm ("" or "auto" for the topology's
+	// co-designed default).
+	Routing string `json:"routing,omitempty"`
+
+	// Pattern is the synthetic traffic pattern for ModeLoad ("" means
+	// uniform random); Load is the offered load in flits/node/cycle.
+	Pattern string  `json:"pattern,omitempty"`
+	Load    float64 `json:"load,omitempty"`
+
+	// Quality selects the simulation windows: "quick" (default) or
+	// "full".
+	Quality string `json:"quality,omitempty"`
+
+	// Seed is the simulation seed; 0 derives a deterministic seed
+	// from the job spec.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// canonical renders the spec in a fixed field order. It is the hash
+// preimage; extending Job requires appending fields here (the leading
+// version tag invalidates old caches when the encoding changes).
+func (j Job) canonical() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "exp-v1|mode=%s|scenario=%s|rows=%d|cols=%d|topo=%s|sr=%s|sc=%s|routing=%s|pattern=%s|load=%g|quality=%s|seed=%d",
+		j.Mode, j.Scenario, j.Rows, j.Cols, j.Topo,
+		intsString(j.SR), intsString(j.SC),
+		canonicalName(j.Routing, "auto"), canonicalName(j.Pattern, "uniform"),
+		j.Load, canonicalName(j.Quality, "quick"), j.Seed)
+	return b.String()
+}
+
+// canonicalName maps the empty string onto the default it stands for,
+// so "" and the explicit default hash equally.
+func canonicalName(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func intsString(xs []int) string {
+	var b strings.Builder
+	for i, x := range xs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	return b.String()
+}
+
+// Key returns the content key of the spec: a stable hash identifying
+// the job in the cache and deduplicating batches.
+func (j Job) Key() string {
+	sum := sha256.Sum256([]byte(j.canonical()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// EffectiveSeed returns the simulation seed: Seed when set, otherwise
+// a deterministic value derived from the spec hash (so distinct jobs
+// get decorrelated yet reproducible random streams).
+func (j Job) EffectiveSeed() int64 {
+	if j.Seed != 0 {
+		return j.Seed
+	}
+	sum := sha256.Sum256([]byte(j.canonical()))
+	v := int64(binary.LittleEndian.Uint64(sum[:8]) >> 1) // keep it positive
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
+
+// String renders a compact human-readable job summary for progress
+// lines and error messages.
+func (j Job) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", j.Mode, j.Scenario)
+	if j.Rows > 0 || j.Cols > 0 {
+		fmt.Fprintf(&b, " %dx%d", j.Rows, j.Cols)
+	}
+	fmt.Fprintf(&b, " %s", j.Topo)
+	if len(j.SR) > 0 || len(j.SC) > 0 {
+		fmt.Fprintf(&b, " sr=[%s] sc=[%s]", intsString(j.SR), intsString(j.SC))
+	}
+	if j.Routing != "" && j.Routing != "auto" {
+		fmt.Fprintf(&b, " routing=%s", j.Routing)
+	}
+	if j.Mode == ModeLoad {
+		fmt.Fprintf(&b, " pattern=%s load=%g", canonicalName(j.Pattern, "uniform"), j.Load)
+	}
+	return b.String()
+}

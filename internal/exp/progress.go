@@ -1,0 +1,31 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// LogProgress returns a Progress callback printing one line per
+// completed unique job to w — the campaign equivalent of a build
+// log. Lines look like
+//
+//	[ 3/24] predict a sparse-hamming sr=[4] sc=[2,5]  1.82s
+//	[ 4/24] predict a mesh  cached
+//
+// The Runner delivers progress events serially, so the callback
+// needs no synchronization of its own.
+func LogProgress(w io.Writer) func(ProgressEvent) {
+	return func(ev ProgressEvent) {
+		width := len(fmt.Sprint(ev.Total))
+		switch {
+		case ev.Err != nil:
+			fmt.Fprintf(w, "[%*d/%d] %s  error: %v\n", width, ev.Done, ev.Total, ev.Job, ev.Err)
+		case ev.Cached:
+			fmt.Fprintf(w, "[%*d/%d] %s  cached\n", width, ev.Done, ev.Total, ev.Job)
+		default:
+			fmt.Fprintf(w, "[%*d/%d] %s  %s\n", width, ev.Done, ev.Total, ev.Job,
+				ev.Elapsed.Round(10*time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package exp
+
+// Result is the serializable outcome of one job: the union of the
+// metrics the three modes produce. ModeCost fills the topology and
+// cost sections; ModePredict additionally fills the performance and
+// analytic sections; ModeLoad fills the topology section and the
+// load-point section.
+//
+// Results flow through the cache and are shared between duplicate
+// jobs in a batch; treat them as read-only.
+type Result struct {
+	// Identification.
+	Topology string `json:"topology"`
+	Params   string `json:"params,omitempty"`
+
+	// Topology properties.
+	RouterRadix int     `json:"router_radix"`
+	Diameter    int     `json:"diameter"`
+	AvgHops     float64 `json:"avg_hops"`
+	NumLinks    int     `json:"num_links"`
+
+	// Cost (physical model).
+	TotalAreaMm2       float64 `json:"total_area_mm2"`
+	AreaOverheadPct    float64 `json:"area_overhead_pct"`
+	TotalPowerW        float64 `json:"total_power_w"`
+	NoCPowerW          float64 `json:"noc_power_w"`
+	ChannelUtilization float64 `json:"channel_utilization"`
+	MaxLinkLatency     int     `json:"max_link_latency,omitempty"`
+
+	// Performance (cycle-accurate simulation, ModePredict).
+	ZeroLoadLatency float64 `json:"zero_load_latency,omitempty"`
+	SaturationPct   float64 `json:"saturation_pct,omitempty"`
+	RoutingName     string  `json:"routing_name,omitempty"`
+
+	// High-level-model estimates (ModePredict).
+	AnalyticZeroLoad float64 `json:"analytic_zero_load,omitempty"`
+	AnalyticBoundPct float64 `json:"analytic_bound_pct,omitempty"`
+
+	// Single load point (ModeLoad).
+	OfferedRate       float64 `json:"offered_rate,omitempty"`
+	AcceptedRate      float64 `json:"accepted_rate,omitempty"`
+	AvgPacketLatency  float64 `json:"avg_packet_latency,omitempty"`
+	P99PacketLatency  float64 `json:"p99_packet_latency,omitempty"`
+	DeliveredFraction float64 `json:"delivered_fraction,omitempty"`
+}

@@ -1,0 +1,199 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runner executes job batches on a worker pool with optional result
+// caching and progress reporting. The zero value plus an Eval
+// function is ready to use.
+type Runner struct {
+	// Eval computes one job. It must be safe for concurrent calls and
+	// deterministic in the job spec (same Job, same Result) — every
+	// evaluator in this repository seeds its random streams from the
+	// job, so this holds by construction.
+	Eval func(Job) (*Result, error)
+
+	// Workers bounds the pool size; values <= 0 mean GOMAXPROCS.
+	Workers int
+
+	// Cache, when non-nil, short-circuits jobs whose key is already
+	// present and stores freshly computed results.
+	Cache *Cache
+
+	// Progress, when non-nil, receives one event per completed unique
+	// job. Events are delivered serially.
+	Progress func(ProgressEvent)
+
+	// OnReport, when non-nil, receives the aggregate report after
+	// every Run call (including failed ones) — CLIs hook it to print
+	// campaign summaries without threading the report through the
+	// intermediate campaign layers.
+	OnReport func(Report)
+}
+
+// ProgressEvent describes one completed unique job.
+type ProgressEvent struct {
+	Done, Total int // unique jobs completed / in the batch
+	Job         Job
+	Cached      bool
+	Err         error
+	Elapsed     time.Duration // evaluation time (0 when cached)
+}
+
+// Report aggregates one Run call.
+type Report struct {
+	Jobs      int // jobs requested
+	Unique    int // distinct specs after dedup
+	CacheHits int // unique jobs answered from the cache
+	Computed  int // unique jobs evaluated
+	Failed    int // unique jobs whose evaluation errored
+	Wall      time.Duration
+	Compute   time.Duration // evaluation time summed across workers
+}
+
+// String renders the report for campaign footers.
+func (r Report) String() string {
+	s := fmt.Sprintf("%d jobs (%d unique): %d computed, %d cached",
+		r.Jobs, r.Unique, r.Computed, r.CacheHits)
+	if r.Failed > 0 {
+		s += fmt.Sprintf(", %d failed", r.Failed)
+	}
+	s += fmt.Sprintf("; wall %s", r.Wall.Round(time.Millisecond))
+	if r.Computed > 0 {
+		s += fmt.Sprintf(", compute %s", r.Compute.Round(time.Millisecond))
+	}
+	return s
+}
+
+// unit is one unique spec in a batch, shared by all duplicate indices.
+type unit struct {
+	job    Job
+	res    *Result
+	err    error
+	cached bool
+	dur    time.Duration
+}
+
+// Run executes the batch and returns one result per job, in input
+// order. Duplicate specs are evaluated once and share one Result.
+// When evaluations fail, Run still completes the rest of the batch,
+// returns every successful result, and reports the error of the
+// lowest-indexed failing job (so a parallel run fails identically to
+// a serial one).
+func (r *Runner) Run(jobs []Job) ([]*Result, Report, error) {
+	start := time.Now()
+	rep := Report{Jobs: len(jobs)}
+	if r.Eval == nil {
+		return nil, rep, fmt.Errorf("exp: runner has no Eval function")
+	}
+
+	// Deduplicate by content key, preserving first-seen order.
+	byKey := map[string]*unit{}
+	var order []*unit
+	units := make([]*unit, len(jobs))
+	for i, j := range jobs {
+		k := j.Key()
+		u, ok := byKey[k]
+		if !ok {
+			u = &unit{job: j}
+			byKey[k] = u
+			order = append(order, u)
+		}
+		units[i] = u
+	}
+	rep.Unique = len(order)
+
+	// Resolve cache hits up front; the remainder goes to the pool.
+	var todo []*unit
+	for _, u := range order {
+		if r.Cache != nil {
+			if res, ok := r.Cache.Get(u.job.Key()); ok {
+				u.res, u.cached = res, true
+				rep.CacheHits++
+				continue
+			}
+		}
+		todo = append(todo, u)
+	}
+
+	var (
+		mu   sync.Mutex
+		done int
+	)
+	emit := func(u *unit) {
+		mu.Lock()
+		done++
+		ev := ProgressEvent{
+			Done: done, Total: rep.Unique,
+			Job: u.job, Cached: u.cached, Err: u.err, Elapsed: u.dur,
+		}
+		if r.Progress != nil {
+			r.Progress(ev)
+		}
+		mu.Unlock()
+	}
+	for _, u := range order {
+		if u.cached {
+			emit(u)
+		}
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	work := make(chan *unit)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				t0 := time.Now()
+				u.res, u.err = r.Eval(u.job)
+				u.dur = time.Since(t0)
+				if u.err == nil && r.Cache != nil {
+					r.Cache.Put(u.job, u.res)
+				}
+				emit(u)
+			}
+		}()
+	}
+	for _, u := range todo {
+		work <- u
+	}
+	close(work)
+	wg.Wait()
+
+	out := make([]*Result, len(jobs))
+	var firstErr error
+	for i, u := range units {
+		if u.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("exp: job %d (%s): %w", i, u.job, u.err)
+			}
+			continue
+		}
+		out[i] = u.res
+	}
+	for _, u := range order {
+		rep.Compute += u.dur
+		if u.err != nil {
+			rep.Failed++
+		} else if !u.cached {
+			rep.Computed++
+		}
+	}
+	rep.Wall = time.Since(start)
+	if r.OnReport != nil {
+		r.OnReport(rep)
+	}
+	return out, rep, firstErr
+}

@@ -1,0 +1,215 @@
+package noc
+
+// This file wires the prediction toolchain into the experiment-
+// campaign subsystem (package exp): EvalJob executes one serialized
+// job spec, NewRunner builds a parallel runner around it, and the
+// conversion helpers map between Prediction and the serializable
+// exp.Result.
+
+import (
+	"fmt"
+
+	"sparsehamming/internal/cli"
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/phys"
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/sim"
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+// QualityName serializes a quality level for job specs.
+func QualityName(q Quality) string {
+	if q == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// QualityByName parses a quality level; "" means Quick.
+func QualityByName(name string) (Quality, error) {
+	switch name {
+	case "", "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return Quick, fmt.Errorf("noc: unknown quality %q", name)
+	}
+}
+
+// ArchForJob resolves a job's architecture: the scenario preset with
+// the optional grid override applied.
+func ArchForJob(j exp.Job) (*tech.Arch, error) {
+	arch := tech.ArchByName(j.Scenario)
+	if arch == nil {
+		return nil, fmt.Errorf("noc: unknown scenario %q", j.Scenario)
+	}
+	if j.Rows > 0 {
+		arch.Rows = j.Rows
+	}
+	if j.Cols > 0 {
+		arch.Cols = j.Cols
+	}
+	return arch, nil
+}
+
+// NewRunner returns a campaign runner executing toolchain jobs on
+// workers goroutines (0 means all cores) with the optional cache.
+func NewRunner(workers int, cache *exp.Cache) *exp.Runner {
+	return &exp.Runner{Eval: EvalJob, Workers: workers, Cache: cache}
+}
+
+// EvalJob executes one experiment job with the prediction toolchain.
+// It is pure in the job spec — the architecture, topology, routing,
+// traffic, and seed all come from the spec — which is what makes
+// parallel campaigns deterministic and cached results sound.
+func EvalJob(j exp.Job) (*exp.Result, error) {
+	arch, err := ArchForJob(j)
+	if err != nil {
+		return nil, err
+	}
+	t, err := cli.Build(j.Topo, arch.Rows, arch.Cols, j.SR, j.SC)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := route.AlgorithmByName(j.Routing)
+	if err != nil {
+		return nil, err
+	}
+	quality, err := QualityByName(j.Quality)
+	if err != nil {
+		return nil, err
+	}
+	switch j.Mode {
+	case exp.ModeCost:
+		pred, _, err := PredictCostOnly(arch, t)
+		if err != nil {
+			return nil, err
+		}
+		return resultFromPrediction(pred, j), nil
+	case exp.ModePredict:
+		pred, err := predictSeeded(arch, t, alg, quality, j.EffectiveSeed())
+		if err != nil {
+			return nil, err
+		}
+		return resultFromPrediction(pred, j), nil
+	case exp.ModeLoad:
+		return evalLoadPoint(arch, t, alg, quality, j)
+	default:
+		return nil, fmt.Errorf("noc: unknown job mode %q", j.Mode)
+	}
+}
+
+// evalLoadPoint simulates a single offered-load point under the
+// job's traffic pattern.
+func evalLoadPoint(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quality Quality, j exp.Job) (*exp.Result, error) {
+	cost, err := phys.Evaluate(arch, t)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := route.For(t, alg)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := sim.PatternByName(j.Pattern, arch.Rows, arch.Cols)
+	if err != nil {
+		return nil, err
+	}
+	warmup, measure := quality.simWindows()
+	curve, err := sim.LoadLatencyCurve(sim.Config{
+		Topo: t, Routing: rt,
+		NumVCs: arch.Proto.NumVCs, BufDepth: arch.Proto.BufDepthFlits,
+		LinkLatency: cost.LinkLatencies, RouterDelay: RouterDelay,
+		PacketLen: packetLen(arch), Pattern: pat, Seed: j.EffectiveSeed(),
+		Warmup: warmup, Measure: measure,
+	}, []float64{j.Load})
+	if err != nil {
+		return nil, err
+	}
+	st := curve[0]
+	return &exp.Result{
+		Topology:          t.Kind,
+		Params:            paramsString(j),
+		RouterRadix:       t.MaxRadix(),
+		Diameter:          t.Diameter(),
+		AvgHops:           rt.AvgHops(),
+		NumLinks:          t.NumLinks(),
+		RoutingName:       rt.Name,
+		OfferedRate:       st.OfferedRate,
+		AcceptedRate:      st.AcceptedRate,
+		AvgPacketLatency:  st.AvgPacketLatency,
+		P99PacketLatency:  st.P99PacketLatency,
+		DeliveredFraction: st.DeliveredFraction(),
+	}, nil
+}
+
+// paramsString renders a job's sparse Hamming offsets the way
+// Prediction.Params does. Other topology kinds read SR differently
+// (ruche's factor) or ignore it, so they get no params string.
+func paramsString(j exp.Job) string {
+	if j.Topo != "sparse-hamming" || (len(j.SR) == 0 && len(j.SC) == 0) {
+		return ""
+	}
+	return topo.HammingParams{SR: j.SR, SC: j.SC}.String()
+}
+
+// resultFromPrediction serializes a Prediction.
+func resultFromPrediction(p *Prediction, j exp.Job) *exp.Result {
+	params := p.Params
+	if params == "" {
+		params = paramsString(j)
+	}
+	return &exp.Result{
+		Topology:           p.Topology,
+		Params:             params,
+		RouterRadix:        p.RouterRadix,
+		Diameter:           p.Diameter,
+		AvgHops:            p.AvgHops,
+		NumLinks:           p.NumLinks,
+		TotalAreaMm2:       p.TotalAreaMm2,
+		AreaOverheadPct:    p.AreaOverheadPct,
+		TotalPowerW:        p.TotalPowerW,
+		NoCPowerW:          p.NoCPowerW,
+		ChannelUtilization: p.ChannelUtilization,
+		MaxLinkLatency:     p.MaxLinkLatency,
+		ZeroLoadLatency:    p.ZeroLoadLatency,
+		SaturationPct:      p.SaturationPct,
+		RoutingName:        p.RoutingName,
+		AnalyticZeroLoad:   p.AnalyticZeroLoad,
+		AnalyticBoundPct:   p.AnalyticBoundPct,
+	}
+}
+
+// PredictionFromResult deserializes a campaign result back into the
+// toolchain's Prediction, for the formatters.
+func PredictionFromResult(r *exp.Result) *Prediction {
+	return &Prediction{
+		Topology:           r.Topology,
+		Params:             r.Params,
+		RouterRadix:        r.RouterRadix,
+		Diameter:           r.Diameter,
+		AvgHops:            r.AvgHops,
+		NumLinks:           r.NumLinks,
+		TotalAreaMm2:       r.TotalAreaMm2,
+		AreaOverheadPct:    r.AreaOverheadPct,
+		TotalPowerW:        r.TotalPowerW,
+		NoCPowerW:          r.NoCPowerW,
+		ChannelUtilization: r.ChannelUtilization,
+		MaxLinkLatency:     r.MaxLinkLatency,
+		ZeroLoadLatency:    r.ZeroLoadLatency,
+		SaturationPct:      r.SaturationPct,
+		RoutingName:        r.RoutingName,
+		AnalyticZeroLoad:   r.AnalyticZeroLoad,
+		AnalyticBoundPct:   r.AnalyticBoundPct,
+	}
+}
+
+// routingName serializes a routing algorithm for job specs, mapping
+// Auto onto the empty default.
+func routingName(alg route.Algorithm) string {
+	if alg == route.Auto {
+		return ""
+	}
+	return alg.String()
+}

@@ -114,6 +114,9 @@ func TestTableI8x16(t *testing.T) {
 // model, a roughly 2x latency overestimate, and a throughput
 // underestimate.
 func TestTableIIIShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("MemPool validation simulates a 256-tile network")
+	}
 	rows, pred, err := TableIII(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -339,7 +342,13 @@ func TestFormatFigure6HandlesInapplicable(t *testing.T) {
 
 func TestAnalyticFieldsPopulated(t *testing.T) {
 	arch := tech.Scenario(tech.ScenarioA)
-	m, _ := topo.NewMesh(8, 8)
+	if testing.Short() {
+		// A 4x4 grid exercises the same analytic/simulated agreement
+		// checks with an order of magnitude fewer simulated router
+		// cycles.
+		arch.Rows, arch.Cols = 4, 4
+	}
+	m, _ := topo.NewMesh(arch.Rows, arch.Cols)
 	pred, err := Predict(arch, m, Quick)
 	if err != nil {
 		t.Fatal(err)

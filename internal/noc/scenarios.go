@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"sparsehamming/internal/exp"
 	"sparsehamming/internal/route"
 	"sparsehamming/internal/tech"
 	"sparsehamming/internal/topo"
@@ -102,29 +103,74 @@ type Figure6Row struct {
 
 // Figure6 regenerates one scenario panel of Figure 6: the cost and
 // performance of all applicable topologies under uniform random
-// traffic with the paper's SHG parameters.
+// traffic with the paper's SHG parameters. It runs the panel as a
+// parallel campaign on all cores; use Figure6Panels for explicit
+// worker and cache control.
 func Figure6(id tech.ScenarioID, quality Quality) ([]Figure6Row, error) {
-	arch := tech.Scenario(id)
-	if arch == nil {
-		return nil, fmt.Errorf("noc: unknown scenario %q", id)
-	}
-	entries, err := ComparisonSet(arch.Rows, arch.Cols, PaperSHGParams(id))
+	panels, err := Figure6Panels([]tech.ScenarioID{id}, quality, nil)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Figure6Row, 0, len(entries))
-	for _, e := range entries {
-		row := Figure6Row{Scenario: id, Topology: e.Name, Params: e.Params, Applicable: e.Applicable}
-		if e.Applicable {
-			pred, err := PredictWith(arch, e.Topology, Figure6Algorithm(e.Name), quality)
-			if err != nil {
-				return nil, fmt.Errorf("noc: predicting %s in scenario %s: %w", e.Name, id, err)
-			}
-			row.Pred = pred
-		}
-		rows = append(rows, row)
+	return panels[0], nil
+}
+
+// Figure6Panels regenerates the Figure 6 panels of several scenarios
+// as one campaign batch: every applicable topology of every scenario
+// becomes one job, so the runner's worker pool sees the whole sweep
+// at once. A nil runner means the default parallel toolchain runner
+// (all cores, no cache). The returned slice is aligned with ids, each
+// panel ordered like ComparisonSet.
+func Figure6Panels(ids []tech.ScenarioID, quality Quality, r *exp.Runner) ([][]Figure6Row, error) {
+	if r == nil {
+		r = NewRunner(0, nil)
 	}
-	return rows, nil
+	type slot struct{ panel, row int }
+	var (
+		jobs   []exp.Job
+		slots  []slot
+		panels = make([][]Figure6Row, len(ids))
+	)
+	for pi, id := range ids {
+		arch := tech.Scenario(id)
+		if arch == nil {
+			return nil, fmt.Errorf("noc: unknown scenario %q", id)
+		}
+		shg := PaperSHGParams(id)
+		entries, err := ComparisonSet(arch.Rows, arch.Cols, shg)
+		if err != nil {
+			return nil, err
+		}
+		rows := make([]Figure6Row, len(entries))
+		for ri, e := range entries {
+			rows[ri] = Figure6Row{Scenario: id, Topology: e.Name, Params: e.Params, Applicable: e.Applicable}
+			if !e.Applicable {
+				continue
+			}
+			job := exp.Job{
+				Mode:     exp.ModePredict,
+				Scenario: string(id),
+				Topo:     e.Topology.Kind,
+				Routing:  routingName(Figure6Algorithm(e.Name)),
+				Quality:  QualityName(quality),
+				Seed:     1,
+			}
+			if e.Topology.Kind == "sparse-hamming" {
+				job.SR, job.SC = shg.SR, shg.SC
+			}
+			jobs = append(jobs, job)
+			slots = append(slots, slot{pi, ri})
+		}
+		panels[pi] = rows
+	}
+	results, _, err := r.Run(jobs)
+	if err != nil {
+		return nil, fmt.Errorf("noc: figure 6 campaign: %w", err)
+	}
+	for k, res := range results {
+		s := slots[k]
+		panels[s.panel][s.row].Pred = PredictionFromResult(res)
+	}
+	return panels, nil
 }
 
 // Figure6Algorithm returns the routing used in the Figure 6

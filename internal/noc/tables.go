@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"sparsehamming/internal/exp"
 	"sparsehamming/internal/phys"
 	"sparsehamming/internal/route"
 	"sparsehamming/internal/tech"
@@ -196,15 +197,28 @@ const (
 // low-latency interconnect (diameter 2, matching the paper's
 // "three routers per path" correction discussion).
 func TableIII(quality Quality) ([]TableIIIRow, *Prediction, error) {
+	return TableIIIWith(quality, nil)
+}
+
+// TableIIIWith runs the MemPool validation through a campaign runner,
+// so repeated invocations hit the result cache. A nil runner means
+// the default toolchain runner.
+func TableIIIWith(quality Quality, r *exp.Runner) ([]TableIIIRow, *Prediction, error) {
+	if r == nil {
+		r = NewRunner(0, nil)
+	}
 	arch := tech.MemPool()
-	t, err := topo.NewFlattenedButterfly(arch.Rows, arch.Cols)
+	results, _, err := r.Run([]exp.Job{{
+		Mode:     exp.ModePredict,
+		Scenario: "mempool",
+		Topo:     "flattened-butterfly",
+		Quality:  QualityName(quality),
+		Seed:     1,
+	}})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, fmt.Errorf("noc: table III campaign: %w", err)
 	}
-	pred, err := Predict(arch, t, quality)
-	if err != nil {
-		return nil, nil, err
-	}
+	pred := PredictionFromResult(results[0])
 	row := func(metric string, correct, predicted float64) TableIIIRow {
 		return TableIIIRow{
 			Metric:    metric,

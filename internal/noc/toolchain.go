@@ -89,6 +89,13 @@ func Predict(arch *tech.Arch, t *topo.Topology, quality Quality) (*Prediction, e
 // PredictWith runs the toolchain with an explicit routing algorithm
 // (used by the routing ablation).
 func PredictWith(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quality Quality) (*Prediction, error) {
+	return predictSeeded(arch, t, alg, quality, 1)
+}
+
+// predictSeeded is PredictWith with an explicit simulation seed; the
+// campaign job evaluator threads the seed from the job spec so cached
+// results stay reproducible.
+func predictSeeded(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quality Quality, seed int64) (*Prediction, error) {
 	cost, err := phys.Evaluate(arch, t)
 	if err != nil {
 		return nil, err
@@ -111,7 +118,7 @@ func PredictWith(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quality
 		LinkLatency: cost.LinkLatencies,
 		RouterDelay: RouterDelay,
 		PacketLen:   packetLen(arch),
-		Seed:        1,
+		Seed:        seed,
 		Warmup:      warmup,
 		Measure:     measure,
 	}

@@ -61,6 +61,29 @@ func (a Algorithm) String() string {
 	}
 }
 
+// AlgorithmByName parses an algorithm name as produced by String.
+// The empty string and "auto" both select Auto, so serialized job
+// specs can leave the routing field blank for the co-designed
+// default.
+func AlgorithmByName(name string) (Algorithm, error) {
+	switch name {
+	case "", "auto":
+		return Auto, nil
+	case "monotone-dor":
+		return MonotoneDOR, nil
+	case "cycle-dateline":
+		return CycleDateline, nil
+	case "torus-dor":
+		return TorusDOR, nil
+	case "e-cube":
+		return ECube, nil
+	case "hop-minimal":
+		return HopMinimal, nil
+	default:
+		return Auto, fmt.Errorf("route: unknown algorithm %q", name)
+	}
+}
+
 // Path is the precomputed route between one source/destination pair.
 type Path struct {
 	// Tiles lists the tile indices from source to destination,

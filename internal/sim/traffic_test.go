@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// examplePatterns are the pattern names examples/traffic exercises —
+// PatternByName must round-trip every one of them.
+var examplePatterns = []string{"uniform", "transpose", "bitcomp", "shuffle", "hotspot", "neighbor"}
+
+func TestPatternByNameRoundTrip(t *testing.T) {
+	for _, name := range examplePatterns {
+		p, err := PatternByName(name, 8, 8)
+		if err != nil {
+			t.Errorf("PatternByName(%q) = %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("PatternByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	// The empty name is the uniform default.
+	p, err := PatternByName("", 8, 8)
+	if err != nil {
+		t.Fatalf("empty name: %v", err)
+	}
+	if p.Name() != "uniform" {
+		t.Errorf("empty name gives %q, want uniform", p.Name())
+	}
+}
+
+func TestPatternByNameErrors(t *testing.T) {
+	if _, err := PatternByName("tornado", 8, 8); err == nil {
+		t.Error("unknown pattern must error")
+	}
+	if _, err := PatternByName("transpose", 8, 16); err == nil {
+		t.Error("transpose on a non-square grid must error")
+	}
+	// All other patterns accept rectangular grids.
+	for _, name := range []string{"uniform", "bitcomp", "shuffle", "hotspot", "neighbor"} {
+		if _, err := PatternByName(name, 8, 16); err != nil {
+			t.Errorf("%s on 8x16: %v", name, err)
+		}
+	}
+}
+
+// TestPatternDestinationsValid checks the contract every pattern must
+// obey: destinations are in [0, N) or -1 (skip), and never the
+// source.
+func TestPatternDestinationsValid(t *testing.T) {
+	const rows, cols = 8, 8
+	n := rows * cols
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range examplePatterns {
+		p, err := PatternByName(name, rows, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < n; src++ {
+			for trial := 0; trial < 20; trial++ {
+				d := p.Dest(src, rng)
+				if d == -1 {
+					continue
+				}
+				if d < 0 || d >= n {
+					t.Fatalf("%s: Dest(%d) = %d outside [0,%d)", name, src, d, n)
+				}
+				if d == src {
+					t.Fatalf("%s: Dest(%d) = source", name, src)
+				}
+			}
+		}
+	}
+}
+
+// TestTransposeFixedPoints pins the transpose semantics: diagonal
+// tiles stay silent, everything else goes to the mirrored tile.
+func TestTransposeFixedPoints(t *testing.T) {
+	p, err := PatternByName("transpose", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		for c := 0; c < 4; c++ {
+			src := r*4 + c
+			d := p.Dest(src, nil)
+			if r == c {
+				if d != -1 {
+					t.Errorf("diagonal tile %d sends to %d, want silence", src, d)
+				}
+			} else if d != c*4+r {
+				t.Errorf("tile (%d,%d) sends to %d, want (%d,%d)", r, c, d, c, r)
+			}
+		}
+	}
+}

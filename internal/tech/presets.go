@@ -96,6 +96,17 @@ func AllScenarios() []ScenarioID {
 	return []ScenarioID{ScenarioA, ScenarioB, ScenarioC, ScenarioD}
 }
 
+// ArchByName resolves a preset architecture by its short job-spec
+// name: "a".."d" for the evaluation scenarios or "mempool". It
+// returns nil for unknown names, like Scenario does. The experiment
+// campaign evaluators (packages noc and dse) share this mapping.
+func ArchByName(name string) *Arch {
+	if name == "mempool" {
+		return MemPool()
+	}
+	return Scenario(ScenarioID(name))
+}
+
 // MemPool returns an architecture description of the MemPool manycore
 // (Cavalcante et al., DATE 2021) used for the toolchain validation in
 // Table III: 256 cores and 1024 memory banks grouped into 64 tiles
