@@ -13,13 +13,22 @@
 // -benchtime=1x for a single regeneration pass:
 //
 //	go test -bench=. -benchmem -benchtime=1x
+//
+// Every benchmark run also appends its measurements (ns/op,
+// allocs/op, and — for the simulating benchmarks — simulated cycles
+// per second and ns per flit) to the perf trajectory BENCH_sim.json
+// (override with $BENCH_SIM_JSON), so the repository accumulates a
+// perf history across PRs; see internal/perf.
 package sparsehamming
 
 import (
+	"flag"
 	"fmt"
+	"os"
 	"testing"
 
 	"sparsehamming/internal/noc"
+	"sparsehamming/internal/perf"
 	"sparsehamming/internal/phys"
 	"sparsehamming/internal/route"
 	"sparsehamming/internal/sim"
@@ -27,9 +36,27 @@ import (
 	"sparsehamming/internal/topo"
 )
 
+// benchRec collects one perf entry per benchmark; TestMain flushes it
+// to the trajectory file after a -bench run.
+var benchRec = perf.NewRecorder()
+
+// TestMain appends the recorded benchmark measurements to the perf
+// trajectory once all benchmarks have run. Plain `go test` runs (no
+// -bench flag) record nothing and leave the trajectory untouched.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if f := flag.Lookup("test.bench"); f != nil && f.Value.String() != "" {
+		if err := benchRec.Flush(perf.DefaultPath()); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+		}
+	}
+	os.Exit(code)
+}
+
 // BenchmarkTableI regenerates Table I for the 8x8 grid.
 func BenchmarkTableI(b *testing.B) {
 	arch := tech.Scenario(tech.ScenarioA)
+	meter := perf.StartMeter()
 	for i := 0; i < b.N; i++ {
 		rows, err := noc.TableI(arch)
 		if err != nil {
@@ -40,10 +67,13 @@ func BenchmarkTableI(b *testing.B) {
 			fmt.Print(noc.FormatTableI(rows))
 		}
 	}
+	benchRec.Set(meter.Done("TableI", b.N))
 }
 
 // BenchmarkTableIII regenerates the MemPool validation.
 func BenchmarkTableIII(b *testing.B) {
+	meter := perf.StartMeter()
+	entry := perf.Entry{Metrics: map[string]float64{}}
 	for i := 0; i < b.N; i++ {
 		rows, _, err := noc.TableIII(noc.Quick)
 		if err != nil {
@@ -54,19 +84,30 @@ func BenchmarkTableIII(b *testing.B) {
 			fmt.Print(noc.FormatTableIII(rows))
 			for _, r := range rows {
 				b.ReportMetric(r.ErrorPct, "err%/"+r.Metric[:4])
+				entry.Metrics["err%/"+r.Metric[:4]] = r.ErrorPct
 			}
 		}
 	}
+	done := meter.Done("TableIII", b.N)
+	done.Metrics = entry.Metrics
+	benchRec.Set(done)
 }
 
-// figure6Bench regenerates one scenario panel.
+// figure6Bench regenerates one scenario panel and records the
+// campaign's simulation speed (simulated cycles per wall second).
 func figure6Bench(b *testing.B, id tech.ScenarioID) {
 	b.Helper()
+	meter := perf.StartMeter()
+	metrics := map[string]float64{}
+	var simCycles, simFlitHops int64
 	for i := 0; i < b.N; i++ {
-		rows, err := noc.Figure6(id, noc.Quick)
+		panels, stats, err := noc.Figure6Panels([]tech.ScenarioID{id}, noc.Quick, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
+		rows := panels[0]
+		simCycles += stats[0].SimCycles
+		simFlitHops += stats[0].SimFlitHops
 		if i != 0 {
 			continue
 		}
@@ -77,9 +118,22 @@ func figure6Bench(b *testing.B, id tech.ScenarioID) {
 				b.ReportMetric(r.Pred.SaturationPct, "shg_sat_%")
 				b.ReportMetric(r.Pred.ZeroLoadLatency, "shg_zl_cy")
 				b.ReportMetric(r.Pred.AreaOverheadPct, "shg_ovh_%")
+				metrics["shg_sat_%"] = r.Pred.SaturationPct
+				metrics["shg_zl_cy"] = r.Pred.ZeroLoadLatency
+				metrics["shg_ovh_%"] = r.Pred.AreaOverheadPct
 			}
 		}
 	}
+	elapsed := meter.Elapsed()
+	cyPerSec := float64(simCycles) / elapsed.Seconds()
+	b.ReportMetric(cyPerSec/1e6, "Msimcy/s")
+	entry := meter.Done("Figure6"+string(id), b.N)
+	entry.CyclesPerSec = cyPerSec
+	if simFlitHops > 0 {
+		entry.NsPerFlit = float64(elapsed.Nanoseconds()) / float64(simFlitHops)
+	}
+	entry.Metrics = metrics
+	benchRec.Set(entry)
 }
 
 // BenchmarkFigure6a: 64 tiles, 35 MGE, 1 core each.
@@ -288,7 +342,7 @@ func BenchmarkRoutingConstruction(b *testing.B) {
 }
 
 // BenchmarkSimCycles measures raw simulation speed in router-cycles
-// per second on a loaded 8x8 mesh.
+// per second on a loaded 8x8 mesh (serial, single simulator).
 func BenchmarkSimCycles(b *testing.B) {
 	m, err := topo.NewMesh(8, 8)
 	if err != nil {
@@ -298,7 +352,9 @@ func BenchmarkSimCycles(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	var cycles, flitHops int64
 	b.ResetTimer()
+	meter := perf.StartMeter()
 	for i := 0; i < b.N; i++ {
 		st, err := sim.RunConfig(sim.Config{
 			Topo: m, Routing: r, NumVCs: 8, BufDepth: 32,
@@ -311,5 +367,16 @@ func BenchmarkSimCycles(b *testing.B) {
 		if st.Deadlocked {
 			b.Fatal("deadlock")
 		}
+		cycles += st.Cycles
+		flitHops += st.FlitHops
 	}
+	elapsed := meter.Elapsed()
+	cyPerSec := float64(cycles) / elapsed.Seconds()
+	nsPerFlit := float64(elapsed.Nanoseconds()) / float64(flitHops)
+	b.ReportMetric(cyPerSec/1e6, "Msimcy/s")
+	b.ReportMetric(nsPerFlit, "ns/flit")
+	entry := meter.Done("SimCycles", b.N)
+	entry.CyclesPerSec = cyPerSec
+	entry.NsPerFlit = nsPerFlit
+	benchRec.Set(entry)
 }

@@ -94,6 +94,10 @@ func main() {
 	fmt.Printf("scenario %s: %d tiles of %.0f MGE, %g bits/cycle at %.1f GHz\n\n",
 		*scenario, arch.NumTiles(), arch.EndpointGE/1e6, arch.LinkBWBits, arch.FreqHz/1e9)
 	fmt.Print(noc.FormatPrediction(pred))
+	if pred.SimCycles > 0 {
+		fmt.Fprintf(os.Stderr, "shpredict: simulated %.2fM cycles, %.1fM flit-hops\n",
+			float64(pred.SimCycles)/1e6, float64(pred.SimFlitHops)/1e6)
+	}
 
 	if *curve {
 		if err := printCurve(runner, job); err != nil {

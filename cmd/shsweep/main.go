@@ -73,11 +73,14 @@ func main() {
 
 	// One campaign batch across all requested scenarios: the worker
 	// pool sees every panel's jobs at once.
-	panels, err := noc.Figure6Panels(ids, quality, runner)
+	panels, stats, err := noc.Figure6Panels(ids, quality, runner)
 	if err != nil {
 		fatal(err)
 	}
 	camp.Close()
+	for _, ps := range stats {
+		fmt.Fprintf(os.Stderr, "shsweep: figure 6%s: %s\n", ps.Scenario, ps)
+	}
 
 	if *csv {
 		fmt.Println("scenario,topology,params,area_overhead_pct,noc_power_w,zero_load_latency_cycles,saturation_pct")

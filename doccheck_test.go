@@ -1,0 +1,79 @@
+package sparsehamming
+
+// TestExportedDocComments is the repository's revive-style comment
+// check: every exported type, function, method, constant, and
+// variable of the documented packages must carry a doc comment. It
+// runs as a plain test so CI enforces it without external linters.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// docCheckedPackages lists the directories whose exported APIs must
+// be fully documented.
+var docCheckedPackages = []string{
+	"internal/sim",
+	"internal/exp",
+	"internal/perf",
+}
+
+func TestExportedDocComments(t *testing.T) {
+	for _, dir := range docCheckedPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for path, file := range pkg.Files {
+				checkFileDocs(t, fset, path, file)
+			}
+		}
+	}
+}
+
+func checkFileDocs(t *testing.T, fset *token.FileSet, path string, file *ast.File) {
+	t.Helper()
+	report := func(pos token.Pos, what, name string) {
+		t.Errorf("%s: exported %s %s has no doc comment", fset.Position(pos), what, name)
+	}
+	for _, decl := range file.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Name.IsExported() && d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+						report(sp.Pos(), "type", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					// A doc comment on the const/var block covers
+					// every name in it (the idiomatic enum style).
+					if d.Doc != nil || sp.Doc != nil || sp.Comment != nil {
+						continue
+					}
+					for _, name := range sp.Names {
+						if name.IsExported() {
+							report(name.Pos(), "const/var", name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}

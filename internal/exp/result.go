@@ -36,6 +36,13 @@ type Result struct {
 	AnalyticZeroLoad float64 `json:"analytic_zero_load,omitempty"`
 	AnalyticBoundPct float64 `json:"analytic_bound_pct,omitempty"`
 
+	// Simulation work behind the result (ModePredict and ModeLoad):
+	// total simulated router-cycles and flit movements. Campaign
+	// reports divide these by wall-clock time to report simulation
+	// speed. Deterministic in the job spec, like every other field.
+	SimCycles   int64 `json:"sim_cycles,omitempty"`
+	SimFlitHops int64 `json:"sim_flit_hops,omitempty"`
+
 	// Single load point (ModeLoad).
 	OfferedRate       float64 `json:"offered_rate,omitempty"`
 	AcceptedRate      float64 `json:"accepted_rate,omitempty"`

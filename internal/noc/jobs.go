@@ -141,6 +141,8 @@ func evalLoadPoint(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quali
 		AvgPacketLatency:  st.AvgPacketLatency,
 		P99PacketLatency:  st.P99PacketLatency,
 		DeliveredFraction: st.DeliveredFraction(),
+		SimCycles:         st.Cycles,
+		SimFlitHops:       st.FlitHops,
 	}, nil
 }
 
@@ -178,6 +180,8 @@ func resultFromPrediction(p *Prediction, j exp.Job) *exp.Result {
 		RoutingName:        p.RoutingName,
 		AnalyticZeroLoad:   p.AnalyticZeroLoad,
 		AnalyticBoundPct:   p.AnalyticBoundPct,
+		SimCycles:          p.SimCycles,
+		SimFlitHops:        p.SimFlitHops,
 	}
 }
 
@@ -202,6 +206,8 @@ func PredictionFromResult(r *exp.Result) *Prediction {
 		RoutingName:        r.RoutingName,
 		AnalyticZeroLoad:   r.AnalyticZeroLoad,
 		AnalyticBoundPct:   r.AnalyticBoundPct,
+		SimCycles:          r.SimCycles,
+		SimFlitHops:        r.SimFlitHops,
 	}
 }
 

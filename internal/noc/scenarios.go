@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"time"
 
 	"sparsehamming/internal/exp"
 	"sparsehamming/internal/route"
@@ -101,13 +102,49 @@ type Figure6Row struct {
 	Pred       *Prediction
 }
 
+// PanelStats aggregates the campaign effort behind one Figure 6
+// panel: how much simulation work it took and how long the workers
+// computed. Cached jobs contribute their simulated work figures (the
+// result records them) but no compute time.
+type PanelStats struct {
+	Scenario tech.ScenarioID
+	// Jobs and CacheHits count the panel's campaign jobs and how many
+	// of them were answered from the result cache.
+	Jobs      int
+	CacheHits int
+	// Compute is the evaluation time of the panel's jobs summed
+	// across workers (not wall-clock: panels of one batch compute
+	// concurrently).
+	Compute time.Duration
+	// SimCycles and SimFlitHops total the simulated router-cycles and
+	// flit movements behind the panel's predictions.
+	SimCycles   int64
+	SimFlitHops int64
+}
+
+// String renders the stats for campaign footers, e.g.
+// "8 jobs (0 cached), compute 12.3s, 45.2M cycles (3.7 Mcycles/s)".
+func (ps PanelStats) String() string {
+	s := fmt.Sprintf("%d jobs (%d cached)", ps.Jobs, ps.CacheHits)
+	if ps.Compute > 0 {
+		s += fmt.Sprintf(", compute %s", ps.Compute.Round(time.Millisecond))
+	}
+	if ps.SimCycles > 0 {
+		s += fmt.Sprintf(", %.1fM cycles", float64(ps.SimCycles)/1e6)
+		if ps.Compute > 0 {
+			s += fmt.Sprintf(" (%.2f Mcycles/s)", float64(ps.SimCycles)/1e6/ps.Compute.Seconds())
+		}
+	}
+	return s
+}
+
 // Figure6 regenerates one scenario panel of Figure 6: the cost and
 // performance of all applicable topologies under uniform random
 // traffic with the paper's SHG parameters. It runs the panel as a
 // parallel campaign on all cores; use Figure6Panels for explicit
-// worker and cache control.
+// worker and cache control plus per-panel campaign statistics.
 func Figure6(id tech.ScenarioID, quality Quality) ([]Figure6Row, error) {
-	panels, err := Figure6Panels([]tech.ScenarioID{id}, quality, nil)
+	panels, _, err := Figure6Panels([]tech.ScenarioID{id}, quality, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -118,9 +155,10 @@ func Figure6(id tech.ScenarioID, quality Quality) ([]Figure6Row, error) {
 // as one campaign batch: every applicable topology of every scenario
 // becomes one job, so the runner's worker pool sees the whole sweep
 // at once. A nil runner means the default parallel toolchain runner
-// (all cores, no cache). The returned slice is aligned with ids, each
-// panel ordered like ComparisonSet.
-func Figure6Panels(ids []tech.ScenarioID, quality Quality, r *exp.Runner) ([][]Figure6Row, error) {
+// (all cores, no cache). The returned slices are aligned with ids:
+// panels ordered like ComparisonSet, plus one PanelStats per scenario
+// reporting the wall-clock and simulation work behind it.
+func Figure6Panels(ids []tech.ScenarioID, quality Quality, r *exp.Runner) ([][]Figure6Row, []PanelStats, error) {
 	if r == nil {
 		r = NewRunner(0, nil)
 	}
@@ -133,12 +171,12 @@ func Figure6Panels(ids []tech.ScenarioID, quality Quality, r *exp.Runner) ([][]F
 	for pi, id := range ids {
 		arch := tech.Scenario(id)
 		if arch == nil {
-			return nil, fmt.Errorf("noc: unknown scenario %q", id)
+			return nil, nil, fmt.Errorf("noc: unknown scenario %q", id)
 		}
 		shg := PaperSHGParams(id)
 		entries, err := ComparisonSet(arch.Rows, arch.Cols, shg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rows := make([]Figure6Row, len(entries))
 		for ri, e := range entries {
@@ -162,15 +200,44 @@ func Figure6Panels(ids []tech.ScenarioID, quality Quality, r *exp.Runner) ([][]F
 		}
 		panels[pi] = rows
 	}
+
+	// Attribute per-job compute time and cache hits to panels by job
+	// key (scenario names differ across panels, so keys are unique),
+	// chaining any progress hook the caller installed.
+	stats := make([]PanelStats, len(ids))
+	for i, id := range ids {
+		stats[i].Scenario = id
+	}
+	keyPanel := make(map[string]int, len(jobs))
+	for k, job := range jobs {
+		keyPanel[job.Key()] = slots[k].panel
+		stats[slots[k].panel].Jobs++
+	}
+	prev := r.Progress
+	r.Progress = func(ev exp.ProgressEvent) {
+		if pi, ok := keyPanel[ev.Job.Key()]; ok {
+			if ev.Cached {
+				stats[pi].CacheHits++
+			}
+			stats[pi].Compute += ev.Elapsed
+		}
+		if prev != nil {
+			prev(ev)
+		}
+	}
+	defer func() { r.Progress = prev }()
+
 	results, _, err := r.Run(jobs)
 	if err != nil {
-		return nil, fmt.Errorf("noc: figure 6 campaign: %w", err)
+		return nil, nil, fmt.Errorf("noc: figure 6 campaign: %w", err)
 	}
 	for k, res := range results {
 		s := slots[k]
 		panels[s.panel][s.row].Pred = PredictionFromResult(res)
+		stats[s.panel].SimCycles += res.SimCycles
+		stats[s.panel].SimFlitHops += res.SimFlitHops
 	}
-	return panels, nil
+	return panels, stats, nil
 }
 
 // Figure6Algorithm returns the routing used in the Figure 6

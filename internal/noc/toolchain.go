@@ -72,6 +72,14 @@ type Prediction struct {
 	// latency and the channel-load saturation bound.
 	AnalyticZeroLoad float64
 	AnalyticBoundPct float64
+
+	// SimCycles and SimFlitHops total the simulated router-cycles and
+	// flit movements behind this prediction (the zero-load reference
+	// run plus every saturation probe) — the work figures campaign
+	// reports divide by wall-clock time. Zero for cost-only
+	// predictions, which never simulate.
+	SimCycles   int64
+	SimFlitHops int64
 }
 
 // RouterDelay is the router pipeline depth in cycles assumed by the
@@ -166,6 +174,8 @@ func predictSeeded(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quali
 		RoutingName:        r.Name,
 		AnalyticZeroLoad:   azl,
 		AnalyticBoundPct:   100 * abound,
+		SimCycles:          sat.SimCycles,
+		SimFlitHops:        sat.SimFlitHops,
 	}, nil
 }
 

@@ -1,0 +1,186 @@
+// Package perf is the benchmark bookkeeping behind BENCH_sim.json:
+// it measures wall-clock time and allocation deltas around benchmark
+// loops (Meter), collects one entry per benchmark across the varying
+// iteration counts the testing framework probes (Recorder), and
+// appends the final entries to a JSON trajectory file so every
+// benchmark run extends the repository's recorded perf history.
+//
+// The file format is a JSON array of Entry values, newest last.
+// Entries are append-only: comparing the first and last entry of a
+// benchmark name shows the speedup history across PRs.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// DefaultPathEnv names the environment variable overriding the
+// trajectory file location.
+const DefaultPathEnv = "BENCH_SIM_JSON"
+
+// DefaultPath returns the trajectory file path: $BENCH_SIM_JSON when
+// set, BENCH_sim.json in the current directory otherwise.
+func DefaultPath() string {
+	if p := os.Getenv(DefaultPathEnv); p != "" {
+		return p
+	}
+	return "BENCH_sim.json"
+}
+
+// Entry is one benchmark measurement in the trajectory file.
+type Entry struct {
+	// Bench names the benchmark (e.g. "Figure6a").
+	Bench string `json:"bench"`
+	// When is the measurement time in RFC 3339 UTC.
+	When string `json:"when,omitempty"`
+	// Iters is the benchmark iteration count the numbers average over.
+	Iters int `json:"iters,omitempty"`
+
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+
+	// CyclesPerSec is simulated router-cycles per wall-clock second;
+	// NsPerFlit is wall-clock nanoseconds per simulated flit movement.
+	// Both are zero for benchmarks that do not simulate.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
+	NsPerFlit    float64 `json:"ns_per_flit,omitempty"`
+
+	// Metrics carries benchmark-specific extras (saturation
+	// percentages, error rates, ...), mirroring b.ReportMetric.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+
+	// Note is free-form provenance ("pre-optimization baseline", the
+	// CI run ID, ...).
+	Note string `json:"note,omitempty"`
+}
+
+// Meter measures one benchmark invocation: wall-clock time and the
+// allocation counters of the current goroutine's runtime.
+type Meter struct {
+	start   time.Time
+	mallocs uint64
+	bytes   uint64
+}
+
+// StartMeter snapshots the clock and the allocation counters.
+func StartMeter() *Meter {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return &Meter{start: time.Now(), mallocs: ms.Mallocs, bytes: ms.TotalAlloc}
+}
+
+// Elapsed returns the wall-clock time since StartMeter.
+func (m *Meter) Elapsed() time.Duration { return time.Since(m.start) }
+
+// Done finalizes the measurement into an Entry averaging over iters
+// iterations. Allocation numbers are process-wide deltas, so they
+// include GC and runtime noise; for benchmarks dominated by their
+// workload this matches -benchmem closely.
+func (m *Meter) Done(bench string, iters int) Entry {
+	elapsed := time.Since(m.start)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if iters < 1 {
+		iters = 1
+	}
+	return Entry{
+		Bench:       bench,
+		When:        time.Now().UTC().Format(time.RFC3339),
+		Iters:       iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		BytesPerOp:  float64(ms.TotalAlloc-m.bytes) / float64(iters),
+		AllocsPerOp: float64(ms.Mallocs-m.mallocs) / float64(iters),
+	}
+}
+
+// Recorder collects the latest Entry per benchmark name. Benchmarks
+// run their body several times while the framework calibrates b.N;
+// Set keeps only the last (highest-N) measurement, and Flush appends
+// everything recorded to the trajectory file in first-set order.
+type Recorder struct {
+	mu     sync.Mutex
+	byName map[string]int
+	list   []Entry
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{byName: make(map[string]int)}
+}
+
+// Set records e, replacing any earlier entry with the same Bench.
+func (r *Recorder) Set(e Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if i, ok := r.byName[e.Bench]; ok {
+		r.list[i] = e
+		return
+	}
+	r.byName[e.Bench] = len(r.list)
+	r.list = append(r.list, e)
+}
+
+// Entries returns a copy of the recorded entries in first-set order.
+func (r *Recorder) Entries() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, len(r.list))
+	copy(out, r.list)
+	return out
+}
+
+// Flush appends the recorded entries to the trajectory file at path;
+// it is a no-op when nothing was recorded.
+func (r *Recorder) Flush(path string) error {
+	entries := r.Entries()
+	if len(entries) == 0 {
+		return nil
+	}
+	return Append(path, entries...)
+}
+
+// Load reads the trajectory file at path. A missing file is an empty
+// trajectory, not an error.
+func Load(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// Append loads the trajectory at path, appends the entries, and
+// writes it back atomically (write to a temporary file, then rename).
+func Append(path string, entries ...Entry) error {
+	existing, err := Load(path)
+	if err != nil {
+		return err
+	}
+	all := append(existing, entries...)
+	data, err := json.MarshalIndent(all, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("perf: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestAppendAndLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+
+	// Missing file loads as empty.
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load(missing): %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("Load(missing) = %d entries, want 0", len(got))
+	}
+
+	e1 := Entry{Bench: "A", NsPerOp: 100, Note: "baseline"}
+	e2 := Entry{Bench: "A", NsPerOp: 50, CyclesPerSec: 1e6,
+		Metrics: map[string]float64{"sat_%": 67.2}}
+	if err := Append(path, e1); err != nil {
+		t.Fatal(err)
+	}
+	if err := Append(path, e2); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d entries, want 2 (append must preserve history)", len(got))
+	}
+	if got[0].Note != "baseline" || got[1].NsPerOp != 50 {
+		t.Errorf("entries out of order or mangled: %+v", got)
+	}
+	if got[1].Metrics["sat_%"] != 67.2 {
+		t.Errorf("metrics map lost: %+v", got[1])
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temporary file left behind")
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("corrupt file loaded without error")
+	}
+}
+
+func TestMeterMeasures(t *testing.T) {
+	m := StartMeter()
+	var sink []byte
+	for i := 0; i < 10; i++ {
+		sink = make([]byte, 1<<16)
+		time.Sleep(time.Millisecond)
+	}
+	_ = sink
+	e := m.Done("meter", 10)
+	if e.NsPerOp < float64(time.Millisecond.Nanoseconds()) {
+		t.Errorf("ns/op %v below the 1ms sleep floor", e.NsPerOp)
+	}
+	if e.AllocsPerOp < 1 {
+		t.Errorf("allocs/op %v did not see the allocations", e.AllocsPerOp)
+	}
+	if e.Iters != 10 || e.Bench != "meter" || e.When == "" {
+		t.Errorf("entry metadata wrong: %+v", e)
+	}
+}
+
+func TestRecorderKeepsLatestPerBench(t *testing.T) {
+	r := NewRecorder()
+	r.Set(Entry{Bench: "A", NsPerOp: 1})
+	r.Set(Entry{Bench: "B", NsPerOp: 2})
+	r.Set(Entry{Bench: "A", NsPerOp: 3}) // recalibrated run replaces
+	got := r.Entries()
+	if len(got) != 2 {
+		t.Fatalf("got %d entries, want 2", len(got))
+	}
+	if got[0].Bench != "A" || got[0].NsPerOp != 3 || got[1].Bench != "B" {
+		t.Errorf("recorder order/replacement wrong: %+v", got)
+	}
+
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := r.Flush(path); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onDisk) != 2 {
+		t.Fatalf("flushed %d entries, want 2", len(onDisk))
+	}
+
+	// Flushing an empty recorder touches nothing.
+	empty := NewRecorder()
+	missing := filepath.Join(t.TempDir(), "untouched.json")
+	if err := empty.Flush(missing); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(missing); !os.IsNotExist(err) {
+		t.Error("empty flush created a file")
+	}
+}

@@ -1,0 +1,203 @@
+package sim
+
+// Per-stage micro-benchmarks of the simulator pipeline. The stage
+// benchmarks drive a live simulation (every phase runs each cycle so
+// the network state stays realistic) but keep the timer running only
+// around the stage under measurement; the step benchmarks time whole
+// cycles in the regimes the toolchain spends its time in.
+//
+// Run with:
+//
+//	go test ./internal/sim -bench=. -benchmem
+
+import (
+	"testing"
+
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/topo"
+)
+
+// benchSim builds an 8x8 mesh simulator warmed up to steady state at
+// the given injection rate.
+func benchSim(b *testing.B, rate float64) *Simulator {
+	b.Helper()
+	m, err := topo.NewMesh(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := route.For(m, route.Auto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := New(Config{
+		Topo: m, Routing: r, NumVCs: 8, BufDepth: 32,
+		RouterDelay: 3, PacketLen: 4, InjectionRate: rate,
+		Seed: 1,
+		// A far-off measurement window: the benchmarks run in the
+		// warmup regime so no measurement bookkeeping triggers.
+		Warmup: 1 << 30, Measure: 1, Drain: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		s.step(true)
+	}
+	return s
+}
+
+// stepBench times full cycles at one injection rate.
+func stepBench(b *testing.B, rate float64) {
+	b.Helper()
+	s := benchSim(b, rate)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(true)
+	}
+}
+
+// BenchmarkStepIdle: cycle cost of an empty network (no injection) —
+// the floor every simulated cycle pays.
+func BenchmarkStepIdle(b *testing.B) { stepBench(b, 0) }
+
+// BenchmarkStepZeroLoad: the near-zero-load regime of the zero-load
+// latency reference runs (0.5% injection).
+func BenchmarkStepZeroLoad(b *testing.B) { stepBench(b, 0.005) }
+
+// BenchmarkStepLoaded: a 30%-loaded network, representative of
+// mid-curve saturation probes.
+func BenchmarkStepLoaded(b *testing.B) { stepBench(b, 0.3) }
+
+// BenchmarkStepSaturated: past saturation, every router busy — the
+// most expensive cycles of a saturation search.
+func BenchmarkStepSaturated(b *testing.B) { stepBench(b, 0.9) }
+
+// stageBench runs full cycles but times only the selected stage.
+func stageBench(b *testing.B, rate float64, stage func(s *Simulator, t int64)) {
+	b.Helper()
+	s := benchSim(b, rate)
+	b.ResetTimer()
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.now
+		s.deliver(t)
+		s.generate(t)
+		for _, r := range s.routers {
+			s.injectFlits(r, t)
+		}
+		b.StartTimer()
+		stage(s, t)
+		b.StopTimer()
+		s.now++
+	}
+}
+
+// BenchmarkStageVCAlloc times the VC-allocation stage over all
+// routers of a loaded network; switch allocation still runs (off the
+// clock) so the network keeps moving.
+func BenchmarkStageVCAlloc(b *testing.B) {
+	stageBench(b, 0.3, func(s *Simulator, t int64) {
+		for _, r := range s.routers {
+			s.vcAlloc(r, t)
+		}
+		b.StopTimer()
+		for _, r := range s.routers {
+			s.switchAllocTraverse(r, t)
+		}
+	})
+}
+
+// BenchmarkStageSwitchAlloc times switch allocation and traversal
+// over all routers of a loaded network; VC allocation runs off the
+// clock first.
+func BenchmarkStageSwitchAlloc(b *testing.B) {
+	stageBench(b, 0.3, func(s *Simulator, t int64) {
+		b.StopTimer()
+		for _, r := range s.routers {
+			s.vcAlloc(r, t)
+		}
+		b.StartTimer()
+		for _, r := range s.routers {
+			s.switchAllocTraverse(r, t)
+		}
+	})
+}
+
+// BenchmarkStageDeliver times link flit/credit delivery. It inverts
+// stageBench's pattern: deliver is timed, the rest runs off-timer.
+func BenchmarkStageDeliver(b *testing.B) {
+	s := benchSim(b, 0.3)
+	b.ResetTimer()
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.now
+		b.StartTimer()
+		s.deliver(t)
+		b.StopTimer()
+		s.generate(t)
+		for _, r := range s.routers {
+			s.injectFlits(r, t)
+		}
+		for _, r := range s.routers {
+			s.vcAlloc(r, t)
+		}
+		for _, r := range s.routers {
+			s.switchAllocTraverse(r, t)
+		}
+		s.now++
+	}
+}
+
+// BenchmarkStageGenerate times traffic generation plus source-queue
+// injection (phase 2).
+func BenchmarkStageGenerate(b *testing.B) {
+	s := benchSim(b, 0.3)
+	b.ResetTimer()
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.now
+		s.deliver(t)
+		b.StartTimer()
+		s.generate(t)
+		for _, r := range s.routers {
+			s.injectFlits(r, t)
+		}
+		b.StopTimer()
+		for _, r := range s.routers {
+			s.vcAlloc(r, t)
+		}
+		for _, r := range s.routers {
+			s.switchAllocTraverse(r, t)
+		}
+		s.now++
+	}
+}
+
+// BenchmarkRun measures a complete short run end to end, the unit of
+// work campaigns parallelize over.
+func BenchmarkRun(b *testing.B) {
+	m, err := topo.NewMesh(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := route.For(m, route.Auto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := RunConfig(Config{
+			Topo: m, Routing: r, NumVCs: 8, BufDepth: 32,
+			RouterDelay: 3, PacketLen: 4, InjectionRate: 0.3,
+			Seed: int64(i + 1), Warmup: 500, Measure: 2000, Drain: 4000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Deadlocked {
+			b.Fatal("deadlock")
+		}
+	}
+}

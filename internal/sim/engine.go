@@ -3,17 +3,28 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"sparsehamming/internal/route"
 )
 
-// packet is one in-flight packet.
+// packet is one in-flight packet. Packet slots live in
+// Simulator.packets and are recycled through a free list once the
+// tail flit ejects (see generate and traverse), so the slot array is
+// bounded by the peak number of live packets rather than the total
+// injected over the run.
 type packet struct {
 	src, dst int32
 	inject   int64
 	measured bool
 	path     route.Path
+	// ports[i] is the precomputed output port taken at path.Tiles[i],
+	// shared with Simulator.pathPorts (never mutated).
+	ports []int16
+	// hop is the index in path.Tiles of the router currently holding
+	// the head flit; it advances when the head traverses a link, so VC
+	// allocation never searches the path.
+	hop int16
 	// nextSeq is the flit sequence number the destination expects
 	// next; it verifies in-order, loss-free, duplication-free
 	// delivery (wormhole flow control guarantees all three).
@@ -49,6 +60,12 @@ type Stats struct {
 
 	AvgHops float64 // routing property, for reference
 
+	// FlitHops counts every flit movement through a crossbar (link
+	// traversals and ejections) over the whole run, warmup and drain
+	// included. It is the simulator's work figure: perf harnesses
+	// divide wall-clock time by it to report ns per flit.
+	FlitHops int64
+
 	// MaxLinkUtilization is the highest per-directed-channel flit
 	// rate observed during the measurement window (flits per cycle,
 	// at most 1); it identifies the bottleneck channel.
@@ -74,6 +91,14 @@ func (s Stats) DeliveredFraction() float64 {
 }
 
 // Simulator executes one configuration. Create with New, run with Run.
+//
+// The steady-state cycle loop (step and the phases it calls) performs
+// no heap allocations: packets are recycled through a free list, VC
+// buffers are fixed-capacity rings sized at build time, route and
+// output-port lookups are precomputed tables, and every scratch slice
+// the allocators need lives on the router. Dynamic queues (links,
+// source queues, the latency log) grow to the run's high-water mark
+// during warmup and are then reused.
 type Simulator struct {
 	cfg     Config
 	routers []*router
@@ -82,10 +107,22 @@ type Simulator struct {
 	rng     *rand.Rand
 	now     int64
 
+	// freePkts holds recycled indices into packets whose tail flit
+	// has ejected; generate reuses them before growing the slot array.
+	// It stays empty when noPool is set (tracing needs stable IDs).
+	freePkts []int32
+	noPool   bool
+
+	// pathPorts[src][dst][i] is the output port taken at hop i of the
+	// routed path src->dst, precomputed at build time so the hot path
+	// never searches neighbor lists.
+	pathPorts [][][]int16
+
 	vcPerClass int
 
 	flitsInFlight int64
 	lastProgress  int64
+	flitHops      int64
 
 	measureStart, measureEnd int64
 	winFlits                 int64
@@ -112,6 +149,7 @@ func New(cfg Config) (*Simulator, error) {
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		vcPerClass: cfg.NumVCs / cfg.Routing.NumClasses,
+		noPool:     cfg.Tracer != nil,
 	}
 	s.build()
 	return s, nil
@@ -161,6 +199,7 @@ func (s *Simulator) build() {
 		for p := range r.vcs {
 			r.vcs[p] = make([]vcState, s.cfg.NumVCs)
 			for v := range r.vcs[p] {
+				r.vcs[p][v].buf.init(s.cfg.BufDepth)
 				r.vcs[p][v].outPort = -1
 				r.vcs[p][v].outVC = -1
 			}
@@ -178,6 +217,7 @@ func (s *Simulator) build() {
 		r.vaRR = make([]int, deg+1)
 		r.saInRR = make([]int, deg+1)
 		r.saOutRR = make([]int, deg+1)
+		r.saCand = make([]int16, deg+1)
 		s.routers[id] = r
 	}
 
@@ -198,6 +238,39 @@ func (s *Simulator) build() {
 		}
 	}
 	s.linkFlits = make([]int64, len(s.chans))
+
+	// Precompute, per (src, dst) pair, the output port taken at every
+	// hop of the routed path, so neither VC allocation nor injection
+	// ever searches a path or a neighbor list at simulation time.
+	portTo := make([][]int16, n)
+	for id := range portTo {
+		portTo[id] = make([]int16, n)
+		for j := range portTo[id] {
+			portTo[id][j] = -1
+		}
+	}
+	for _, c := range s.chans {
+		portTo[c.from][c.to] = c.outPort
+	}
+	s.pathPorts = make([][][]int16, n)
+	for src := 0; src < n; src++ {
+		row := make([][]int16, n)
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			p := s.cfg.Routing.Path(src, dst)
+			pp := make([]int16, p.Hops())
+			for i := range pp {
+				pp[i] = portTo[p.Tiles[i]][p.Tiles[i+1]]
+				if pp[i] < 0 {
+					panic("sim: routed path uses a missing channel")
+				}
+			}
+			row[dst] = pp
+		}
+		s.pathPorts[src] = row
+	}
 }
 
 // classVCRange returns the VC interval [lo, hi) serving a VC class.
@@ -219,6 +292,15 @@ func (s *Simulator) Run() Stats {
 	injectUntil := s.measureEnd
 	drainEnd := s.measureEnd + int64(cfg.Drain)
 	s.lastProgress = 0
+
+	// Preallocate the latency log for the expected measured-packet
+	// count (plus slack), so recording latencies in steady state does
+	// not allocate.
+	if s.latencies == nil {
+		expect := int(cfg.InjectionRate / float64(cfg.PacketLen) *
+			float64(cfg.Topo.NumTiles()) * float64(cfg.Measure))
+		s.latencies = make([]int64, 0, expect+expect/4+64)
+	}
 
 	deadlocked := false
 	for {
@@ -244,12 +326,13 @@ func (s *Simulator) Run() Stats {
 		MeasuredEjected:  s.measEjected,
 		MaxPacketLatency: s.latencyMax,
 		AvgHops:          cfg.Routing.AvgHops(),
+		FlitHops:         s.flitHops,
 		OrderViolations:  s.orderViolations,
 		Deadlocked:       deadlocked,
 	}
 	if s.measEjected > 0 {
 		st.AvgPacketLatency = float64(s.latencySum) / float64(s.measEjected)
-		sort.Slice(s.latencies, func(a, b int) bool { return s.latencies[a] < s.latencies[b] })
+		slices.Sort(s.latencies)
 		st.P50PacketLatency = float64(s.latencies[len(s.latencies)/2])
 		st.P99PacketLatency = float64(s.latencies[len(s.latencies)*99/100])
 	}
@@ -265,22 +348,15 @@ func (s *Simulator) Run() Stats {
 	return st
 }
 
-// step advances the network by one cycle.
+// step advances the network by one cycle. It runs the five-phase
+// router pipeline in a fixed order — link delivery, generation and
+// injection, VC allocation, switch allocation and traversal — and is
+// allocation-free in steady state (see the Simulator doc).
 func (s *Simulator) step(inject bool) {
 	t := s.now
 
 	// Phase 1: deliver flits and credits that arrive this cycle.
-	for _, c := range s.chans {
-		for c.flits.len() > 0 && c.flits.front().arrive <= t {
-			f := c.flits.pop()
-			vc := &s.routers[c.to].vcs[c.inPort][f.vc]
-			vc.buf.push(flitRef{pkt: f.pkt, seq: f.seq, ready: t + int64(s.cfg.RouterDelay)})
-		}
-		for c.credits.len() > 0 && c.credits.front().arrive <= t {
-			cr := c.credits.pop()
-			s.routers[c.from].credits[c.outPort][cr.vc]++
-		}
-	}
+	s.deliver(t)
 
 	// Phase 2: traffic generation and source injection.
 	if inject {
@@ -303,8 +379,33 @@ func (s *Simulator) step(inject bool) {
 	s.now++
 }
 
+// deliver moves flits and credits whose link latency has elapsed into
+// the downstream (respectively upstream) router.
+func (s *Simulator) deliver(t int64) {
+	for _, c := range s.chans {
+		if c.flits.len() > 0 && c.flits.front().arrive <= t {
+			rt := s.routers[c.to]
+			for c.flits.len() > 0 && c.flits.front().arrive <= t {
+				f := c.flits.pop()
+				vc := &rt.vcs[c.inPort][f.vc]
+				vc.buf.push(flitRef{pkt: f.pkt, seq: f.seq, ready: t + int64(s.cfg.RouterDelay)})
+				rt.bufFlits++
+				if f.seq == 0 {
+					rt.needRoute++
+				}
+			}
+		}
+		for c.credits.len() > 0 && c.credits.front().arrive <= t {
+			cr := c.credits.pop()
+			s.routers[c.from].credits[c.outPort][cr.vc]++
+		}
+	}
+}
+
 // generate draws new packets for every node (Bernoulli process with
-// rate InjectionRate/PacketLen packets per node per cycle).
+// rate InjectionRate/PacketLen packets per node per cycle). Packet
+// slots come from the free list when one is available, so the packet
+// array stops growing once the network reaches steady state.
 func (s *Simulator) generate(t int64) {
 	pPkt := s.cfg.InjectionRate / float64(s.cfg.PacketLen)
 	measured := t >= s.measureStart && t < s.measureEnd
@@ -322,12 +423,21 @@ func (s *Simulator) generate(t int64) {
 			inject:   t,
 			measured: measured,
 			path:     s.cfg.Routing.Path(id, dst),
+			ports:    s.pathPorts[id][dst],
 		}
 		if measured {
 			s.measInjected++
 		}
-		s.packets = append(s.packets, pk)
-		s.routers[id].srcQ.push(int32(len(s.packets) - 1))
+		var pid int32
+		if n := len(s.freePkts); n > 0 {
+			pid = s.freePkts[n-1]
+			s.freePkts = s.freePkts[:n-1]
+			s.packets[pid] = pk
+		} else {
+			s.packets = append(s.packets, pk)
+			pid = int32(len(s.packets) - 1)
+		}
+		s.routers[id].srcQ.push(pid)
 	}
 }
 
@@ -367,6 +477,10 @@ func (s *Simulator) injectFlits(r *router, t int64) {
 	}
 	pid := *r.srcQ.front()
 	vc.buf.push(flitRef{pkt: pid, seq: r.injSeq, ready: t + int64(s.cfg.RouterDelay)})
+	r.bufFlits++
+	if r.injSeq == 0 {
+		r.needRoute++
+	}
 	s.flitsInFlight++
 	if s.cfg.Tracer != nil {
 		s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvInject, Pkt: pid, Seq: r.injSeq, Node: r.id, Peer: -1, VC: r.injVC})
@@ -378,28 +492,32 @@ func (s *Simulator) injectFlits(r *router, t int64) {
 	}
 }
 
-// hopIndex returns the position of node in the packet's path.
-func hopIndex(p *packet, node int32) int {
-	for i, v := range p.path.Tiles {
-		if v == node {
-			return i
-		}
-	}
-	return -1
-}
-
 // vcAlloc performs separable VC allocation: every input VC whose head
 // is an unrouted head flit requests an output VC of its path's class;
 // output VCs are granted first-come in round-robin order over inputs.
+// The output port comes from the packet's precomputed port table and
+// the path position from its hop counter, so no searches happen here.
 func (s *Simulator) vcAlloc(r *router, t int64) {
 	nIn := r.numIn()
 	V := s.cfg.NumVCs
 	total := nIn * V
 	start := r.vaRR[0] % total
+	r.vaRR[0] = (start + 1) % total
+	if r.needRoute == 0 {
+		return // no unrouted head flits buffered anywhere
+	}
+	ip, v := start/V, start%V
 	for k := 0; k < total; k++ {
-		enc := (start + k) % total
-		ip, v := enc/V, enc%V
+		enc := ip*V + v
 		vc := &r.vcs[ip][v]
+		v++
+		if v == V {
+			v = 0
+			ip++
+			if ip == nIn {
+				ip = 0
+			}
+		}
 		if vc.outVC >= 0 || vc.outPort >= 0 || vc.buf.len() == 0 {
 			continue
 		}
@@ -408,57 +526,53 @@ func (s *Simulator) vcAlloc(r *router, t int64) {
 			continue
 		}
 		pk := &s.packets[head.pkt]
-		hi := hopIndex(pk, r.id)
-		if hi < 0 {
-			continue // cannot happen with verified routings
-		}
-		if int(pk.dst) == int(r.id) {
+		if pk.dst == r.id {
 			// Ejection needs no VC allocation.
 			vc.outPort = int16(r.ejPort())
 			vc.outVC = 0
+			r.needRoute--
 			continue
 		}
-		next := pk.path.Tiles[hi+1]
+		hi := int(pk.hop)
 		class := pk.path.Classes[hi]
-		outPort := s.outPortTo(r, next)
+		outPort := int(pk.ports[hi])
 		lo, hiVC := s.classVCRange(class)
 		for ov := lo; ov < hiVC; ov++ {
 			if r.ovcOwner[outPort][ov] < 0 {
 				r.ovcOwner[outPort][ov] = int32(enc)
 				vc.outPort = int16(outPort)
 				vc.outVC = int16(ov)
+				r.needRoute--
 				break
 			}
 		}
 	}
-	r.vaRR[0] = (start + 1) % total
-}
-
-// outPortTo returns the output port index at r leading to tile next.
-func (s *Simulator) outPortTo(r *router, next int32) int {
-	for i, ci := range r.outChans {
-		if s.chans[ci].to == next {
-			return i
-		}
-	}
-	panic("sim: no channel to next hop")
 }
 
 // switchAllocTraverse performs separable (input-first) switch
-// allocation and moves the winning flits.
+// allocation and moves the winning flits. Routers with no buffered
+// flits return immediately; the candidate scratch is preallocated.
 func (s *Simulator) switchAllocTraverse(r *router, t int64) {
+	if r.bufFlits == 0 {
+		return // no requests, no grants, no arbiter state changes
+	}
 	nIn, nOut := r.numIn(), r.numOut()
 	V := s.cfg.NumVCs
 	ej := r.ejPort()
 
 	// Input arbitration: one candidate VC per input port.
-	cand := make([]int16, nIn) // VC index or -1
+	cand := r.saCand // VC index or -1
+	found := false
 	for ip := 0; ip < nIn; ip++ {
 		cand[ip] = -1
-		start := r.saInRR[ip]
+		v := r.saInRR[ip]
 		for k := 0; k < V; k++ {
-			v := (start + k) % V
 			vc := &r.vcs[ip][v]
+			cv := v
+			v++
+			if v == V {
+				v = 0
+			}
 			if vc.outPort < 0 || vc.buf.len() == 0 {
 				continue
 			}
@@ -469,23 +583,31 @@ func (s *Simulator) switchAllocTraverse(r *router, t int64) {
 			if int(vc.outPort) != ej && r.credits[vc.outPort][vc.outVC] <= 0 {
 				continue
 			}
-			cand[ip] = int16(v)
+			cand[ip] = int16(cv)
+			found = true
 			break
 		}
+	}
+	if !found {
+		return
 	}
 
 	// Output arbitration: one winner per output port.
 	for op := 0; op < nOut; op++ {
-		start := r.saOutRR[op]
+		ip := r.saOutRR[op]
 		for k := 0; k < nIn; k++ {
-			ip := (start + k) % nIn
-			v := cand[ip]
-			if v < 0 || int(r.vcs[ip][v].outPort) != op {
+			cip := ip
+			ip++
+			if ip == nIn {
+				ip = 0
+			}
+			v := cand[cip]
+			if v < 0 || int(r.vcs[cip][v].outPort) != op {
 				continue
 			}
-			s.traverse(r, ip, int(v), op, t)
-			r.saInRR[ip] = (int(v) + 1) % V
-			r.saOutRR[op] = (ip + 1) % nIn
+			s.traverse(r, cip, int(v), op, t)
+			r.saInRR[cip] = (int(v) + 1) % V
+			r.saOutRR[op] = (cip + 1) % nIn
 			break
 		}
 	}
@@ -495,6 +617,8 @@ func (s *Simulator) switchAllocTraverse(r *router, t int64) {
 func (s *Simulator) traverse(r *router, ip, v, op int, t int64) {
 	vc := &r.vcs[ip][v]
 	f := vc.buf.pop()
+	r.bufFlits--
+	s.flitHops++
 	isTail := int(f.seq) == s.cfg.PacketLen-1
 
 	if op == r.ejPort() {
@@ -521,10 +645,19 @@ func (s *Simulator) traverse(r *router, ip, v, op int, t int64) {
 					s.latencyMax = lat
 				}
 			}
+			// The tail has left the network: release the packet slot
+			// for reuse (unless tracing pinned the IDs).
+			if !s.noPool {
+				s.freePkts = append(s.freePkts, f.pkt)
+			}
 		}
 	} else {
 		ci := r.outChans[op]
 		c := s.chans[ci]
+		if f.seq == 0 {
+			// The head flit advances to the next router on its path.
+			s.packets[f.pkt].hop++
+		}
 		c.flits.push(timedFlit{pkt: f.pkt, seq: f.seq, vc: vc.outVC, arrive: t + c.latency})
 		if s.cfg.Tracer != nil {
 			s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvTraverse, Pkt: f.pkt, Seq: f.seq, Node: r.id, Peer: c.to, VC: vc.outVC})

@@ -8,17 +8,23 @@ package sim
 // the latency reflects hop counts, router pipelines, link pipelining,
 // and serialization only.
 func ZeroLoadLatency(cfg Config) (float64, error) {
+	st, err := zeroLoad(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return st.AvgPacketLatency, nil
+}
+
+// zeroLoad runs the near-zero-load reference configuration and
+// returns its full statistics.
+func zeroLoad(cfg Config) (Stats, error) {
 	cfg.Defaults()
 	cfg.InjectionRate = 0.005
 	cfg.Warmup = 1000
 	if cfg.Measure < 20000 {
 		cfg.Measure = 20000
 	}
-	st, err := RunConfig(cfg)
-	if err != nil {
-		return 0, err
-	}
-	return st.AvgPacketLatency, nil
+	return RunConfig(cfg)
 }
 
 // SaturationResult reports the outcome of a saturation search.
@@ -31,6 +37,12 @@ type SaturationResult struct {
 	ZeroLoadLatency float64
 	// Samples holds the load/latency curve probed by the search.
 	Samples []Stats
+	// SimCycles and SimFlitHops total the simulated router-cycles and
+	// flit movements over the zero-load reference run and every probe.
+	// They are the work figures behind the search: perf harnesses
+	// divide them by wall-clock time to report simulation speed.
+	SimCycles   int64
+	SimFlitHops int64
 }
 
 // latencyBlowupFactor defines saturation: the offered load at which
@@ -43,11 +55,14 @@ const latencyBlowupFactor = 3.0
 // saturation point. The passed config's InjectionRate is ignored.
 func SaturationThroughput(cfg Config) (SaturationResult, error) {
 	cfg.Defaults()
-	zl, err := ZeroLoadLatency(cfg)
+	zlStats, err := zeroLoad(cfg)
 	if err != nil {
 		return SaturationResult{}, err
 	}
+	zl := zlStats.AvgPacketLatency
 	res := SaturationResult{ZeroLoadLatency: zl}
+	res.SimCycles = zlStats.Cycles
+	res.SimFlitHops = zlStats.FlitHops
 
 	saturated := func(rate float64) (bool, Stats, error) {
 		c := cfg
@@ -57,6 +72,8 @@ func SaturationThroughput(cfg Config) (SaturationResult, error) {
 			c.Drain = 4 * c.Measure
 		}
 		st, err := RunConfig(c)
+		res.SimCycles += st.Cycles
+		res.SimFlitHops += st.FlitHops
 		if err != nil {
 			return false, st, err
 		}

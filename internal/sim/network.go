@@ -41,7 +41,8 @@ type Config struct {
 	// Tracer, when non-nil, receives per-flit inject/traverse/eject
 	// events (see trace.go). Tracing a saturated run produces very
 	// large volumes; combine with PacketTracer.Watch to select
-	// packets.
+	// packets. Tracing also disables packet-slot recycling so traced
+	// packet IDs stay unique for the whole run.
 	Tracer Tracer
 
 	// Phase lengths in cycles. After Warmup+Measure cycles injection
@@ -133,7 +134,9 @@ type dchan struct {
 	credits  queue[timedCredit]
 }
 
-// queue is a simple FIFO with amortized O(1) operations.
+// queue is a simple FIFO with amortized O(1) operations. Its backing
+// slice grows to the high-water mark of the run and is then reused,
+// so a queue in steady state performs no allocations.
 type queue[T any] struct {
 	items []T
 	head  int
@@ -156,9 +159,49 @@ func (q *queue[T]) pop() T {
 	return v
 }
 
+// flitRing is a fixed-capacity FIFO of flits, preallocated at build
+// time to the VC buffer depth. Unlike queue it never grows: credit
+// flow control guarantees a flit is only forwarded into buffer space
+// the upstream router holds a credit for, so push past capacity is a
+// protocol violation and panics.
+type flitRing struct {
+	items []flitRef
+	head  int
+	n     int
+}
+
+// init sizes the ring for depth flits.
+func (q *flitRing) init(depth int) { q.items = make([]flitRef, depth) }
+
+func (q *flitRing) len() int { return q.n }
+
+func (q *flitRing) push(v flitRef) {
+	if q.n == len(q.items) {
+		panic("sim: VC buffer overflow (credit accounting broken)")
+	}
+	i := q.head + q.n
+	if i >= len(q.items) {
+		i -= len(q.items)
+	}
+	q.items[i] = v
+	q.n++
+}
+
+func (q *flitRing) front() *flitRef { return &q.items[q.head] }
+
+func (q *flitRing) pop() flitRef {
+	v := q.items[q.head]
+	q.head++
+	if q.head == len(q.items) {
+		q.head = 0
+	}
+	q.n--
+	return v
+}
+
 // vcState is one virtual channel of one input port.
 type vcState struct {
-	buf     queue[flitRef]
+	buf     flitRing
 	outPort int16 // allocated output port for the packet in flight, -1 if none
 	outVC   int16 // allocated downstream VC, -1 if none
 }
@@ -177,6 +220,22 @@ type router struct {
 	vaRR    []int // per output port: round-robin over requesters
 	saInRR  []int // per input port: round-robin over VCs
 	saOutRR []int // per output port: round-robin over input ports
+
+	// saCand is the switch allocator's per-input candidate scratch,
+	// preallocated at build time so allocation runs allocation-free.
+	saCand []int16
+
+	// bufFlits counts the flits currently buffered in any of the
+	// router's input VCs. Routers with no buffered flits skip VC and
+	// switch allocation entirely — at low load most routers are idle
+	// most cycles, and this check is what makes them nearly free.
+	bufFlits int32
+
+	// needRoute counts buffered head flits that have not been granted
+	// an output VC yet. VC allocation scans the input VCs only while
+	// it is positive: each head is counted when it is buffered and
+	// uncounted when its VC wins an output VC (or the ejection port).
+	needRoute int32
 
 	srcQ   queue[int32] // packets awaiting injection
 	injSeq int16        // next flit seq of the packet currently injecting
