@@ -101,7 +101,7 @@ func figure6Bench(b *testing.B, id tech.ScenarioID) {
 	metrics := map[string]float64{}
 	var simCycles, simFlitHops int64
 	for i := 0; i < b.N; i++ {
-		panels, stats, err := noc.Figure6Panels([]tech.ScenarioID{id}, noc.Quick, nil)
+		panels, stats, err := noc.Figure6Panels([]tech.ScenarioID{id}, noc.Quick, nil, nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -8,18 +8,24 @@
 // them across invocations and -curve sweeps its load points in
 // parallel on a worker pool (-jobs).
 //
+// -route selects a routing algorithm and -traffic a synthetic traffic
+// pattern by their registry names (defaults: the topology's
+// co-designed routing, uniform random traffic).
+//
 // Examples:
 //
 //	shpredict -scenario a -topo sparse-hamming -sr 4 -sc 2,5
 //	shpredict -scenario c -topo slimnoc
 //	shpredict -scenario b -topo mesh -full
 //	shpredict -scenario a -topo mesh -curve -jobs 8 -cache results.json
+//	shpredict -scenario a -topo hypercube -route e-cube -traffic transpose
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"sparsehamming/internal/cli"
 	"sparsehamming/internal/exp"
@@ -37,11 +43,15 @@ func main() {
 		kind     = flag.String("topo", "sparse-hamming", "topology kind (see shgen -h)")
 		sr       = flag.String("sr", "", "sparse Hamming row offsets")
 		sc       = flag.String("sc", "", "sparse Hamming column offsets")
-		full     = flag.Bool("full", false, "full-length simulation windows")
-		trace    = flag.Int("trace", 0, "additionally trace the first N packets of a short run")
-		curve    = flag.Bool("curve", false, "additionally print a load-latency curve")
-		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all cores)")
-		cacheP   = flag.String("cache", "", "JSON file memoizing results across invocations")
+		routeF   = flag.String("route", "", "routing algorithm (default: the topology's co-designed one): "+
+			strings.Join(route.Names(), "|"))
+		traffic = flag.String("traffic", "", "traffic pattern for the performance simulations (default uniform): "+
+			strings.Join(sim.PatternNames(), "|"))
+		full   = flag.Bool("full", false, "full-length simulation windows")
+		trace  = flag.Int("trace", 0, "additionally trace the first N packets of a short run")
+		curve  = flag.Bool("curve", false, "additionally print a load-latency curve")
+		jobs   = flag.Int("jobs", 0, "parallel simulation workers (0 = all cores)")
+		cacheP = flag.String("cache", "", "JSON file memoizing results across invocations")
 	)
 	flag.Parse()
 
@@ -52,6 +62,12 @@ func main() {
 	scs, err := cli.ParseInts(*sc)
 	if err != nil {
 		fatal(fmt.Errorf("-sc: %w", err))
+	}
+	if !route.Registered(*routeF) {
+		fatal(fmt.Errorf("-route: unknown algorithm %q (want one of %s)", *routeF, strings.Join(route.Names(), "|")))
+	}
+	if !sim.PatternRegistered(*traffic) {
+		fatal(fmt.Errorf("-traffic: unknown pattern %q (want one of %s)", *traffic, strings.Join(sim.PatternNames(), "|")))
 	}
 	quality := noc.Quick
 	if *full {
@@ -69,6 +85,8 @@ func main() {
 		Mode:     exp.ModePredict,
 		Scenario: *scenario,
 		Topo:     *kind,
+		Routing:  *routeF,
+		Pattern:  *traffic,
 		Quality:  noc.QualityName(quality),
 		Seed:     1,
 	}
@@ -110,7 +128,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := tracePackets(arch, t, *trace); err != nil {
+		if err := tracePackets(arch, t, *routeF, *traffic, *trace); err != nil {
 			fatal(err)
 		}
 	}
@@ -132,7 +150,11 @@ func printCurve(runner *exp.Runner, base exp.Job) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("\nload-latency curve (uniform random):")
+	pattern := base.Pattern
+	if pattern == "" {
+		pattern = "uniform random"
+	}
+	fmt.Printf("\nload-latency curve (%s):\n", pattern)
 	fmt.Println("offered   accepted   avg lat    p99 lat")
 	for _, st := range results {
 		fmt.Printf(" %5.2f     %6.3f   %7.1f    %7.1f\n",
@@ -142,13 +164,18 @@ func printCurve(runner *exp.Runner, base exp.Job) error {
 }
 
 // tracePackets runs a short low-load simulation with per-flit tracing
-// enabled for the first n packets (BookSim watch-style output).
-func tracePackets(arch *tech.Arch, t *topo.Topology, n int) error {
+// enabled for the first n packets (BookSim watch-style output), under
+// the same routing and traffic pattern as the headline prediction.
+func tracePackets(arch *tech.Arch, t *topo.Topology, routing, traffic string, n int) error {
 	cost, err := phys.Evaluate(arch, t)
 	if err != nil {
 		return err
 	}
-	rt, err := route.For(t, route.Auto)
+	rt, err := route.ForName(t, routing)
+	if err != nil {
+		return err
+	}
+	pat, err := sim.PatternByName(traffic, t.Rows, t.Cols)
 	if err != nil {
 		return err
 	}
@@ -161,7 +188,7 @@ func tracePackets(arch *tech.Arch, t *topo.Topology, n int) error {
 		Topo: t, Routing: rt,
 		NumVCs: arch.Proto.NumVCs, BufDepth: arch.Proto.BufDepthFlits,
 		LinkLatency: cost.LinkLatencies, RouterDelay: noc.RouterDelay,
-		PacketLen: 4, InjectionRate: 0.02, Seed: 1,
+		PacketLen: 4, InjectionRate: 0.02, Pattern: pat, Seed: 1,
 		Warmup: 0, Measure: 400, Drain: 2000, Tracer: tracer,
 	})
 	if err != nil {

@@ -1,0 +1,231 @@
+// Command shrun executes declarative campaign spec files: JSON
+// descriptions of an evaluation campaign (see docs/SPECS.md) that
+// expand deterministically into experiment jobs and run on the
+// parallel campaign runner with content-keyed result caching. The
+// checked-in presets under examples/specs/ reproduce the paper's
+// artifacts — figure6-quick.json regenerates Figure 6 bit-for-bit —
+// and any other spec file evaluates whatever architecture, topology,
+// routing, traffic, and load cross-product it declares.
+//
+// For every sweep of every spec, shrun prints a result table on
+// stdout and a campaign-statistics line (jobs, cache hits, compute
+// time, simulated work) on stderr. -validate checks spec files
+// against the topology/routing/pattern registries without running
+// anything — CI runs it over examples/specs/ so checked-in specs
+// cannot rot.
+//
+// Examples:
+//
+//	shrun examples/specs/figure6-quick.json
+//	shrun -jobs 8 -cache results.json -progress examples/specs/custom-96.json
+//	shrun -csv examples/specs/cost-survey.json > survey.csv
+//	shrun -validate examples/specs/*.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sparsehamming/internal/cli"
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/spec"
+)
+
+func main() {
+	var (
+		validate = flag.Bool("validate", false, "validate the spec files and exit without running")
+		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all cores)")
+		cacheP   = flag.String("cache", "", "JSON file memoizing results across invocations")
+		progress = flag.Bool("progress", false, "log per-job progress to stderr")
+		csv      = flag.Bool("csv", false, "emit one flat CSV instead of per-sweep tables")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: shrun [flags] spec.json...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	specs := make([]*spec.Spec, 0, flag.NArg())
+	ok := true
+	for _, path := range flag.Args() {
+		s, err := load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shrun:", err)
+			ok = false
+			continue
+		}
+		specs = append(specs, s)
+		if *validate {
+			n := 0
+			groups, err := s.ExpandSweeps()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "shrun:", err)
+				ok = false
+				continue
+			}
+			for _, g := range groups {
+				n += len(g)
+			}
+			fmt.Printf("%s: ok (%q, %d sweeps, %d jobs)\n", path, s.Name, len(s.Sweeps), n)
+		}
+	}
+	if !ok {
+		os.Exit(1)
+	}
+	if *validate {
+		return
+	}
+
+	runner := noc.NewRunner(*jobs, nil)
+	camp := cli.StartCampaign("shrun", *cacheP, runner, *progress)
+	if *csv {
+		fmt.Println(csvHeader)
+	}
+	for _, s := range specs {
+		if err := run(s, runner, *csv); err != nil {
+			camp.Close()
+			fmt.Fprintln(os.Stderr, "shrun:", err)
+			os.Exit(1)
+		}
+	}
+	camp.Close()
+}
+
+// load parses and validates one spec file.
+func load(path string) (*spec.Spec, error) {
+	s, err := spec.ParseFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// run executes one spec as a single campaign batch (the worker pool
+// sees every sweep's jobs at once) and prints per-sweep results.
+func run(s *spec.Spec, runner *exp.Runner, csv bool) error {
+	groups, err := s.ExpandSweeps()
+	if err != nil {
+		return err
+	}
+	labels := s.Labels()
+	pt := noc.NewPanelTracker(labels)
+	var all []exp.Job
+	for pi, g := range groups {
+		for _, j := range g {
+			pt.Add(j, pi)
+		}
+		all = append(all, g...)
+	}
+
+	pt.Attach(runner)
+	defer pt.Detach()
+	results, _, err := runner.Run(all)
+	if err != nil {
+		return fmt.Errorf("spec %q: %w", s.Name, err)
+	}
+	for k, res := range results {
+		pt.AddResult(all[k], res)
+	}
+
+	off := 0
+	for pi, g := range groups {
+		sweepResults := results[off : off+len(g)]
+		off += len(g)
+		if csv {
+			printCSV(labels[pi], g, sweepResults)
+		} else {
+			printSweep(s, pi, labels[pi], g, sweepResults)
+		}
+		fmt.Fprintf(os.Stderr, "shrun: %s: %s: %s\n", s.Name, labels[pi], pt.Stats[pi])
+	}
+	return nil
+}
+
+// printSweep renders one sweep as a markdown table keyed by mode.
+func printSweep(s *spec.Spec, pi int, label string, jobs []exp.Job, results []*exp.Result) {
+	sw := s.Sweeps[pi]
+	grid := ""
+	if arch, err := noc.ArchForJob(jobs[0]); err == nil {
+		grid = fmt.Sprintf(", %dx%d tiles", arch.Rows, arch.Cols)
+	}
+	mode := sw.Mode
+	if mode == "" {
+		mode = string(exp.ModePredict)
+	}
+	fmt.Printf("## %s / %s: scenario %s%s, mode %s\n\n", s.Name, label, sw.Arch.Scenario, grid, mode)
+	var b strings.Builder
+	switch exp.Mode(mode) {
+	case exp.ModeLoad:
+		fmt.Fprintf(&b, "| topology | params | routing | pattern | offered | accepted | avg lat | p99 lat | delivered |\n")
+		fmt.Fprintf(&b, "|---|---|---|---|---:|---:|---:|---:|---:|\n")
+		for k, r := range results {
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3f | %.3f | %.1f | %.1f | %.3f |\n",
+				r.Topology, r.Params, r.RoutingName, patternName(jobs[k]),
+				r.OfferedRate, r.AcceptedRate, r.AvgPacketLatency, r.P99PacketLatency, r.DeliveredFraction)
+		}
+	case exp.ModeCost:
+		fmt.Fprintf(&b, "| topology | params | radix | diam | avg hops | area ovh %% | NoC power W |\n")
+		fmt.Fprintf(&b, "|---|---|---:|---:|---:|---:|---:|\n")
+		for _, r := range results {
+			fmt.Fprintf(&b, "| %s | %s | %d | %d | %.2f | %.1f | %.2f |\n",
+				r.Topology, r.Params, r.RouterRadix, r.Diameter, r.AvgHops,
+				r.AreaOverheadPct, r.NoCPowerW)
+		}
+	default: // predict
+		fmt.Fprintf(&b, "| topology | params | routing | area ovh %% | NoC power W | zero-load lat | saturation %% |\n")
+		fmt.Fprintf(&b, "|---|---|---|---:|---:|---:|---:|\n")
+		for _, r := range results {
+			fmt.Fprintf(&b, "| %s | %s | %s | %.1f | %.2f | %.1f | %.1f |\n",
+				r.Topology, r.Params, r.RoutingName,
+				r.AreaOverheadPct, r.NoCPowerW, r.ZeroLoadLatency, r.SaturationPct)
+		}
+	}
+	fmt.Print(b.String())
+	fmt.Println()
+}
+
+// csvHeader is the flat-CSV column list covering all three modes.
+const csvHeader = "spec_sweep,mode,scenario,topology,params,routing,pattern,quality,seed,load," +
+	"radix,diameter,avg_hops,area_overhead_pct,noc_power_w,zero_load_latency,saturation_pct," +
+	"offered,accepted,avg_latency,p99_latency,delivered_fraction"
+
+// printCSV renders one sweep's rows of the flat CSV.
+func printCSV(label string, jobs []exp.Job, results []*exp.Result) {
+	for k, r := range results {
+		j := jobs[k]
+		fmt.Printf("%q,%s,%s,%s,%q,%s,%s,%s,%d,%g,%d,%d,%.4f,%.2f,%.3f,%.2f,%.2f,%.3f,%.3f,%.2f,%.2f,%.4f\n",
+			label, j.Mode, j.Scenario, r.Topology, r.Params, r.RoutingName, patternName(j),
+			qualityName(j), j.Seed, j.Load,
+			r.RouterRadix, r.Diameter, r.AvgHops, r.AreaOverheadPct, r.NoCPowerW,
+			r.ZeroLoadLatency, r.SaturationPct,
+			r.OfferedRate, r.AcceptedRate, r.AvgPacketLatency, r.P99PacketLatency, r.DeliveredFraction)
+	}
+}
+
+// patternName renders a job's traffic pattern with the uniform
+// default spelled out.
+func patternName(j exp.Job) string {
+	if j.Pattern == "" {
+		return "uniform"
+	}
+	return j.Pattern
+}
+
+// qualityName renders a job's quality with the quick default spelled
+// out.
+func qualityName(j exp.Job) string {
+	if j.Quality == "" {
+		return "quick"
+	}
+	return j.Quality
+}

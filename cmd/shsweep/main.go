@@ -9,11 +9,17 @@
 // new simulations. Tables are byte-identical regardless of -jobs and
 // -cache; the campaign report and cache statistics go to stderr.
 //
+// -route forces one routing algorithm onto every topology and
+// -traffic swaps the uniform-random traffic for another registered
+// pattern — the registry-driven ablation knobs (the result is then an
+// ablation, not the paper's Figure 6 configuration).
+//
 // Examples:
 //
 //	shsweep -scenario a
 //	shsweep -scenario all -jobs 8 -csv > figure6.csv
 //	shsweep -scenario all -cache results.json -progress
+//	shsweep -scenario a -route hop-minimal -traffic transpose
 //	shsweep -table3
 package main
 
@@ -21,9 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"sparsehamming/internal/cli"
 	"sparsehamming/internal/noc"
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/sim"
 	"sparsehamming/internal/tech"
 )
 
@@ -33,6 +42,10 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of markdown")
 		table3   = flag.Bool("table3", false, "print Table III (MemPool validation) instead")
 		full     = flag.Bool("full", false, "full-length simulation windows")
+		routeF   = flag.String("route", "", "force one routing onto every topology (ablation): "+
+			strings.Join(route.Names(), "|"))
+		traffic = flag.String("traffic", "", "traffic pattern for the performance simulations (default uniform): "+
+			strings.Join(sim.PatternNames(), "|"))
 		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all cores)")
 		cacheP   = flag.String("cache", "", "JSON file memoizing results across invocations")
 		progress = flag.Bool("progress", false, "log per-job progress to stderr")
@@ -49,6 +62,19 @@ func main() {
 		camp.Close()
 		fmt.Fprintln(os.Stderr, "shsweep:", err)
 		os.Exit(1)
+	}
+	if !route.Registered(*routeF) {
+		fatal(fmt.Errorf("-route: unknown algorithm %q (want one of %s)", *routeF, strings.Join(route.Names(), "|")))
+	}
+	if !sim.PatternRegistered(*traffic) {
+		fatal(fmt.Errorf("-traffic: unknown pattern %q (want one of %s)", *traffic, strings.Join(sim.PatternNames(), "|")))
+	}
+	var opts *noc.Figure6Options
+	if *routeF != "" || *traffic != "" {
+		if *table3 {
+			fatal(fmt.Errorf("-route/-traffic apply to the Figure 6 sweep, not -table3"))
+		}
+		opts = &noc.Figure6Options{Routing: *routeF, Pattern: *traffic}
 	}
 
 	if *table3 {
@@ -73,13 +99,13 @@ func main() {
 
 	// One campaign batch across all requested scenarios: the worker
 	// pool sees every panel's jobs at once.
-	panels, stats, err := noc.Figure6Panels(ids, quality, runner)
+	panels, stats, err := noc.Figure6Panels(ids, quality, runner, opts)
 	if err != nil {
 		fatal(err)
 	}
 	camp.Close()
 	for _, ps := range stats {
-		fmt.Fprintf(os.Stderr, "shsweep: figure 6%s: %s\n", ps.Scenario, ps)
+		fmt.Fprintf(os.Stderr, "shsweep: figure 6%s: %s\n", ps.Label, ps)
 	}
 
 	if *csv {

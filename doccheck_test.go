@@ -20,6 +20,9 @@ var docCheckedPackages = []string{
 	"internal/sim",
 	"internal/exp",
 	"internal/perf",
+	"internal/spec",
+	"internal/topo",
+	"internal/route",
 }
 
 func TestExportedDocComments(t *testing.T) {

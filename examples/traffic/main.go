@@ -22,7 +22,7 @@ import (
 
 func main() {
 	arch := tech.Scenario(tech.ScenarioA)
-	patterns := []string{"uniform", "transpose", "bitcomp", "shuffle", "hotspot", "neighbor"}
+	patterns := sim.PatternNames() // every registered pattern
 
 	shg, err := topo.NewSparseHamming(8, 8, noc.PaperSHGParams(tech.ScenarioA))
 	if err != nil {

@@ -11,14 +11,11 @@ import (
 	"sparsehamming/internal/topo"
 )
 
-// TopologyNames lists the kinds accepted by BuildTopology, in the
-// order they appear in the paper's Table I (plus the Ruche network
-// from the related-work comparison).
+// TopologyNames lists the kinds accepted by BuildTopology: the topo
+// registry's names, in registration order (the paper's Table I order,
+// plus the Ruche network from the related-work comparison).
 func TopologyNames() []string {
-	return []string{
-		"ring", "mesh", "torus", "folded-torus", "hypercube",
-		"slimnoc", "flattened-butterfly", "sparse-hamming", "ruche",
-	}
+	return topo.Names()
 }
 
 // BuildTopology constructs a topology by kind name. The sr and sc
@@ -38,36 +35,10 @@ func BuildTopology(kind string, rows, cols int, sr, sc string) (*topo.Topology, 
 }
 
 // Build constructs a topology by kind name from parsed offset lists —
-// the programmatic counterpart of BuildTopology, shared with the
-// experiment-campaign job evaluators.
+// the programmatic counterpart of BuildTopology, dispatching through
+// the topo registry.
 func Build(kind string, rows, cols int, sr, sc []int) (*topo.Topology, error) {
-	switch kind {
-	case "ring":
-		return topo.NewRing(rows, cols)
-	case "mesh":
-		return topo.NewMesh(rows, cols)
-	case "torus":
-		return topo.NewTorus(rows, cols)
-	case "folded-torus":
-		return topo.NewFoldedTorus(rows, cols)
-	case "hypercube":
-		return topo.NewHypercube(rows, cols)
-	case "slimnoc":
-		return topo.NewSlimNoC(rows, cols)
-	case "flattened-butterfly":
-		return topo.NewFlattenedButterfly(rows, cols)
-	case "sparse-hamming":
-		return topo.NewSparseHamming(rows, cols, topo.HammingParams{SR: sr, SC: sc})
-	case "ruche":
-		factor := 2
-		if len(sr) > 0 {
-			factor = sr[0]
-		}
-		return topo.NewRuche(rows, cols, factor)
-	default:
-		return nil, fmt.Errorf("unknown topology %q (want one of %s)",
-			kind, strings.Join(TopologyNames(), "|"))
-	}
+	return topo.ByName(kind, rows, cols, sr, sc)
 }
 
 // ParseInts parses a comma-separated integer list; empty input yields

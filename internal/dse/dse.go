@@ -16,6 +16,7 @@ import (
 
 	"sparsehamming/internal/exp"
 	"sparsehamming/internal/phys"
+	"sparsehamming/internal/spec"
 	"sparsehamming/internal/tech"
 	"sparsehamming/internal/topo"
 )
@@ -48,17 +49,18 @@ func Explore(arch *tech.Arch, maxConfigs int) ([]Point, error) {
 // same grid recomputes nothing. A nil runner means the default dse
 // runner (all cores, no cache).
 //
-// Campaign jobs are serialized specs, so they can only reproduce
-// preset architectures (the paper's scenarios or MemPool), possibly
-// with an overridden grid. An architecture customized beyond that
-// falls back to direct serial evaluation — the capability is kept,
-// only the parallelism and memoization need a preset.
+// Campaign jobs are serialized specs: a preset architecture (the
+// paper's scenarios or MemPool) plus grid and arch-parameter
+// overrides (exp.ArchOverride). Architectures not expressible that
+// way — a custom technology node, say — fall back to direct serial
+// evaluation; the capability is kept, only the parallelism and
+// memoization need a serializable spec.
 func ExploreWith(arch *tech.Arch, maxConfigs int, r *exp.Runner) ([]Point, error) {
 	params, err := enumerate(arch, maxConfigs)
 	if err != nil {
 		return nil, err
 	}
-	scenario, presetErr := presetScenario(arch)
+	scenario, override, presetErr := specForArch(arch)
 	if presetErr != nil {
 		points := make([]Point, 0, len(params))
 		for _, p := range params {
@@ -81,6 +83,7 @@ func ExploreWith(arch *tech.Arch, maxConfigs int, r *exp.Runner) ([]Point, error
 			Scenario: scenario,
 			Rows:     arch.Rows,
 			Cols:     arch.Cols,
+			Arch:     override,
 			Topo:     "sparse-hamming",
 			SR:       p.SR,
 			SC:       p.SC,
@@ -93,7 +96,9 @@ func ExploreWith(arch *tech.Arch, maxConfigs int, r *exp.Runner) ([]Point, error
 	points := make([]Point, 0, len(params))
 	for i, res := range results {
 		points = append(points, Point{
-			Params:          params[i],
+			// Clone normalizes the offset sets exactly like the serial
+			// path's evaluate, so the two paths yield DeepEqual points.
+			Params:          params[i].Clone(),
 			RouterRadix:     res.RouterRadix,
 			NumLinks:        res.NumLinks,
 			Diameter:        res.Diameter,
@@ -140,23 +145,57 @@ func enumerate(arch *tech.Arch, maxConfigs int) ([]topo.HammingParams, error) {
 	return params, nil
 }
 
-// presetScenario returns the scenario name when arch is a preset
-// customized at most in its grid — the condition for serializable,
-// cache-sound campaign jobs — and an error otherwise.
-func presetScenario(arch *tech.Arch) (string, error) {
+// specForArch derives the serializable job spec reproducing arch: its
+// preset scenario name plus the grid-independent parameter override —
+// the condition for cache-sound campaign jobs. It errors when arch is
+// customized beyond what exp.ArchOverride expresses (e.g. a modified
+// technology node).
+func specForArch(arch *tech.Arch) (string, *exp.ArchOverride, error) {
 	scenario, err := scenarioName(arch)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
 	ref, err := archByScenario(scenario)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	ref.Rows, ref.Cols = arch.Rows, arch.Cols
-	if !reflect.DeepEqual(arch, ref) {
-		return "", fmt.Errorf("dse: architecture %q customized beyond its grid", arch.Name)
+	ov := &exp.ArchOverride{}
+	if arch.EndpointGE != ref.EndpointGE {
+		ov.EndpointGE = arch.EndpointGE
 	}
-	return scenario, nil
+	if arch.CoresPerTile != ref.CoresPerTile {
+		ov.CoresPerTile = arch.CoresPerTile
+	}
+	if arch.FreqHz != ref.FreqHz {
+		ov.FreqHz = arch.FreqHz
+	}
+	if arch.LinkBWBits != ref.LinkBWBits {
+		ov.LinkBWBits = arch.LinkBWBits
+	}
+	if arch.Proto != nil && ref.Proto != nil {
+		if arch.Proto.NumVCs != ref.Proto.NumVCs {
+			ov.NumVCs = arch.Proto.NumVCs
+		}
+		if arch.Proto.BufDepthFlits != ref.Proto.BufDepthFlits {
+			ov.BufDepthFlits = arch.Proto.BufDepthFlits
+		}
+	}
+	if arch.TileAspect != ref.TileAspect {
+		ov.TileAspect = arch.TileAspect
+	}
+	if ov.IsZero() {
+		ov = nil
+	}
+	// Round-trip check: the preset plus this spec must reproduce arch
+	// exactly, or cached results would not be sound.
+	round, err := spec.ArchForJob(exp.Job{Scenario: scenario, Rows: arch.Rows, Cols: arch.Cols, Arch: ov})
+	if err != nil {
+		return "", nil, err
+	}
+	if !reflect.DeepEqual(arch, round) {
+		return "", nil, fmt.Errorf("dse: architecture %q customized beyond a serializable spec", arch.Name)
+	}
+	return scenario, ov, nil
 }
 
 // NewRunner returns a campaign runner executing dse cost-model jobs
@@ -178,18 +217,11 @@ func EvalJob(j exp.Job) (*exp.Result, error) {
 	if j.Topo != "sparse-hamming" {
 		return nil, fmt.Errorf("dse: evaluator explores the sparse-hamming family only, got %q", j.Topo)
 	}
-	arch, err := archByScenario(j.Scenario)
+	arch, err := spec.ArchForJob(j)
 	if err != nil {
 		return nil, err
 	}
-	if j.Rows > 0 {
-		arch.Rows = j.Rows
-	}
-	if j.Cols > 0 {
-		arch.Cols = j.Cols
-	}
-	p := topo.HammingParams{SR: j.SR, SC: j.SC}
-	t, err := topo.NewSparseHamming(arch.Rows, arch.Cols, p)
+	t, err := topo.ByName(j.Topo, arch.Rows, arch.Cols, j.SR, j.SC)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +231,7 @@ func EvalJob(j exp.Job) (*exp.Result, error) {
 	}
 	params := ""
 	if len(j.SR) > 0 || len(j.SC) > 0 {
-		params = p.String()
+		params = topo.HammingParams{SR: j.SR, SC: j.SC}.String()
 	}
 	return &exp.Result{
 		Topology:           "sparse-hamming",
@@ -230,12 +262,10 @@ func scenarioName(arch *tech.Arch) (string, error) {
 	return "", fmt.Errorf("dse: architecture %q is not a preset; campaign jobs need a reproducible spec", arch.Name)
 }
 
-// archByScenario resolves a scenario name from a job spec.
+// archByScenario resolves a preset scenario name through the shared
+// spec-layer resolution.
 func archByScenario(name string) (*tech.Arch, error) {
-	if a := tech.ArchByName(name); a != nil {
-		return a, nil
-	}
-	return nil, fmt.Errorf("dse: unknown scenario %q", name)
+	return spec.ArchForJob(exp.Job{Scenario: name})
 }
 
 func evaluate(arch *tech.Arch, p topo.HammingParams) (Point, error) {

@@ -271,6 +271,48 @@ func TestExploreCustomArchFallback(t *testing.T) {
 	}
 }
 
+// TestExploreOverrideRunsAsCampaign pins the arch-override upgrade:
+// a preset customized in its endpoint budget (not just its grid) now
+// runs as a cached, parallel campaign — jobs carry the override and
+// memoize — and produces exactly the points the direct serial
+// evaluation computes.
+func TestExploreOverrideRunsAsCampaign(t *testing.T) {
+	tweaked := smallArch(4, 4)
+	tweaked.EndpointGE = 2 * tweaked.EndpointGE
+
+	scenario, ov, err := specForArch(tweaked)
+	if err != nil {
+		t.Fatalf("endpoint tweak must be serializable: %v", err)
+	}
+	if scenario == "" || ov == nil || ov.EndpointGE != tweaked.EndpointGE {
+		t.Fatalf("specForArch = %q, %+v", scenario, ov)
+	}
+
+	cache := exp.NewCache()
+	campaign, err := ExploreWith(tweaked, 1<<10, NewRunner(0, cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("campaign path not taken: nothing was cached")
+	}
+
+	// Force the serial fallback path by renaming the architecture.
+	bespoke := smallArch(4, 4)
+	bespoke.EndpointGE = tweaked.EndpointGE
+	bespoke.Name = "bespoke"
+	if _, _, err := specForArch(bespoke); err == nil {
+		t.Fatal("renamed architecture must not serialize")
+	}
+	serial, err := Explore(bespoke, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(campaign, serial) {
+		t.Error("campaign results differ from the serial fallback")
+	}
+}
+
 func TestEvalJobRejectsForeignJobs(t *testing.T) {
 	bad := []exp.Job{
 		{Mode: exp.ModePredict, Scenario: "a", Topo: "sparse-hamming"},

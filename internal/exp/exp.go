@@ -56,10 +56,13 @@ type Job struct {
 
 	// Scenario names the architecture preset: "a"|"b"|"c"|"d" for the
 	// paper's evaluation scenarios, or "mempool". Rows/Cols, when
-	// positive, override the preset's grid.
-	Scenario string `json:"scenario"`
-	Rows     int    `json:"rows,omitempty"`
-	Cols     int    `json:"cols,omitempty"`
+	// positive, override the preset's grid; Arch, when non-nil,
+	// overrides architectural parameters beyond the grid (see
+	// ArchOverride).
+	Scenario string        `json:"scenario"`
+	Rows     int           `json:"rows,omitempty"`
+	Cols     int           `json:"cols,omitempty"`
+	Arch     *ArchOverride `json:"arch,omitempty"`
 
 	// Topo is the topology kind ("mesh", "sparse-hamming", ...); SR
 	// and SC are the sparse Hamming offset sets (SR's first value is
@@ -86,9 +89,35 @@ type Job struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
+// ArchOverride customizes the preset architecture named by
+// Job.Scenario beyond its grid, making arbitrary architectures
+// expressible as serializable, cache-sound job specs (the spec layer
+// expands campaign files into jobs carrying these). All values are in
+// the base units of tech.Arch (gate equivalents, Hz, bits/cycle);
+// zero fields keep the preset's value.
+type ArchOverride struct {
+	EndpointGE    float64 `json:"endpoint_ge,omitempty"`     // per-tile endpoint budget, GE
+	CoresPerTile  int     `json:"cores_per_tile,omitempty"`  // informational core count
+	FreqHz        float64 `json:"freq_hz,omitempty"`         // NoC clock
+	LinkBWBits    float64 `json:"link_bw_bits,omitempty"`    // per-link bandwidth / flit width
+	NumVCs        int     `json:"num_vcs,omitempty"`         // router virtual channels
+	BufDepthFlits int     `json:"buf_depth_flits,omitempty"` // per-VC buffer depth
+	TileAspect    float64 `json:"tile_aspect,omitempty"`     // tile height:width ratio
+}
+
+// IsZero reports whether the override changes nothing (nil or all
+// fields zero). Zero overrides hash identically to absent ones, so
+// producers may pass either spelling.
+func (o *ArchOverride) IsZero() bool {
+	return o == nil || *o == ArchOverride{}
+}
+
 // canonical renders the spec in a fixed field order. It is the hash
 // preimage; extending Job requires appending fields here (the leading
 // version tag invalidates old caches when the encoding changes).
+// The arch-override suffix appears only when an override is set, so
+// override-free jobs keep the keys (and derived seeds) they had
+// before the field existed, and existing caches stay valid.
 func (j Job) canonical() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "exp-v1|mode=%s|scenario=%s|rows=%d|cols=%d|topo=%s|sr=%s|sc=%s|routing=%s|pattern=%s|load=%g|quality=%s|seed=%d",
@@ -96,6 +125,11 @@ func (j Job) canonical() string {
 		intsString(j.SR), intsString(j.SC),
 		canonicalName(j.Routing, "auto"), canonicalName(j.Pattern, "uniform"),
 		j.Load, canonicalName(j.Quality, "quick"), j.Seed)
+	if o := j.Arch; !o.IsZero() {
+		fmt.Fprintf(&b, "|arch=ge:%g,cores:%d,freq:%g,bw:%g,vcs:%d,buf:%d,aspect:%g",
+			o.EndpointGE, o.CoresPerTile, o.FreqHz, o.LinkBWBits,
+			o.NumVCs, o.BufDepthFlits, o.TileAspect)
+	}
 	return b.String()
 }
 
@@ -148,6 +182,9 @@ func (j Job) String() string {
 	fmt.Fprintf(&b, "%s %s", j.Mode, j.Scenario)
 	if j.Rows > 0 || j.Cols > 0 {
 		fmt.Fprintf(&b, " %dx%d", j.Rows, j.Cols)
+	}
+	if !j.Arch.IsZero() {
+		b.WriteString(" (arch override)")
 	}
 	fmt.Fprintf(&b, " %s", j.Topo)
 	if len(j.SR) > 0 || len(j.SC) > 0 {

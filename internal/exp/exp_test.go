@@ -175,6 +175,43 @@ func TestKeyStability(t *testing.T) {
 	}
 }
 
+// TestArchOverrideKeys pins the arch-override hashing contract: a nil
+// override and an all-zero one hash identically (so pre-override
+// cache keys stay valid), while any set field produces a distinct
+// key, and distinct overrides do not collide.
+func TestArchOverrideKeys(t *testing.T) {
+	base := Job{Mode: ModePredict, Scenario: "a", Topo: "mesh"}
+	zero := base
+	zero.Arch = &ArchOverride{}
+	if base.Key() != zero.Key() {
+		t.Error("zero override must hash like a nil one")
+	}
+	if base.EffectiveSeed() != zero.EffectiveSeed() {
+		t.Error("zero override must derive the same seed as a nil one")
+	}
+	overrides := []ArchOverride{
+		{EndpointGE: 50e6},
+		{CoresPerTile: 2},
+		{FreqHz: 1e9},
+		{LinkBWBits: 256},
+		{NumVCs: 4},
+		{BufDepthFlits: 8},
+		{TileAspect: 2},
+		{EndpointGE: 50e6, CoresPerTile: 2},
+	}
+	seen := map[string]bool{base.Key(): true}
+	for _, o := range overrides {
+		j := base
+		o := o
+		j.Arch = &o
+		k := j.Key()
+		if seen[k] {
+			t.Errorf("key collision for override %+v", o)
+		}
+		seen[k] = true
+	}
+}
+
 func TestEffectiveSeedDeterministic(t *testing.T) {
 	j := Job{Mode: ModePredict, Scenario: "a", Topo: "mesh"}
 	if j.EffectiveSeed() != j.EffectiveSeed() {

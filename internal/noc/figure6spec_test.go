@@ -1,0 +1,212 @@
+package noc
+
+// Tests pinning the spec-driven Figure 6 path: the checked-in preset
+// spec file expands to exactly the jobs the Figure6Panels campaign
+// runs (so shrun reproduces Figure 6 bit-for-bit, by the determinism
+// contract of package exp), and the spec path's results match the
+// direct toolchain output end to end.
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/spec"
+	"sparsehamming/internal/tech"
+)
+
+// figure6SpecFile is the checked-in Figure 6 preset, relative to this
+// package.
+func figure6SpecFile(t *testing.T, name string) *spec.Spec {
+	t.Helper()
+	s, err := spec.ParseFile(filepath.Join("..", "..", "examples", "specs", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFigure6SpecFileMatchesProgrammatic pins the preset files to the
+// programmatic spec bit-for-bit: the parsed file equals
+// Figure6Spec's output structurally, and both expand to identical job
+// lists (same content keys, hence bit-identical results under the
+// determinism contract). Runs in -short mode: job equality is the
+// whole guarantee, no simulation needed.
+func TestFigure6SpecFileMatchesProgrammatic(t *testing.T) {
+	for _, c := range []struct {
+		file    string
+		quality Quality
+	}{
+		{"figure6-quick.json", Quick},
+		{"figure6-full.json", Full},
+	} {
+		fromFile := figure6SpecFile(t, c.file)
+		built, err := Figure6Spec(tech.AllScenarios(), c.quality, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fromFile, built) {
+			t.Errorf("%s differs from Figure6Spec output:\nfile: %+v\nbuilt: %+v", c.file, fromFile, built)
+			continue
+		}
+		fileJobs, err := fromFile.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		builtJobs, err := built.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fileJobs, builtJobs) {
+			t.Errorf("%s expands to different jobs", c.file)
+		}
+		for i := range fileJobs {
+			if fileJobs[i].Key() != builtJobs[i].Key() {
+				t.Errorf("%s job %d key mismatch", c.file, i)
+			}
+		}
+	}
+}
+
+// TestFigure6SpecJobs pins the expanded job shapes: one predict job
+// per applicable topology with the paper's routing choices, seed 1,
+// and the SHG parameters of each scenario.
+func TestFigure6SpecJobs(t *testing.T) {
+	s, err := Figure6Spec([]tech.ScenarioID{tech.ScenarioA, tech.ScenarioC}, Quick, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := s.ExpandSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || len(groups[0]) != 7 || len(groups[1]) != 8 {
+		t.Fatalf("group sizes %v, want 7 (no slimnoc on 8x8) and 8", []int{len(groups[0]), len(groups[1])})
+	}
+	for _, jobs := range groups {
+		for _, j := range jobs {
+			if j.Mode != exp.ModePredict || j.Seed != 1 || j.Quality != "quick" {
+				t.Errorf("job %v: not a seed-1 quick predict job", j)
+			}
+			wantRouting := ""
+			if j.Topo == "hypercube" {
+				wantRouting = "hop-minimal"
+			}
+			if j.Routing != wantRouting {
+				t.Errorf("%s routing %q, want %q", j.Topo, j.Routing, wantRouting)
+			}
+			if j.Rows != 0 || j.Cols != 0 || !j.Arch.IsZero() {
+				t.Errorf("%s: preset jobs must not override the arch", j.Topo)
+			}
+		}
+	}
+	shg := groups[1][len(groups[1])-1]
+	if shg.Topo != "sparse-hamming" || len(shg.SR) == 0 || len(shg.SC) == 0 {
+		t.Errorf("scenario c SHG job = %+v", shg)
+	}
+}
+
+// TestFigure6OptionsOverride pins the ablation knobs: a forced
+// routing applies to every topology (replacing the hypercube pin) and
+// a pattern lands on every job.
+func TestFigure6OptionsOverride(t *testing.T) {
+	s, err := Figure6Spec([]tech.ScenarioID{tech.ScenarioA}, Quick,
+		&Figure6Options{Routing: "hop-minimal", Pattern: "transpose"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Routing != "hop-minimal" {
+			t.Errorf("%s routing %q, want forced hop-minimal", j.Topo, j.Routing)
+		}
+		if j.Pattern != "transpose" {
+			t.Errorf("%s pattern %q, want transpose", j.Topo, j.Pattern)
+		}
+	}
+}
+
+// TestFigure6SpecEndToEnd runs the scenario-a sweep of the checked-in
+// preset file on the campaign runner and compares the results
+// bit-for-bit with the direct Figure6 path — the shrun acceptance
+// check, in-process.
+func TestFigure6SpecEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full scenario-a panel twice (once per path, shared via cache)")
+	}
+	s := figure6SpecFile(t, "figure6-quick.json")
+	groups, err := s.ExpandSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := exp.NewCache()
+	runner := NewRunner(0, cache)
+	results, _, err := runner.Run(groups[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	panels, _, err := Figure6Panels([]tech.ScenarioID{tech.ScenarioA}, Quick, runner, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri := 0
+	for _, row := range panels[0] {
+		if !row.Applicable {
+			continue
+		}
+		got := PredictionFromResult(results[ri])
+		ri++
+		if !reflect.DeepEqual(got, row.Pred) {
+			t.Errorf("%s: spec result differs from Figure6:\nspec: %+v\nfig6: %+v", row.Topology, got, row.Pred)
+		}
+	}
+	if hits, _ := cache.Stats(); hits == 0 {
+		t.Error("the two paths share no cache keys — job specs diverged")
+	}
+}
+
+// TestPanelTracker pins the attribution helper on a fake runner.
+func TestPanelTracker(t *testing.T) {
+	jobs := []exp.Job{
+		{Mode: exp.ModeCost, Scenario: "a", Topo: "mesh"},
+		{Mode: exp.ModeCost, Scenario: "a", Topo: "torus"},
+		{Mode: exp.ModeCost, Scenario: "b", Topo: "mesh"},
+	}
+	pt := NewPanelTracker([]string{"p0", "p1"})
+	pt.Add(jobs[0], 0)
+	pt.Add(jobs[1], 0)
+	pt.Add(jobs[2], 1)
+	r := &exp.Runner{Eval: func(j exp.Job) (*exp.Result, error) {
+		return &exp.Result{Topology: j.Topo, SimCycles: 10, SimFlitHops: 20}, nil
+	}}
+	var outer int
+	r.Progress = func(exp.ProgressEvent) { outer++ }
+	pt.Attach(r)
+	results, _, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, res := range results {
+		pt.AddResult(jobs[i], res)
+	}
+	pt.Detach()
+	if outer != 3 {
+		t.Errorf("chained progress hook saw %d events, want 3", outer)
+	}
+	if r.Progress == nil {
+		t.Error("Detach must restore the previous hook")
+	}
+	if pt.Stats[0].Label != "p0" || pt.Stats[0].Jobs != 2 || pt.Stats[1].Jobs != 1 {
+		t.Errorf("stats = %+v", pt.Stats)
+	}
+	if pt.Stats[0].SimCycles != 20 || pt.Stats[1].SimCycles != 10 {
+		t.Errorf("sim work attribution = %+v", pt.Stats)
+	}
+}

@@ -9,11 +9,11 @@ package noc
 import (
 	"fmt"
 
-	"sparsehamming/internal/cli"
 	"sparsehamming/internal/exp"
 	"sparsehamming/internal/phys"
 	"sparsehamming/internal/route"
 	"sparsehamming/internal/sim"
+	"sparsehamming/internal/spec"
 	"sparsehamming/internal/tech"
 	"sparsehamming/internal/topo"
 )
@@ -39,19 +39,10 @@ func QualityByName(name string) (Quality, error) {
 }
 
 // ArchForJob resolves a job's architecture: the scenario preset with
-// the optional grid override applied.
+// the grid and arch overrides applied (spec.ArchForJob, shared with
+// the dse evaluator so both toolchains resolve specs identically).
 func ArchForJob(j exp.Job) (*tech.Arch, error) {
-	arch := tech.ArchByName(j.Scenario)
-	if arch == nil {
-		return nil, fmt.Errorf("noc: unknown scenario %q", j.Scenario)
-	}
-	if j.Rows > 0 {
-		arch.Rows = j.Rows
-	}
-	if j.Cols > 0 {
-		arch.Cols = j.Cols
-	}
-	return arch, nil
+	return spec.ArchForJob(j)
 }
 
 // NewRunner returns a campaign runner executing toolchain jobs on
@@ -69,11 +60,7 @@ func EvalJob(j exp.Job) (*exp.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	t, err := cli.Build(j.Topo, arch.Rows, arch.Cols, j.SR, j.SC)
-	if err != nil {
-		return nil, err
-	}
-	alg, err := route.AlgorithmByName(j.Routing)
+	t, err := topo.ByName(j.Topo, arch.Rows, arch.Cols, j.SR, j.SC)
 	if err != nil {
 		return nil, err
 	}
@@ -89,13 +76,13 @@ func EvalJob(j exp.Job) (*exp.Result, error) {
 		}
 		return resultFromPrediction(pred, j), nil
 	case exp.ModePredict:
-		pred, err := predictSeeded(arch, t, alg, quality, j.EffectiveSeed())
+		pred, err := predictSeeded(arch, t, j.Routing, j.Pattern, quality, j.EffectiveSeed())
 		if err != nil {
 			return nil, err
 		}
 		return resultFromPrediction(pred, j), nil
 	case exp.ModeLoad:
-		return evalLoadPoint(arch, t, alg, quality, j)
+		return evalLoadPoint(arch, t, quality, j)
 	default:
 		return nil, fmt.Errorf("noc: unknown job mode %q", j.Mode)
 	}
@@ -103,12 +90,12 @@ func EvalJob(j exp.Job) (*exp.Result, error) {
 
 // evalLoadPoint simulates a single offered-load point under the
 // job's traffic pattern.
-func evalLoadPoint(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quality Quality, j exp.Job) (*exp.Result, error) {
+func evalLoadPoint(arch *tech.Arch, t *topo.Topology, quality Quality, j exp.Job) (*exp.Result, error) {
 	cost, err := phys.Evaluate(arch, t)
 	if err != nil {
 		return nil, err
 	}
-	rt, err := route.For(t, alg)
+	rt, err := route.ForName(t, j.Routing)
 	if err != nil {
 		return nil, err
 	}

@@ -302,6 +302,46 @@ func TestComparisonSetApplicability(t *testing.T) {
 	}
 }
 
+// TestComparisonSetErrors pins the unified applicability handling:
+// every inapplicable entry preserves its structural constraint error
+// (hypercube and SlimNoC alike — neither is silently swallowed nor
+// aborts the set), applicable entries have none, and every entry
+// carries its registry kind.
+func TestComparisonSetErrors(t *testing.T) {
+	set, err := ComparisonSet(6, 6, topo.HammingParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range set {
+		if e.Kind == "" {
+			t.Errorf("%s: missing registry kind", e.Name)
+		}
+		if e.Applicable {
+			if e.Err != nil {
+				t.Errorf("%s: applicable entry carries error %v", e.Name, e.Err)
+			}
+			if e.Topology == nil {
+				t.Errorf("%s: applicable entry without topology", e.Name)
+			}
+			continue
+		}
+		if e.Err == nil {
+			t.Errorf("%s: inapplicable entry lost its constraint error", e.Name)
+		}
+		if e.Topology != nil {
+			t.Errorf("%s: inapplicable entry carries a topology", e.Name)
+		}
+		if !strings.Contains(e.Err.Error(), "6x6") {
+			t.Errorf("%s: error %q does not describe the grid", e.Name, e.Err)
+		}
+	}
+	// A real build error must still abort the set for any family:
+	// invalid SHG offsets are a caller bug, not inapplicability.
+	if _, err := ComparisonSet(8, 8, topo.HammingParams{SR: []int{99}}); err == nil {
+		t.Error("invalid SHG params must abort the set")
+	}
+}
+
 func TestPredictRejectsVCShortage(t *testing.T) {
 	arch := tech.Scenario(tech.ScenarioA)
 	arch.Proto.NumVCs = 1

@@ -91,30 +91,36 @@ const RouterDelay = 3
 
 // Predict runs the full toolchain for one topology.
 func Predict(arch *tech.Arch, t *topo.Topology, quality Quality) (*Prediction, error) {
-	return PredictWith(arch, t, route.Auto, quality)
+	return predictSeeded(arch, t, "", "", quality, 1)
 }
 
 // PredictWith runs the toolchain with an explicit routing algorithm
 // (used by the routing ablation).
 func PredictWith(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quality Quality) (*Prediction, error) {
-	return predictSeeded(arch, t, alg, quality, 1)
+	return predictSeeded(arch, t, routingName(alg), "", quality, 1)
 }
 
-// predictSeeded is PredictWith with an explicit simulation seed; the
-// campaign job evaluator threads the seed from the job spec so cached
-// results stay reproducible.
-func predictSeeded(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quality Quality, seed int64) (*Prediction, error) {
+// predictSeeded runs the toolchain with explicit routing and traffic
+// pattern names (route and sim registries; empty for the co-designed
+// default and uniform random) and an explicit simulation seed; the
+// campaign job evaluator threads all three from the job spec so
+// cached results stay reproducible.
+func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, quality Quality, seed int64) (*Prediction, error) {
 	cost, err := phys.Evaluate(arch, t)
 	if err != nil {
 		return nil, err
 	}
-	r, err := route.For(t, alg)
+	r, err := route.ForName(t, routing)
 	if err != nil {
 		return nil, err
 	}
 	if arch.Proto.NumVCs < r.NumClasses {
 		return nil, fmt.Errorf("noc: %d VCs cannot host the %d VC classes of %s",
 			arch.Proto.NumVCs, r.NumClasses, r.Name)
+	}
+	pat, err := sim.PatternByName(pattern, t.Rows, t.Cols)
+	if err != nil {
+		return nil, err
 	}
 
 	warmup, measure := quality.simWindows()
@@ -126,6 +132,7 @@ func predictSeeded(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quali
 		LinkLatency: cost.LinkLatencies,
 		RouterDelay: RouterDelay,
 		PacketLen:   packetLen(arch),
+		Pattern:     pat,
 		Seed:        seed,
 		Warmup:      warmup,
 		Measure:     measure,

@@ -1,0 +1,102 @@
+package route
+
+// This file is the routing-algorithm registry: the name-keyed catalog
+// behind every "routing" field in campaign job specs, spec files, and
+// CLI flags. Construction dispatch, the auto default (the topology's
+// co-designed algorithm from the topo registry), and the name list
+// for error messages and flag help all live here.
+
+import (
+	"fmt"
+	"strings"
+
+	"sparsehamming/internal/topo"
+)
+
+// Builder constructs a routing for one topology.
+type Builder func(*topo.Topology) (*Routing, error)
+
+var (
+	routingOrder  []string
+	routingByName = map[string]Builder{}
+)
+
+// Register adds a routing algorithm under a name. It panics on an
+// empty, reserved ("auto"), or duplicate name — registration happens
+// at init time, so any of these is a programming error.
+func Register(name string, b Builder) {
+	if name == "" || name == "auto" {
+		panic(fmt.Sprintf("route: Register(%q): reserved name", name))
+	}
+	if b == nil {
+		panic(fmt.Sprintf("route: Register(%q) with nil builder", name))
+	}
+	if _, dup := routingByName[name]; dup {
+		panic(fmt.Sprintf("route: Register(%q) twice", name))
+	}
+	routingByName[name] = b
+	routingOrder = append(routingOrder, name)
+}
+
+// Names lists the registered algorithm names in registration order.
+func Names() []string {
+	return append([]string(nil), routingOrder...)
+}
+
+// Registered reports whether name selects a routing: a registered
+// algorithm, or the empty string / "auto" for the topology's
+// co-designed default.
+func Registered(name string) bool {
+	if name == "" || name == "auto" {
+		return true
+	}
+	_, ok := routingByName[name]
+	return ok
+}
+
+// DefaultFor names the co-designed default algorithm for a topology:
+// the DefaultRouting of its registered family (design principle 4),
+// falling back to monotone dimension-order routing for aligned
+// topologies and hop-minimal tables otherwise.
+func DefaultFor(t *topo.Topology) string {
+	if f, ok := topo.FamilyByName(t.Kind); ok && f.DefaultRouting != "" {
+		return f.DefaultRouting
+	}
+	if t.AllLinksAligned() {
+		return "monotone-dor"
+	}
+	return "hop-minimal"
+}
+
+// ForName constructs a routing by algorithm name, verifying path
+// consistency. The empty string and "auto" select the topology's
+// co-designed default (DefaultFor); unknown names report the
+// registered ones.
+func ForName(t *topo.Topology, name string) (*Routing, error) {
+	if name == "" || name == "auto" {
+		name = DefaultFor(t)
+	}
+	build, ok := routingByName[name]
+	if !ok {
+		return nil, fmt.Errorf("route: unknown algorithm %q (want auto or one of %s)",
+			name, strings.Join(Names(), "|"))
+	}
+	r, err := build(t)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.VerifyConnected(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// init registers the implemented algorithms in the order the package
+// doc lists them.
+func init() {
+	Register("monotone-dor", buildMonotoneDOR)
+	Register("cycle-dateline", buildCycleDateline)
+	Register("torus-dor", buildTorusDOR)
+	Register("e-cube", buildECube)
+	Register("hop-minimal", buildHopMinimal)
+}

@@ -1,0 +1,162 @@
+package route
+
+import (
+	"strings"
+	"testing"
+
+	"sparsehamming/internal/topo"
+)
+
+// TestRegistryRoundTrip checks every registered algorithm: the name
+// is listed and Registered, and building it on a suitable topology
+// yields a verified, deadlock-free routing.
+func TestRegistryRoundTrip(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("%d algorithms registered, want 5: %v", len(names), names)
+	}
+	// A topology each algorithm is defined on.
+	hostFor := map[string]func() (*topo.Topology, error){
+		"monotone-dor":   func() (*topo.Topology, error) { return topo.NewMesh(4, 6) },
+		"cycle-dateline": func() (*topo.Topology, error) { return topo.NewRing(4, 6) },
+		"torus-dor":      func() (*topo.Topology, error) { return topo.NewTorus(4, 6) },
+		"e-cube":         func() (*topo.Topology, error) { return topo.NewHypercube(4, 8) },
+		"hop-minimal":    func() (*topo.Topology, error) { return topo.NewMesh(4, 6) },
+	}
+	for _, name := range names {
+		if !Registered(name) {
+			t.Errorf("Registered(%q) = false", name)
+		}
+		mk, ok := hostFor[name]
+		if !ok {
+			t.Errorf("no host topology for %q; extend the test table", name)
+			continue
+		}
+		tp, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := ForName(tp, name)
+		if err != nil {
+			t.Errorf("ForName(%s, %q): %v", tp.Kind, name, err)
+			continue
+		}
+		if !strings.Contains(r.Name, name) {
+			t.Errorf("ForName(%s, %q) built %q", tp.Kind, name, r.Name)
+		}
+		if err := r.VerifyDeadlockFree(); err != nil {
+			t.Errorf("%s on %s: %v", name, tp.Kind, err)
+		}
+	}
+	for _, name := range []string{"", "auto"} {
+		if !Registered(name) {
+			t.Errorf("Registered(%q) must be true (co-designed default)", name)
+		}
+	}
+	if Registered("left-hand") {
+		t.Error("unknown algorithm must not be registered")
+	}
+}
+
+// TestDefaultForMatchesFamilies pins the auto dispatch: every
+// registered topology family's DefaultFor names its co-designed
+// algorithm, and building it succeeds and is deadlock-free — the
+// routing/topology co-design contract of design principle 4.
+func TestDefaultForMatchesFamilies(t *testing.T) {
+	want := map[string]string{
+		"ring":                "cycle-dateline",
+		"mesh":                "monotone-dor",
+		"torus":               "torus-dor",
+		"folded-torus":        "torus-dor",
+		"hypercube":           "e-cube",
+		"slimnoc":             "hop-minimal",
+		"flattened-butterfly": "monotone-dor",
+		"sparse-hamming":      "monotone-dor",
+		"ruche":               "monotone-dor",
+	}
+	for _, kind := range topo.Names() {
+		fam, _ := topo.FamilyByName(kind)
+		var sr, sc []int
+		if fam.Parameterized {
+			sr, sc = []int{2}, []int{2}
+		}
+		tp, err := topo.ByName(kind, 8, 16, sr, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		def := DefaultFor(tp)
+		if w, ok := want[kind]; ok && def != w {
+			t.Errorf("DefaultFor(%s) = %q, want %q", kind, def, w)
+		}
+		r, err := ForName(tp, "auto")
+		if err != nil {
+			t.Errorf("auto routing on %s: %v", kind, err)
+			continue
+		}
+		if err := r.VerifyDeadlockFree(); err != nil {
+			t.Errorf("auto routing on %s: %v", kind, err)
+		}
+	}
+}
+
+// TestDefaultForFallback pins the heuristic for unregistered kinds:
+// aligned topologies get monotone DOR, others hop-minimal tables.
+func TestDefaultForFallback(t *testing.T) {
+	aligned, err := topo.NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligned.Kind = "custom-aligned"
+	if def := DefaultFor(aligned); def != "monotone-dor" {
+		t.Errorf("aligned fallback = %q, want monotone-dor", def)
+	}
+	diag, err := topo.New("custom-diagonal", 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		j := (i + 4) % 9
+		diag.AddLink(topo.Coord{Row: i / 3, Col: i % 3}, topo.Coord{Row: j / 3, Col: j % 3})
+	}
+	if def := DefaultFor(diag); def != "hop-minimal" {
+		t.Errorf("non-aligned fallback = %q, want hop-minimal", def)
+	}
+}
+
+// TestForNameErrors pins the unknown-name error shape.
+func TestForNameErrors(t *testing.T) {
+	tp, err := topo.NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ForName(tp, "left-hand")
+	if err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+	if !strings.Contains(err.Error(), "monotone-dor") {
+		t.Errorf("error %q does not list registered algorithms", err)
+	}
+}
+
+// TestForMatchesForName pins the enum compatibility layer: For
+// dispatches to exactly the registry builder of the enum's name.
+func TestForMatchesForName(t *testing.T) {
+	tp, err := topo.NewMesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := For(tp, HopMinimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForName(tp, "hop-minimal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name || a.NumClasses != b.NumClasses || a.AvgHops() != b.AvgHops() {
+		t.Errorf("For and ForName disagree: %q vs %q", a.Name, b.Name)
+	}
+	if _, err := For(tp, Algorithm(99)); err == nil {
+		t.Error("out-of-range enum must error")
+	}
+}

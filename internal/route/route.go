@@ -30,10 +30,15 @@ import (
 	"sparsehamming/internal/topo"
 )
 
-// Algorithm selects a routing construction.
+// Algorithm selects a routing construction by enum value — a thin
+// compatibility layer over the name-keyed registry in registry.go,
+// kept for callers that enumerate the built-in algorithms (the
+// routing ablation benchmarks). Name-driven paths (job specs, spec
+// files, CLI flags) use ForName directly.
 type Algorithm int
 
-// Available algorithms. Auto dispatches on the topology kind.
+// Available algorithms. Auto dispatches on the topology kind via the
+// topo registry's DefaultRouting (see DefaultFor).
 const (
 	Auto Algorithm = iota
 	MonotoneDOR
@@ -43,45 +48,23 @@ const (
 	HopMinimal
 )
 
-// String names the algorithm.
-func (a Algorithm) String() string {
-	switch a {
-	case MonotoneDOR:
-		return "monotone-dor"
-	case CycleDateline:
-		return "cycle-dateline"
-	case TorusDOR:
-		return "torus-dor"
-	case ECube:
-		return "e-cube"
-	case HopMinimal:
-		return "hop-minimal"
-	default:
-		return "auto"
-	}
+// algorithmNames maps the enum onto registry names; Auto maps onto
+// "auto", which ForName resolves per topology.
+var algorithmNames = map[Algorithm]string{
+	Auto:          "auto",
+	MonotoneDOR:   "monotone-dor",
+	CycleDateline: "cycle-dateline",
+	TorusDOR:      "torus-dor",
+	ECube:         "e-cube",
+	HopMinimal:    "hop-minimal",
 }
 
-// AlgorithmByName parses an algorithm name as produced by String.
-// The empty string and "auto" both select Auto, so serialized job
-// specs can leave the routing field blank for the co-designed
-// default.
-func AlgorithmByName(name string) (Algorithm, error) {
-	switch name {
-	case "", "auto":
-		return Auto, nil
-	case "monotone-dor":
-		return MonotoneDOR, nil
-	case "cycle-dateline":
-		return CycleDateline, nil
-	case "torus-dor":
-		return TorusDOR, nil
-	case "e-cube":
-		return ECube, nil
-	case "hop-minimal":
-		return HopMinimal, nil
-	default:
-		return Auto, fmt.Errorf("route: unknown algorithm %q", name)
+// String names the algorithm.
+func (a Algorithm) String() string {
+	if name, ok := algorithmNames[a]; ok {
+		return name
 	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
 }
 
 // Path is the precomputed route between one source/destination pair.
@@ -106,57 +89,14 @@ type Routing struct {
 	paths      [][]Path // [src][dst]
 }
 
-// For constructs a routing for the topology with the given algorithm.
+// For constructs a routing for the topology with the given algorithm,
+// dispatching through the registry by the algorithm's name.
 func For(t *topo.Topology, alg Algorithm) (*Routing, error) {
-	if alg == Auto {
-		alg = autoAlgorithm(t)
-	}
-	var (
-		r   *Routing
-		err error
-	)
-	switch alg {
-	case MonotoneDOR:
-		r, err = buildMonotoneDOR(t)
-	case CycleDateline:
-		r, err = buildCycleDateline(t)
-	case TorusDOR:
-		r, err = buildTorusDOR(t)
-	case ECube:
-		r, err = buildECube(t)
-	case HopMinimal:
-		r, err = buildHopMinimal(t)
-	default:
+	name, ok := algorithmNames[alg]
+	if !ok {
 		return nil, fmt.Errorf("route: unknown algorithm %d", alg)
 	}
-	if err != nil {
-		return nil, err
-	}
-	if err := r.VerifyConnected(); err != nil {
-		return nil, err
-	}
-	return r, nil
-}
-
-// autoAlgorithm picks the co-designed default for a topology family.
-func autoAlgorithm(t *topo.Topology) Algorithm {
-	switch t.Kind {
-	case "ring":
-		return CycleDateline
-	case "torus", "folded-torus":
-		return TorusDOR
-	case "hypercube":
-		return ECube
-	case "slimnoc":
-		return HopMinimal
-	case "mesh", "sparse-hamming", "flattened-butterfly":
-		return MonotoneDOR
-	default:
-		if t.AllLinksAligned() {
-			return MonotoneDOR
-		}
-		return HopMinimal
-	}
+	return ForName(t, name)
 }
 
 // Path returns the path from src to dst (tile indices).

@@ -255,13 +255,13 @@ func TestPatterns(t *testing.T) {
 	if d := nb.Dest(3, rng); d != 0 {
 		t.Errorf("neighbor(0,3) = %d, want 0 (wrap)", d)
 	}
-	if _, err := PatternByName("transpose", 4, 8); err == nil {
-		t.Error("transpose on non-square grid should fail")
+	if _, err := PatternByName("transpose", 4, 8); err != nil {
+		t.Errorf("transpose generalizes to rectangular grids: %v", err)
 	}
 	if _, err := PatternByName("nope", 4, 4); err == nil {
 		t.Error("unknown pattern should fail")
 	}
-	for _, n := range []string{"uniform", "bitcomp", "shuffle", "hotspot", "neighbor"} {
+	for _, n := range PatternNames() {
 		if _, err := PatternByName(n, 4, 4); err != nil {
 			t.Errorf("PatternByName(%s): %v", n, err)
 		}

@@ -18,6 +18,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 )
 
 // Pattern generates destinations for synthetic traffic.
@@ -51,8 +52,11 @@ func (u UniformRandom) Dest(src int, rng *rand.Rand) int {
 	return d
 }
 
-// Transpose sends (r, c) to (c, r); diagonal tiles stay silent. The
-// grid must be square.
+// Transpose sends tile (r, c) of the R x C grid to the tile holding
+// the transposed matrix position: row-major index c*R + r on the same
+// grid. On a square grid this is the classic (r, c) -> (c, r) mirror;
+// on rectangular grids it remains a permutation of the tile indices
+// (the transpose of row-major order). Fixed points stay silent.
 type Transpose struct {
 	Rows, Cols int
 }
@@ -63,10 +67,11 @@ func (p Transpose) Name() string { return "transpose" }
 // Dest implements Pattern.
 func (p Transpose) Dest(src int, _ *rand.Rand) int {
 	r, c := src/p.Cols, src%p.Cols
-	if r == c {
+	d := c*p.Rows + r
+	if d == src {
 		return -1
 	}
-	return c*p.Cols + r
+	return d
 }
 
 // BitComplement sends tile i to tile N-1-i.
@@ -144,26 +149,80 @@ func (p Neighbor) Dest(src int, _ *rand.Rand) int {
 	return r*p.Cols + (c+1)%p.Cols
 }
 
-// PatternByName constructs a pattern for an R x C grid by name.
-func PatternByName(name string, rows, cols int) (Pattern, error) {
-	n := rows * cols
-	switch name {
-	case "uniform", "":
-		return UniformRandom{N: n}, nil
-	case "transpose":
-		if rows != cols {
-			return nil, fmt.Errorf("sim: transpose requires a square grid, got %dx%d", rows, cols)
-		}
-		return Transpose{Rows: rows, Cols: cols}, nil
-	case "bitcomp":
-		return BitComplement{N: n}, nil
-	case "shuffle":
-		return Shuffle{N: n}, nil
-	case "hotspot":
-		return Hotspot{N: n, Hot: (rows/2)*cols + cols/2, Fraction: 0.1}, nil
-	case "neighbor":
-		return Neighbor{Rows: rows, Cols: cols}, nil
-	default:
-		return nil, fmt.Errorf("sim: unknown traffic pattern %q", name)
+// PatternFactory constructs a pattern instance for an R x C grid.
+type PatternFactory func(rows, cols int) (Pattern, error)
+
+var (
+	patternOrder  []string
+	patternByName = map[string]PatternFactory{}
+)
+
+// RegisterPattern adds a traffic pattern under a name. It panics on
+// an empty or duplicate name — registration happens at init time, so
+// either is a programming error.
+func RegisterPattern(name string, f PatternFactory) {
+	if name == "" {
+		panic("sim: RegisterPattern with empty name")
 	}
+	if f == nil {
+		panic(fmt.Sprintf("sim: RegisterPattern(%q) with nil factory", name))
+	}
+	if _, dup := patternByName[name]; dup {
+		panic(fmt.Sprintf("sim: RegisterPattern(%q) twice", name))
+	}
+	patternByName[name] = f
+	patternOrder = append(patternOrder, name)
+}
+
+// PatternNames lists the registered pattern names in registration
+// order.
+func PatternNames() []string {
+	return append([]string(nil), patternOrder...)
+}
+
+// PatternRegistered reports whether name selects a pattern: a
+// registered one, or the empty string for the uniform default.
+func PatternRegistered(name string) bool {
+	if name == "" {
+		return true
+	}
+	_, ok := patternByName[name]
+	return ok
+}
+
+// PatternByName constructs a pattern for an R x C grid by name; the
+// empty string selects uniform random, the pattern used throughout
+// the paper's evaluation. Unknown names report the registered ones.
+func PatternByName(name string, rows, cols int) (Pattern, error) {
+	if name == "" {
+		name = "uniform"
+	}
+	f, ok := patternByName[name]
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown traffic pattern %q (want one of %s)",
+			name, strings.Join(PatternNames(), "|"))
+	}
+	return f(rows, cols)
+}
+
+// init registers the classic synthetic patterns.
+func init() {
+	RegisterPattern("uniform", func(rows, cols int) (Pattern, error) {
+		return UniformRandom{N: rows * cols}, nil
+	})
+	RegisterPattern("transpose", func(rows, cols int) (Pattern, error) {
+		return Transpose{Rows: rows, Cols: cols}, nil
+	})
+	RegisterPattern("bitcomp", func(rows, cols int) (Pattern, error) {
+		return BitComplement{N: rows * cols}, nil
+	})
+	RegisterPattern("shuffle", func(rows, cols int) (Pattern, error) {
+		return Shuffle{N: rows * cols}, nil
+	})
+	RegisterPattern("hotspot", func(rows, cols int) (Pattern, error) {
+		return Hotspot{N: rows * cols, Hot: (rows/2)*cols + cols/2, Fraction: 0.1}, nil
+	})
+	RegisterPattern("neighbor", func(rows, cols int) (Pattern, error) {
+		return Neighbor{Rows: rows, Cols: cols}, nil
+	})
 }

@@ -34,14 +34,71 @@ func TestPatternByNameErrors(t *testing.T) {
 	if _, err := PatternByName("tornado", 8, 8); err == nil {
 		t.Error("unknown pattern must error")
 	}
-	if _, err := PatternByName("transpose", 8, 16); err == nil {
-		t.Error("transpose on a non-square grid must error")
-	}
-	// All other patterns accept rectangular grids.
-	for _, name := range []string{"uniform", "bitcomp", "shuffle", "hotspot", "neighbor"} {
+	// Every pattern accepts rectangular grids (transpose generalizes
+	// to the row-major index transpose).
+	for _, name := range PatternNames() {
 		if _, err := PatternByName(name, 8, 16); err != nil {
 			t.Errorf("%s on 8x16: %v", name, err)
 		}
+	}
+}
+
+// TestPatternRegistry checks the registry surface: every registered
+// name constructs a pattern reporting that name, membership matches
+// PatternNames, and the empty name maps onto uniform.
+func TestPatternRegistry(t *testing.T) {
+	names := PatternNames()
+	if len(names) < 6 {
+		t.Fatalf("only %d patterns registered: %v", len(names), names)
+	}
+	for _, name := range names {
+		if !PatternRegistered(name) {
+			t.Errorf("PatternRegistered(%q) = false", name)
+		}
+		p, err := PatternByName(name, 8, 8)
+		if err != nil {
+			t.Errorf("PatternByName(%q): %v", name, err)
+			continue
+		}
+		if p.Name() != name {
+			t.Errorf("PatternByName(%q).Name() = %q", name, p.Name())
+		}
+	}
+	if !PatternRegistered("") {
+		t.Error("empty name must count as registered (uniform default)")
+	}
+	if PatternRegistered("tornado") {
+		t.Error("unknown name must not count as registered")
+	}
+}
+
+// TestTransposeRectangular pins the generalized transpose: on a
+// rectangular grid it is the permutation mapping row-major index
+// r*C+c to c*R+r, with fixed points staying silent.
+func TestTransposeRectangular(t *testing.T) {
+	const rows, cols = 8, 12
+	p, err := PatternByName("transpose", rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for src := 0; src < rows*cols; src++ {
+		r, c := src/cols, src%cols
+		d := p.Dest(src, nil)
+		want := c*rows + r
+		if want == src {
+			if d != -1 {
+				t.Errorf("fixed point %d sends to %d, want silence", src, d)
+			}
+			continue
+		}
+		if d != want {
+			t.Errorf("tile (%d,%d) sends to %d, want %d", r, c, d, want)
+		}
+		if seen[d] {
+			t.Errorf("destination %d hit twice: not a permutation", d)
+		}
+		seen[d] = true
 	}
 }
 

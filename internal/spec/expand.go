@@ -1,0 +1,192 @@
+package spec
+
+// Expansion: the deterministic mapping from a spec to exp.Jobs, plus
+// the shared job -> architecture resolution every campaign evaluator
+// (noc's toolchain, dse's cost model) goes through.
+
+import (
+	"fmt"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/tech"
+)
+
+// ArchForJob resolves a job's architecture: the preset named by
+// Job.Scenario with the grid and arch overrides applied, validated.
+// Presets are constructed fresh, so callers may mutate the result.
+func ArchForJob(j exp.Job) (*tech.Arch, error) {
+	arch := tech.ArchByName(j.Scenario)
+	if arch == nil {
+		return nil, fmt.Errorf("spec: unknown scenario %q", j.Scenario)
+	}
+	if j.Rows < 0 || j.Cols < 0 {
+		return nil, fmt.Errorf("spec: scenario %q: negative grid %dx%d", j.Scenario, j.Rows, j.Cols)
+	}
+	if j.Rows > 0 {
+		arch.Rows = j.Rows
+	}
+	if j.Cols > 0 {
+		arch.Cols = j.Cols
+	}
+	if o := j.Arch; !o.IsZero() {
+		if o.EndpointGE < 0 || o.CoresPerTile < 0 || o.FreqHz < 0 || o.LinkBWBits < 0 ||
+			o.NumVCs < 0 || o.BufDepthFlits < 0 || o.TileAspect < 0 {
+			return nil, fmt.Errorf("spec: scenario %q: negative arch override %+v", j.Scenario, *o)
+		}
+		if o.EndpointGE > 0 {
+			arch.EndpointGE = o.EndpointGE
+		}
+		if o.CoresPerTile > 0 {
+			arch.CoresPerTile = o.CoresPerTile
+		}
+		if o.FreqHz > 0 {
+			arch.FreqHz = o.FreqHz
+		}
+		if o.LinkBWBits > 0 {
+			arch.LinkBWBits = o.LinkBWBits
+		}
+		if o.NumVCs > 0 {
+			arch.Proto.NumVCs = o.NumVCs
+		}
+		if o.BufDepthFlits > 0 {
+			arch.Proto.BufDepthFlits = o.BufDepthFlits
+		}
+		if o.TileAspect > 0 {
+			arch.TileAspect = o.TileAspect
+		}
+	}
+	if err := arch.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: scenario %q with overrides: %w", j.Scenario, err)
+	}
+	return arch, nil
+}
+
+// override converts the spec's convenience units into a base-unit
+// job override, or nil when nothing beyond the grid is customized.
+func (a *ArchSpec) override() *exp.ArchOverride {
+	o := exp.ArchOverride{
+		EndpointGE:    a.EndpointMGE * 1e6,
+		CoresPerTile:  a.CoresPerTile,
+		FreqHz:        a.FreqGHz * 1e9,
+		LinkBWBits:    a.LinkBWBits,
+		NumVCs:        a.NumVCs,
+		BufDepthFlits: a.BufDepthFlits,
+		TileAspect:    a.TileAspect,
+	}
+	if o.IsZero() {
+		return nil
+	}
+	return &o
+}
+
+// probeJob builds the architecture-only job used to resolve and
+// validate the sweep's arch.
+func (sw *Sweep) probeJob() exp.Job {
+	return exp.Job{
+		Scenario: sw.Arch.Scenario,
+		Rows:     sw.Arch.Rows,
+		Cols:     sw.Arch.Cols,
+		Arch:     sw.Arch.override(),
+	}
+}
+
+// axis returns values, or the single default when empty.
+func axis(values []string, def string) []string {
+	if len(values) == 0 {
+		return []string{def}
+	}
+	return values
+}
+
+// canonName maps a default's explicit spelling onto the empty string,
+// so spec files may write "auto"/"uniform" while expanded jobs stay
+// in the canonical form the rest of the toolchain produces.
+func canonName(s, def string) string {
+	if s == def {
+		return ""
+	}
+	return s
+}
+
+// Expand returns the spec's jobs: every sweep's cross-product, in
+// deterministic order (see the package doc). It does not validate;
+// run Validate first for friendly errors.
+func (s *Spec) Expand() ([]exp.Job, error) {
+	groups, err := s.ExpandSweeps()
+	if err != nil {
+		return nil, err
+	}
+	var jobs []exp.Job
+	for _, g := range groups {
+		jobs = append(jobs, g...)
+	}
+	return jobs, nil
+}
+
+// ExpandSweeps returns the spec's jobs grouped per sweep, aligned
+// with Labels.
+func (s *Spec) ExpandSweeps() ([][]exp.Job, error) {
+	groups := make([][]exp.Job, len(s.Sweeps))
+	for i := range s.Sweeps {
+		jobs, err := s.Sweeps[i].jobs()
+		if err != nil {
+			return nil, fmt.Errorf("spec %q: sweep %d (%s): %w", s.Name, i+1, s.Sweeps[i].label(i), err)
+		}
+		groups[i] = jobs
+	}
+	return groups, nil
+}
+
+// jobs expands one sweep.
+func (sw *Sweep) jobs() ([]exp.Job, error) {
+	mode, err := sw.mode()
+	if err != nil {
+		return nil, err
+	}
+	routings := axis(sw.Routings, "")
+	patterns := axis(sw.Patterns, "")
+	qualities := axis(sw.Qualities, "")
+	loads := sw.Loads
+	if mode != exp.ModeLoad {
+		loads = []float64{0}
+	}
+	seeds := sw.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{0}
+	}
+	ov := sw.Arch.override()
+
+	var jobs []exp.Job
+	for _, ts := range sw.Topologies {
+		rlist := routings
+		if ts.Routing != "" {
+			rlist = []string{ts.Routing}
+		}
+		for _, routing := range rlist {
+			for _, pattern := range patterns {
+				for _, load := range loads {
+					for _, quality := range qualities {
+						for _, seed := range seeds {
+							jobs = append(jobs, exp.Job{
+								Mode:     mode,
+								Scenario: sw.Arch.Scenario,
+								Rows:     sw.Arch.Rows,
+								Cols:     sw.Arch.Cols,
+								Arch:     ov,
+								Topo:     ts.Kind,
+								SR:       ts.SR,
+								SC:       ts.SC,
+								Routing:  canonName(routing, "auto"),
+								Pattern:  canonName(pattern, "uniform"),
+								Load:     load,
+								Quality:  quality,
+								Seed:     seed,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return jobs, nil
+}

@@ -1,0 +1,288 @@
+// Package spec defines declarative campaign specifications: JSON
+// files that describe an arbitrary evaluation campaign — any
+// architecture (a preset plus overrides of its grid, tile budget,
+// cores per tile, and link/router parameters), crossed over
+// topologies, routing algorithms, traffic patterns, injection rates,
+// quality tiers, and seeds — and expand deterministically into
+// serializable exp.Jobs for the parallel campaign runner.
+//
+// The spec layer is what turns "add a new evaluation scenario" from a
+// five-layer code change into a data-file change: topology kinds
+// resolve through the topo registry, routing names through the route
+// registry, and traffic patterns through the sim pattern registry, so
+// every registered capability is reachable from a spec file. The
+// paper's own presets (the Figure 6 panels, the MemPool validation)
+// are checked in as spec files under examples/specs/ and executed by
+// cmd/shrun.
+//
+// Determinism: expansion is a pure function of the spec — sweeps in
+// file order, and within a sweep the cross-product in fixed nesting
+// order (topology, routing, pattern, load, quality, seed; innermost
+// last). Identical specs therefore expand to identical job lists,
+// and with the runner's content-keyed cache, re-running a spec
+// recomputes nothing.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/sim"
+	"sparsehamming/internal/topo"
+)
+
+// Spec is one campaign specification: a named list of sweeps whose
+// expansions concatenate into the campaign's job batch.
+type Spec struct {
+	// Name identifies the campaign (reports, default cache labels).
+	Name string `json:"name"`
+	// Description is free-form documentation.
+	Description string `json:"description,omitempty"`
+	// Sweeps are expanded in order.
+	Sweeps []Sweep `json:"sweeps"`
+}
+
+// Sweep is one cross-product group: a single architecture evaluated
+// over topologies x routings x patterns x loads x qualities x seeds.
+type Sweep struct {
+	// Label names the sweep in reports and per-sweep statistics; it
+	// defaults to "<index>:<scenario>".
+	Label string `json:"label,omitempty"`
+
+	// Mode selects what each job evaluates: "predict" (default, the
+	// full toolchain), "cost" (physical model only), or "load" (one
+	// simulated offered-load point per entry of Loads).
+	Mode string `json:"mode,omitempty"`
+
+	// Arch is the architecture every job of the sweep runs on.
+	Arch ArchSpec `json:"arch"`
+
+	// Topologies lists the topology instances to evaluate.
+	Topologies []TopologySpec `json:"topologies"`
+
+	// Routings names the routing algorithms to cross with (route
+	// registry names, or "auto" for each topology's co-designed
+	// default). Empty means ["auto"]. A topology entry pinning its
+	// own Routing bypasses this axis.
+	Routings []string `json:"routings,omitempty"`
+
+	// Patterns names the traffic patterns to cross with (sim pattern
+	// registry names). Empty means ["uniform"]. Predict-mode sweeps
+	// measure saturation and zero-load latency under the pattern;
+	// cost-mode sweeps must leave it empty.
+	Patterns []string `json:"patterns,omitempty"`
+
+	// Loads lists offered injection rates in flits/node/cycle for
+	// "load" mode (required there, rejected elsewhere).
+	Loads []float64 `json:"loads,omitempty"`
+
+	// Qualities lists simulation quality tiers: "quick" or "full".
+	// Empty means ["quick"].
+	Qualities []string `json:"qualities,omitempty"`
+
+	// Seeds lists simulation seeds; empty means [0], deriving a
+	// deterministic per-job seed from each job's content hash.
+	Seeds []int64 `json:"seeds,omitempty"`
+}
+
+// ArchSpec selects a preset architecture and optional overrides.
+// Convenience units (MGE, GHz) are converted to base units during
+// expansion.
+type ArchSpec struct {
+	// Scenario names the preset: "a"|"b"|"c"|"d" or "mempool".
+	Scenario string `json:"scenario"`
+	// Rows/Cols override the preset's tile grid when positive.
+	Rows int `json:"rows,omitempty"`
+	Cols int `json:"cols,omitempty"`
+	// EndpointMGE overrides the per-tile endpoint budget, in MGE.
+	EndpointMGE float64 `json:"endpoint_mge,omitempty"`
+	// CoresPerTile overrides the informational core count.
+	CoresPerTile int `json:"cores_per_tile,omitempty"`
+	// FreqGHz overrides the NoC clock, in GHz.
+	FreqGHz float64 `json:"freq_ghz,omitempty"`
+	// LinkBWBits overrides the per-link bandwidth (= flit width).
+	LinkBWBits float64 `json:"link_bw_bits,omitempty"`
+	// NumVCs / BufDepthFlits override the router buffering.
+	NumVCs        int `json:"num_vcs,omitempty"`
+	BufDepthFlits int `json:"buf_depth_flits,omitempty"`
+	// TileAspect overrides the tile height:width ratio.
+	TileAspect float64 `json:"tile_aspect,omitempty"`
+}
+
+// TopologySpec is one topology instance in a sweep.
+type TopologySpec struct {
+	// Kind is the topo registry name ("mesh", "sparse-hamming", ...).
+	Kind string `json:"kind"`
+	// SR/SC parameterize the sparse Hamming graph (offset sets) and
+	// the Ruche network (factor in SR[0]); rejected on families that
+	// do not read them.
+	SR []int `json:"sr,omitempty"`
+	SC []int `json:"sc,omitempty"`
+	// Routing, when set, pins this topology to one algorithm instead
+	// of crossing it with the sweep's Routings axis (Figure 6 gives
+	// the hypercube hop-minimal tables this way).
+	Routing string `json:"routing,omitempty"`
+}
+
+// Parse decodes a spec from JSON, rejecting unknown fields so typos
+// in spec files fail loudly instead of silently shrinking a campaign.
+func Parse(data []byte) (*Spec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return &s, nil
+}
+
+// ParseFile reads and decodes a spec file.
+func ParseFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// validQualities are the simulation quality tiers the toolchain
+// implements (package noc); the empty string is the quick default.
+var validQualities = map[string]bool{"": true, "quick": true, "full": true}
+
+// Validate checks the whole spec against the registries without
+// running anything: architectures resolve and validate, topology
+// kinds are registered and structurally applicable on the sweep's
+// grid (instances are built and connectivity-checked), routing and
+// pattern names are registered, and the mode's axis requirements
+// hold. A valid spec can still fail at run time only for deep
+// incompatibilities validation does not simulate (e.g. pinning a
+// torus-only routing onto a mesh).
+func (s *Spec) Validate() error {
+	if len(s.Sweeps) == 0 {
+		return fmt.Errorf("spec %q: no sweeps", s.Name)
+	}
+	for i := range s.Sweeps {
+		if err := s.Sweeps[i].validate(); err != nil {
+			return fmt.Errorf("spec %q: sweep %d (%s): %w", s.Name, i+1, s.Sweeps[i].label(i), err)
+		}
+	}
+	return nil
+}
+
+// validate checks one sweep.
+func (sw *Sweep) validate() error {
+	mode, err := sw.mode()
+	if err != nil {
+		return err
+	}
+	arch, err := ArchForJob(sw.probeJob())
+	if err != nil {
+		return err
+	}
+	if len(sw.Topologies) == 0 {
+		return fmt.Errorf("no topologies")
+	}
+	for _, ts := range sw.Topologies {
+		fam, ok := topo.FamilyByName(ts.Kind)
+		if !ok {
+			return fmt.Errorf("unknown topology %q", ts.Kind)
+		}
+		if !fam.Parameterized && (len(ts.SR) > 0 || len(ts.SC) > 0) {
+			return fmt.Errorf("topology %q does not read sr/sc offsets", ts.Kind)
+		}
+		if err := fam.Applicable(arch.Rows, arch.Cols); err != nil {
+			return err
+		}
+		t, err := topo.ByName(ts.Kind, arch.Rows, arch.Cols, ts.SR, ts.SC)
+		if err != nil {
+			return err
+		}
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if !route.Registered(ts.Routing) {
+			return fmt.Errorf("topology %q pins unknown routing %q", ts.Kind, ts.Routing)
+		}
+	}
+	for _, name := range sw.Routings {
+		if !route.Registered(name) {
+			return fmt.Errorf("unknown routing %q", name)
+		}
+	}
+	for _, name := range sw.Patterns {
+		if _, err := sim.PatternByName(name, arch.Rows, arch.Cols); err != nil {
+			return err
+		}
+	}
+	for _, q := range sw.Qualities {
+		if !validQualities[q] {
+			return fmt.Errorf("unknown quality %q (want quick or full)", q)
+		}
+	}
+	switch mode {
+	case exp.ModeLoad:
+		if len(sw.Loads) == 0 {
+			return fmt.Errorf("load mode needs at least one load")
+		}
+		for _, l := range sw.Loads {
+			if l <= 0 || l > 1 {
+				return fmt.Errorf("load %g outside (0, 1] flits/node/cycle", l)
+			}
+		}
+	case exp.ModeCost:
+		if len(sw.Loads) > 0 || len(sw.Patterns) > 0 || len(sw.Routings) > 0 {
+			return fmt.Errorf("cost mode ignores routings/patterns/loads; leave them empty")
+		}
+		// A pinned routing would fragment cache keys the same way.
+		for _, ts := range sw.Topologies {
+			if ts.Routing != "" {
+				return fmt.Errorf("cost mode ignores routing; drop the pin on topology %q", ts.Kind)
+			}
+		}
+	default: // predict
+		if len(sw.Loads) > 0 {
+			return fmt.Errorf("loads require mode \"load\"")
+		}
+	}
+	return nil
+}
+
+// mode resolves the sweep's job mode, defaulting to predict.
+func (sw *Sweep) mode() (exp.Mode, error) {
+	switch sw.Mode {
+	case "", string(exp.ModePredict):
+		return exp.ModePredict, nil
+	case string(exp.ModeCost):
+		return exp.ModeCost, nil
+	case string(exp.ModeLoad):
+		return exp.ModeLoad, nil
+	default:
+		return "", fmt.Errorf("unknown mode %q (want predict, cost, or load)", sw.Mode)
+	}
+}
+
+// label returns the sweep's report label, defaulting to
+// "<index>:<scenario>".
+func (sw *Sweep) label(i int) string {
+	if sw.Label != "" {
+		return sw.Label
+	}
+	return fmt.Sprintf("%d:%s", i+1, sw.Arch.Scenario)
+}
+
+// Labels returns the report label of every sweep, in order.
+func (s *Spec) Labels() []string {
+	labels := make([]string, len(s.Sweeps))
+	for i := range s.Sweeps {
+		labels[i] = s.Sweeps[i].label(i)
+	}
+	return labels
+}

@@ -1,0 +1,194 @@
+package topo
+
+// This file is the topology registry: the single name-keyed catalog
+// of topology families the rest of the repository builds from.
+// Construction by kind name (campaign job specs, spec files, CLI
+// flags), structural applicability (which grids admit a hypercube or
+// a SlimNoC), the Figure 6 display label, and the co-designed default
+// routing all live here, so adding a topology family is one Register
+// call instead of edits to five scattered switches.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Family describes one registered topology family: how to build an
+// instance by name and the metadata the higher layers (route
+// selection, Figure 6 panels, spec validation) key off.
+type Family struct {
+	// Kind is the registry key and the Topology.Kind the builder
+	// produces ("mesh", "sparse-hamming", ...).
+	Kind string
+
+	// DisplayName is the label used in the paper's tables and figures
+	// ("2d-mesh", "folded-2d-torus"); it defaults to Kind when empty.
+	DisplayName string
+
+	// DefaultRouting names the co-designed routing algorithm in the
+	// route registry (design principle 4). Empty means no registered
+	// default: the router falls back to its structural heuristic.
+	DefaultRouting string
+
+	// Parameterized reports whether Build reads the SR/SC offset
+	// lists (the sparse Hamming graph's offset sets; Ruche's factor
+	// rides in SR[0]). Non-parameterized families ignore them, and
+	// spec validation rejects stray offsets to keep cache keys from
+	// fragmenting.
+	Parameterized bool
+
+	// GridConstraint, when non-nil, reports whether the family is
+	// structurally applicable on an R x C grid (hypercube needs
+	// power-of-two dimensions, SlimNoC needs q x 2q with prime-power
+	// q). A nil constraint means the family fits every grid.
+	GridConstraint func(rows, cols int) error
+
+	// Build constructs an instance. sr and sc are the offset
+	// parameters for Parameterized families and ignored otherwise.
+	Build func(rows, cols int, sr, sc []int) (*Topology, error)
+}
+
+// Applicable reports whether the family is structurally applicable on
+// the grid, returning the constraint's error when it is not.
+func (f *Family) Applicable(rows, cols int) error {
+	if f.GridConstraint == nil {
+		return nil
+	}
+	return f.GridConstraint(rows, cols)
+}
+
+// Label returns DisplayName, falling back to Kind.
+func (f *Family) Label() string {
+	if f.DisplayName != "" {
+		return f.DisplayName
+	}
+	return f.Kind
+}
+
+var (
+	familyOrder  []string
+	familyByKind = map[string]*Family{}
+)
+
+// Register adds a family to the registry. It panics on an empty or
+// duplicate kind — registration happens at init time, so either is a
+// programming error, not a runtime condition.
+func Register(f Family) {
+	if f.Kind == "" {
+		panic("topo: Register with empty kind")
+	}
+	if f.Build == nil {
+		panic(fmt.Sprintf("topo: Register(%q) with nil Build", f.Kind))
+	}
+	if _, dup := familyByKind[f.Kind]; dup {
+		panic(fmt.Sprintf("topo: Register(%q) twice", f.Kind))
+	}
+	fam := f
+	familyByKind[f.Kind] = &fam
+	familyOrder = append(familyOrder, f.Kind)
+}
+
+// FamilyByName returns the registered family for a kind.
+func FamilyByName(kind string) (*Family, bool) {
+	f, ok := familyByKind[kind]
+	return f, ok
+}
+
+// Names lists the registered kinds in registration order (the paper's
+// Table I order, then extensions).
+func Names() []string {
+	return append([]string(nil), familyOrder...)
+}
+
+// ByName builds a topology by kind name. sr and sc parameterize the
+// sparse Hamming graph (offset sets) and the Ruche network (factor in
+// sr[0]); other families ignore them. Unknown kinds report the
+// registered names.
+func ByName(kind string, rows, cols int, sr, sc []int) (*Topology, error) {
+	f, ok := familyByKind[kind]
+	if !ok {
+		return nil, fmt.Errorf("topo: unknown topology %q (want one of %s)",
+			kind, strings.Join(Names(), "|"))
+	}
+	return f.Build(rows, cols, sr, sc)
+}
+
+// init registers the eight families of the paper's comparison in
+// Table I order, plus the Ruche network from the related-work
+// comparison. DefaultRouting mirrors the co-design of package route:
+// rings get dateline cycle routing, tori dimension-order ring
+// routing, the hypercube e-cube, SlimNoC hop-minimal tables, and the
+// aligned mesh-like families monotone dimension-order routing.
+func init() {
+	fixed := func(build func(rows, cols int) (*Topology, error)) func(int, int, []int, []int) (*Topology, error) {
+		return func(rows, cols int, _, _ []int) (*Topology, error) { return build(rows, cols) }
+	}
+	Register(Family{
+		Kind:           "ring",
+		DefaultRouting: "cycle-dateline",
+		Build:          fixed(NewRing),
+	})
+	Register(Family{
+		Kind:           "mesh",
+		DisplayName:    "2d-mesh",
+		DefaultRouting: "monotone-dor",
+		Build:          fixed(NewMesh),
+	})
+	Register(Family{
+		Kind:           "torus",
+		DisplayName:    "2d-torus",
+		DefaultRouting: "torus-dor",
+		Build:          fixed(NewTorus),
+	})
+	Register(Family{
+		Kind:           "folded-torus",
+		DisplayName:    "folded-2d-torus",
+		DefaultRouting: "torus-dor",
+		Build:          fixed(NewFoldedTorus),
+	})
+	Register(Family{
+		Kind:           "hypercube",
+		DefaultRouting: "e-cube",
+		GridConstraint: func(rows, cols int) error {
+			if !isPow2(rows) || !isPow2(cols) {
+				return fmt.Errorf("topo: hypercube requires power-of-two grid, got %dx%d", rows, cols)
+			}
+			return nil
+		},
+		Build: fixed(NewHypercube),
+	})
+	Register(Family{
+		Kind:           "slimnoc",
+		DefaultRouting: "hop-minimal",
+		GridConstraint: func(rows, cols int) error {
+			_, _, err := slimNoCShape(rows, cols)
+			return err
+		},
+		Build: fixed(NewSlimNoC),
+	})
+	Register(Family{
+		Kind:           "flattened-butterfly",
+		DefaultRouting: "monotone-dor",
+		Build:          fixed(NewFlattenedButterfly),
+	})
+	Register(Family{
+		Kind:           "sparse-hamming",
+		DefaultRouting: "monotone-dor",
+		Parameterized:  true,
+		Build: func(rows, cols int, sr, sc []int) (*Topology, error) {
+			return NewSparseHamming(rows, cols, HammingParams{SR: sr, SC: sc})
+		},
+	})
+	Register(Family{
+		Kind:           "ruche",
+		DefaultRouting: "monotone-dor",
+		Parameterized:  true,
+		Build: func(rows, cols int, sr, _ []int) (*Topology, error) {
+			factor := 2
+			if len(sr) > 0 {
+				factor = sr[0]
+			}
+			return NewRuche(rows, cols, factor)
+		},
+	})
+}

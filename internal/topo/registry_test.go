@@ -1,0 +1,146 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+// registryGrid returns a grid every family fits: 8x16 satisfies the
+// hypercube's power-of-two constraint and SlimNoC's q x 2q shape.
+const regRows, regCols = 8, 16
+
+// TestRegistryRoundTrip checks every registered family: the name is
+// listed, ByName builds an instance whose Kind matches, the instance
+// validates (connected, no isolated tiles), and the grid constraint
+// agrees with the build.
+func TestRegistryRoundTrip(t *testing.T) {
+	names := Names()
+	if len(names) < 9 {
+		t.Fatalf("only %d families registered: %v", len(names), names)
+	}
+	for _, kind := range names {
+		fam, ok := FamilyByName(kind)
+		if !ok {
+			t.Fatalf("FamilyByName(%q) missing", kind)
+		}
+		if fam.Kind != kind {
+			t.Errorf("family %q has Kind %q", kind, fam.Kind)
+		}
+		if err := fam.Applicable(regRows, regCols); err != nil {
+			t.Errorf("%s not applicable on %dx%d: %v", kind, regRows, regCols, err)
+			continue
+		}
+		var sr, sc []int
+		if fam.Parameterized {
+			sr, sc = []int{2}, []int{2}
+		}
+		tp, err := ByName(kind, regRows, regCols, sr, sc)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", kind, err)
+			continue
+		}
+		if tp.Kind != kind {
+			t.Errorf("ByName(%q) built kind %q", kind, tp.Kind)
+		}
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%s: %v", kind, err)
+		}
+		if fam.Label() == "" {
+			t.Errorf("%s: empty label", kind)
+		}
+	}
+}
+
+// TestRegistryUnknownKind pins the error shape: unknown kinds list
+// the registered names.
+func TestRegistryUnknownKind(t *testing.T) {
+	_, err := ByName("moebius", 4, 4, nil, nil)
+	if err == nil {
+		t.Fatal("unknown kind must error")
+	}
+	if !strings.Contains(err.Error(), "sparse-hamming") {
+		t.Errorf("error %q does not list registered kinds", err)
+	}
+}
+
+// TestRegistryGridConstraints pins the structural applicability of
+// the constrained families, including the preserved error text.
+func TestRegistryGridConstraints(t *testing.T) {
+	cases := []struct {
+		kind       string
+		rows, cols int
+		applicable bool
+	}{
+		{"hypercube", 8, 8, true},
+		{"hypercube", 6, 6, false},
+		{"hypercube", 8, 12, false},
+		{"slimnoc", 8, 16, true},
+		{"slimnoc", 16, 8, true},
+		{"slimnoc", 8, 8, false},
+		{"slimnoc", 6, 6, false},
+		{"mesh", 3, 17, true},
+	}
+	for _, c := range cases {
+		fam, ok := FamilyByName(c.kind)
+		if !ok {
+			t.Fatalf("family %q missing", c.kind)
+		}
+		err := fam.Applicable(c.rows, c.cols)
+		if (err == nil) != c.applicable {
+			t.Errorf("%s on %dx%d: applicable err = %v, want applicable=%v", c.kind, c.rows, c.cols, err, c.applicable)
+		}
+		if err != nil && !strings.Contains(err.Error(), c.kind) {
+			t.Errorf("%s constraint error %q does not name the family", c.kind, err)
+		}
+		// The constraint must agree with the builder.
+		_, berr := ByName(c.kind, c.rows, c.cols, nil, nil)
+		if (berr == nil) != c.applicable {
+			t.Errorf("%s on %dx%d: build err = %v disagrees with constraint", c.kind, c.rows, c.cols, berr)
+		}
+	}
+}
+
+// TestRegistryBuildMatchesConstructors pins the registry builders to
+// the direct constructors: same link sets, so registry-driven layers
+// (campaign jobs, spec files) build exactly what the library calls
+// build.
+func TestRegistryBuildMatchesConstructors(t *testing.T) {
+	type mk struct {
+		kind   string
+		sr, sc []int
+		direct func() (*Topology, error)
+	}
+	cases := []mk{
+		{"ring", nil, nil, func() (*Topology, error) { return NewRing(regRows, regCols) }},
+		{"mesh", nil, nil, func() (*Topology, error) { return NewMesh(regRows, regCols) }},
+		{"torus", nil, nil, func() (*Topology, error) { return NewTorus(regRows, regCols) }},
+		{"folded-torus", nil, nil, func() (*Topology, error) { return NewFoldedTorus(regRows, regCols) }},
+		{"hypercube", nil, nil, func() (*Topology, error) { return NewHypercube(regRows, regCols) }},
+		{"slimnoc", nil, nil, func() (*Topology, error) { return NewSlimNoC(regRows, regCols) }},
+		{"flattened-butterfly", nil, nil, func() (*Topology, error) { return NewFlattenedButterfly(regRows, regCols) }},
+		{"sparse-hamming", []int{3}, []int{2, 5}, func() (*Topology, error) {
+			return NewSparseHamming(regRows, regCols, HammingParams{SR: []int{3}, SC: []int{2, 5}})
+		}},
+		{"ruche", []int{3}, nil, func() (*Topology, error) { return NewRuche(regRows, regCols, 3) }},
+	}
+	for _, c := range cases {
+		want, err := c.direct()
+		if err != nil {
+			t.Fatalf("%s direct: %v", c.kind, err)
+		}
+		got, err := ByName(c.kind, regRows, regCols, c.sr, c.sc)
+		if err != nil {
+			t.Fatalf("%s ByName: %v", c.kind, err)
+		}
+		if got.NumLinks() != want.NumLinks() {
+			t.Errorf("%s: registry builds %d links, direct %d", c.kind, got.NumLinks(), want.NumLinks())
+			continue
+		}
+		for _, l := range want.Links() {
+			if !got.HasLink(l.A, l.B) {
+				t.Errorf("%s: registry build missing link %v-%v", c.kind, l.A, l.B)
+				break
+			}
+		}
+	}
+}
