@@ -1,0 +1,201 @@
+package main
+
+// The -server client path: submit specs to a running shserved
+// campaign service (docs/API.md), stream or poll progress, and print
+// the same tables/CSV the local path prints — computed remotely on
+// the service's shared worker pool and result cache.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"sparsehamming/internal/report"
+	"sparsehamming/internal/serve"
+	"sparsehamming/internal/spec"
+)
+
+// remote is the shserved API client.
+type remote struct {
+	base     string // service base URL, no trailing slash
+	progress bool   // stream per-job progress lines to stderr
+}
+
+// url joins a path onto the base URL.
+func (r *remote) url(path string) string {
+	return strings.TrimRight(r.base, "/") + path
+}
+
+// run submits one spec, waits for the campaign to finish, and prints
+// its results (CSV rows when csv, per-sweep tables otherwise).
+func (r *remote) run(s *spec.Spec, csv bool) error {
+	snap, err := r.submit(s)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "shrun: %s: submitted as %s (%d jobs)\n", s.Name, snap.ID, snap.Jobs)
+
+	if r.progress {
+		go r.streamEvents(snap.ID)
+	}
+	snap, err = r.wait(snap.ID)
+	if err != nil {
+		return err
+	}
+	if snap.Status != serve.StatusDone {
+		return fmt.Errorf("campaign %s %s: %s", snap.ID, snap.Status, snap.Error)
+	}
+	if snap.Report != nil {
+		fmt.Fprintf(os.Stderr, "shrun: campaign: %s\n", snap.Report.Summary)
+	}
+	return r.printResults(s, snap.ID, csv)
+}
+
+// submit POSTs the spec and decodes the campaign resource.
+func (r *remote) submit(s *spec.Spec) (*serve.CampaignJSON, error) {
+	body, err := json.Marshal(s)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(r.url("/v1/campaigns"), "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("submitting to %s: %w", r.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, apiErr("submit", resp)
+	}
+	var snap serve.CampaignJSON
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("decoding submit response: %w", err)
+	}
+	return &snap, nil
+}
+
+// wait polls the campaign until it reaches a terminal state.
+func (r *remote) wait(id string) (*serve.CampaignJSON, error) {
+	for {
+		resp, err := http.Get(r.url("/v1/campaigns/" + id))
+		if err != nil {
+			return nil, fmt.Errorf("polling campaign %s: %w", id, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			defer resp.Body.Close()
+			return nil, apiErr("status", resp)
+		}
+		var snap serve.CampaignJSON
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("decoding campaign %s: %w", id, err)
+		}
+		if snap.Status.Terminal() {
+			return &snap, nil
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+}
+
+// printResults fetches and prints the finished campaign's results.
+func (r *remote) printResults(s *spec.Spec, id string, csv bool) error {
+	if csv {
+		resp, err := http.Get(r.url("/v1/campaigns/" + id + "/results?format=csv"))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return apiErr("results", resp)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for line := 0; sc.Scan(); line++ {
+			if line == 0 {
+				continue // main printed the shared header already
+			}
+			fmt.Println(sc.Text())
+		}
+		return sc.Err()
+	}
+	resp, err := http.Get(r.url("/v1/campaigns/" + id + "/results"))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiErr("results", resp)
+	}
+	var res serve.ResultsJSON
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return fmt.Errorf("decoding results: %w", err)
+	}
+	if len(res.Sweeps) != len(s.Sweeps) {
+		return fmt.Errorf("campaign %s returned %d sweeps, spec has %d", id, len(res.Sweeps), len(s.Sweeps))
+	}
+	for pi, sw := range res.Sweeps {
+		report.WriteSweepTable(os.Stdout, s, pi, sw.Jobs, sw.Results)
+	}
+	return nil
+}
+
+// streamEvents consumes the campaign's SSE stream and prints one
+// stderr line per progress event, mirroring the local -progress log.
+func (r *remote) streamEvents(id string) {
+	resp, err := http.Get(r.url("/v1/campaigns/" + id + "/events"))
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return // progress is best-effort; polling still reports the outcome
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev struct {
+			Done      int     `json:"done"`
+			Total     int     `json:"total"`
+			Job       string  `json:"job"`
+			Cached    bool    `json:"cached"`
+			Shared    bool    `json:"shared"`
+			Error     string  `json:"error"`
+			ElapsedMs float64 `json:"elapsed_ms"`
+		}
+		if json.Unmarshal([]byte(data), &ev) != nil || ev.Total == 0 || ev.Job == "" {
+			continue // status/done snapshots, keep-alives
+		}
+		switch {
+		case ev.Error != "":
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s  error: %s\n", ev.Done, ev.Total, ev.Job, ev.Error)
+		case ev.Cached:
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s  cached\n", ev.Done, ev.Total, ev.Job)
+		case ev.Shared:
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s  shared\n", ev.Done, ev.Total, ev.Job)
+		default:
+			fmt.Fprintf(os.Stderr, "[%d/%d] %s  %.2fs\n", ev.Done, ev.Total, ev.Job, ev.ElapsedMs/1000)
+		}
+	}
+}
+
+// apiErr renders a non-2xx API response as an error, decoding the
+// JSON error envelope when present.
+func apiErr(op string, resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
+		return fmt.Errorf("%s: %s: %s", op, resp.Status, envelope.Error)
+	}
+	return fmt.Errorf("%s: %s: %s", op, resp.Status, strings.TrimSpace(string(body)))
+}

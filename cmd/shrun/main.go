@@ -12,7 +12,10 @@
 // time, simulated work) on stderr. -validate checks spec files
 // against the topology/routing/pattern registries without running
 // anything — CI runs it over examples/specs/ so checked-in specs
-// cannot rot.
+// cannot rot. -server URL submits the specs to a running shserved
+// campaign service (see docs/API.md) instead of simulating locally:
+// the output is the same tables or CSV, computed on the service's
+// shared worker pool and cache.
 //
 // Examples:
 //
@@ -20,17 +23,18 @@
 //	shrun -jobs 8 -cache results.json -progress examples/specs/custom-96.json
 //	shrun -csv examples/specs/cost-survey.json > survey.csv
 //	shrun -validate examples/specs/*.json
+//	shrun -server http://localhost:8080 examples/specs/figure6-quick.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"sparsehamming/internal/cli"
 	"sparsehamming/internal/exp"
 	"sparsehamming/internal/noc"
+	"sparsehamming/internal/report"
 	"sparsehamming/internal/spec"
 )
 
@@ -41,6 +45,7 @@ func main() {
 		cacheP   = flag.String("cache", "", "JSON file memoizing results across invocations")
 		progress = flag.Bool("progress", false, "log per-job progress to stderr")
 		csv      = flag.Bool("csv", false, "emit one flat CSV instead of per-sweep tables")
+		server   = flag.String("server", "", "submit to a shserved campaign service at this base URL instead of running locally")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: shrun [flags] spec.json...\n")
@@ -83,10 +88,27 @@ func main() {
 		return
 	}
 
+	if *server != "" {
+		if *jobs != 0 || *cacheP != "" {
+			fmt.Fprintln(os.Stderr, "shrun: note: -jobs and -cache configure local runs; with -server the service's shared pool and cache apply")
+		}
+		client := &remote{base: *server, progress: *progress}
+		if *csv {
+			fmt.Println(report.CSVHeader)
+		}
+		for _, s := range specs {
+			if err := client.run(s, *csv); err != nil {
+				fmt.Fprintln(os.Stderr, "shrun:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	runner := noc.NewRunner(*jobs, nil)
 	camp := cli.StartCampaign("shrun", *cacheP, runner, *progress)
 	if *csv {
-		fmt.Println(csvHeader)
+		fmt.Println(report.CSVHeader)
 	}
 	for _, s := range specs {
 		if err := run(s, runner, *csv); err != nil {
@@ -142,90 +164,11 @@ func run(s *spec.Spec, runner *exp.Runner, csv bool) error {
 		sweepResults := results[off : off+len(g)]
 		off += len(g)
 		if csv {
-			printCSV(labels[pi], g, sweepResults)
+			report.WriteCSVRows(os.Stdout, labels[pi], g, sweepResults)
 		} else {
-			printSweep(s, pi, labels[pi], g, sweepResults)
+			report.WriteSweepTable(os.Stdout, s, pi, g, sweepResults)
 		}
 		fmt.Fprintf(os.Stderr, "shrun: %s: %s: %s\n", s.Name, labels[pi], pt.Stats[pi])
 	}
 	return nil
-}
-
-// printSweep renders one sweep as a markdown table keyed by mode.
-func printSweep(s *spec.Spec, pi int, label string, jobs []exp.Job, results []*exp.Result) {
-	sw := s.Sweeps[pi]
-	grid := ""
-	if arch, err := noc.ArchForJob(jobs[0]); err == nil {
-		grid = fmt.Sprintf(", %dx%d tiles", arch.Rows, arch.Cols)
-	}
-	mode := sw.Mode
-	if mode == "" {
-		mode = string(exp.ModePredict)
-	}
-	fmt.Printf("## %s / %s: scenario %s%s, mode %s\n\n", s.Name, label, sw.Arch.Scenario, grid, mode)
-	var b strings.Builder
-	switch exp.Mode(mode) {
-	case exp.ModeLoad:
-		fmt.Fprintf(&b, "| topology | params | routing | pattern | offered | accepted | avg lat | p99 lat | delivered |\n")
-		fmt.Fprintf(&b, "|---|---|---|---|---:|---:|---:|---:|---:|\n")
-		for k, r := range results {
-			fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3f | %.3f | %.1f | %.1f | %.3f |\n",
-				r.Topology, r.Params, r.RoutingName, patternName(jobs[k]),
-				r.OfferedRate, r.AcceptedRate, r.AvgPacketLatency, r.P99PacketLatency, r.DeliveredFraction)
-		}
-	case exp.ModeCost:
-		fmt.Fprintf(&b, "| topology | params | radix | diam | avg hops | area ovh %% | NoC power W |\n")
-		fmt.Fprintf(&b, "|---|---|---:|---:|---:|---:|---:|\n")
-		for _, r := range results {
-			fmt.Fprintf(&b, "| %s | %s | %d | %d | %.2f | %.1f | %.2f |\n",
-				r.Topology, r.Params, r.RouterRadix, r.Diameter, r.AvgHops,
-				r.AreaOverheadPct, r.NoCPowerW)
-		}
-	default: // predict
-		fmt.Fprintf(&b, "| topology | params | routing | area ovh %% | NoC power W | zero-load lat | saturation %% |\n")
-		fmt.Fprintf(&b, "|---|---|---|---:|---:|---:|---:|\n")
-		for _, r := range results {
-			fmt.Fprintf(&b, "| %s | %s | %s | %.1f | %.2f | %.1f | %.1f |\n",
-				r.Topology, r.Params, r.RoutingName,
-				r.AreaOverheadPct, r.NoCPowerW, r.ZeroLoadLatency, r.SaturationPct)
-		}
-	}
-	fmt.Print(b.String())
-	fmt.Println()
-}
-
-// csvHeader is the flat-CSV column list covering all three modes.
-const csvHeader = "spec_sweep,mode,scenario,topology,params,routing,pattern,quality,seed,load," +
-	"radix,diameter,avg_hops,area_overhead_pct,noc_power_w,zero_load_latency,saturation_pct," +
-	"offered,accepted,avg_latency,p99_latency,delivered_fraction"
-
-// printCSV renders one sweep's rows of the flat CSV.
-func printCSV(label string, jobs []exp.Job, results []*exp.Result) {
-	for k, r := range results {
-		j := jobs[k]
-		fmt.Printf("%q,%s,%s,%s,%q,%s,%s,%s,%d,%g,%d,%d,%.4f,%.2f,%.3f,%.2f,%.2f,%.3f,%.3f,%.2f,%.2f,%.4f\n",
-			label, j.Mode, j.Scenario, r.Topology, r.Params, r.RoutingName, patternName(j),
-			qualityName(j), j.Seed, j.Load,
-			r.RouterRadix, r.Diameter, r.AvgHops, r.AreaOverheadPct, r.NoCPowerW,
-			r.ZeroLoadLatency, r.SaturationPct,
-			r.OfferedRate, r.AcceptedRate, r.AvgPacketLatency, r.P99PacketLatency, r.DeliveredFraction)
-	}
-}
-
-// patternName renders a job's traffic pattern with the uniform
-// default spelled out.
-func patternName(j exp.Job) string {
-	if j.Pattern == "" {
-		return "uniform"
-	}
-	return j.Pattern
-}
-
-// qualityName renders a job's quality with the quick default spelled
-// out.
-func qualityName(j exp.Job) string {
-	if j.Quality == "" {
-		return "quick"
-	}
-	return j.Quality
 }

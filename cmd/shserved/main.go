@@ -1,0 +1,101 @@
+// Command shserved is the campaign service: a long-running HTTP
+// server that accepts the same declarative campaign spec files
+// cmd/shrun executes (see docs/SPECS.md), runs them on one shared
+// parallel runner with one shared content-keyed result cache, and
+// serves status, live progress (Server-Sent Events), and results
+// (JSON or the exact CSV shrun prints). Overlapping submissions from
+// any number of clients dedupe to zero extra simulation: finished
+// work is answered from the cache, and work another campaign is
+// computing right now is joined in flight.
+//
+// The HTTP API is documented endpoint by endpoint in docs/API.md.
+//
+// Examples:
+//
+//	shserved -addr :8080 -cache results.json
+//	curl -s -X POST --data-binary @examples/specs/figure6-quick.json localhost:8080/v1/campaigns
+//	curl -s localhost:8080/v1/campaigns/c1-00000000/results?format=csv
+//	shrun -server http://localhost:8080 examples/specs/figure6-quick.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sparsehamming/internal/cli"
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		jobs      = flag.Int("jobs", 0, "parallel simulation workers shared by all campaigns (0 = all cores)")
+		cacheP    = flag.String("cache", "", "JSON file persisting the shared result cache across restarts")
+		campaigns = flag.Int("campaigns", 4, "campaigns executed concurrently (simulation parallelism is still bounded by -jobs)")
+		queue     = flag.Int("queue", 256, "submission queue depth; a full queue rejects with 503")
+		progress  = flag.Bool("progress", false, "log per-job progress to stderr")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: shserved [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() > 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	runner := noc.NewRunner(*jobs, nil)
+	camp := cli.StartCampaign("shserved", *cacheP, runner, *progress)
+	srv := serve.New(serve.Config{
+		Runner:     runner,
+		Executors:  *campaigns,
+		QueueDepth: *queue,
+		OnCampaignFinished: func(c *serve.Campaign) {
+			snap := c.Snapshot()
+			fmt.Fprintf(os.Stderr, "shserved: campaign %s (%s): %s\n", c.ID, snap.Name, snap.Status)
+			if runner.Cache != nil {
+				if err := runner.Cache.Save(); err != nil {
+					fmt.Fprintf(os.Stderr, "shserved: warning: %v\n", err)
+				}
+			}
+		},
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "shserved: listening on %s\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	var err error
+	select {
+	case err = <-done:
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "shserved: %v: shutting down\n", s)
+		// Bounded drain: long-lived SSE streams would otherwise keep
+		// Shutdown waiting forever, so force-close them after the
+		// grace period.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if httpSrv.Shutdown(ctx) != nil {
+			httpSrv.Close()
+		}
+		cancel()
+		<-done
+	}
+	srv.Close()
+	camp.Close()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "shserved:", err)
+		os.Exit(1)
+	}
+}

@@ -23,6 +23,8 @@ var docCheckedPackages = []string{
 	"internal/spec",
 	"internal/topo",
 	"internal/route",
+	"internal/serve",
+	"internal/report",
 }
 
 func TestExportedDocComments(t *testing.T) {

@@ -94,6 +94,17 @@ func (c *Cache) Get(key string) (*Result, bool) {
 	return nil, false
 }
 
+// peek is Get without touching the hit/miss statistics — the
+// runner's post-claim re-check uses it, and counting that probe
+// would double every computed job as an extra miss in the stats the
+// CLIs print.
+func (c *Cache) peek(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return e.Result, ok
+}
+
 // Put stores a result under the job's key.
 func (c *Cache) Put(j Job, res *Result) {
 	key := j.Key()

@@ -42,6 +42,12 @@ const (
 	ModeLoad    Mode = "load"
 )
 
+// ModeNames lists the job modes in declaration order — the catalog
+// the spec layer validates against and the campaign service exports.
+func ModeNames() []string {
+	return []string{string(ModePredict), string(ModeCost), string(ModeLoad)}
+}
+
 // Job is one serializable experiment point: everything needed to
 // reproduce one simulation or cost-model evaluation. The zero values
 // of Routing, Pattern, and Quality are canonicalized onto the

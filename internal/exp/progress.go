@@ -23,6 +23,8 @@ func LogProgress(w io.Writer) func(ProgressEvent) {
 			fmt.Fprintf(w, "[%*d/%d] %s  error: %v\n", width, ev.Done, ev.Total, ev.Job, ev.Err)
 		case ev.Cached:
 			fmt.Fprintf(w, "[%*d/%d] %s  cached\n", width, ev.Done, ev.Total, ev.Job)
+		case ev.Shared:
+			fmt.Fprintf(w, "[%*d/%d] %s  shared\n", width, ev.Done, ev.Total, ev.Job)
 		default:
 			fmt.Fprintf(w, "[%*d/%d] %s  %s\n", width, ev.Done, ev.Total, ev.Job,
 				ev.Elapsed.Round(10*time.Millisecond))

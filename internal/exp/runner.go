@@ -1,6 +1,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -10,6 +12,14 @@ import (
 // Runner executes job batches on a worker pool with optional result
 // caching and progress reporting. The zero value plus an Eval
 // function is ready to use.
+//
+// A Runner may execute several batches concurrently (the campaign
+// service runs every client submission through one shared Runner):
+// total evaluation concurrency across all in-flight Run/RunContext
+// calls is bounded by one shared Workers-sized slot pool, and a job
+// spec being evaluated by one batch is never evaluated again by an
+// overlapping batch — late arrivals wait for the in-flight evaluation
+// and share its result (ProgressEvent.Shared, Report.Shared).
 type Runner struct {
 	// Eval computes one job. It must be safe for concurrent calls and
 	// deterministic in the job spec (same Job, same Result) — every
@@ -17,7 +27,9 @@ type Runner struct {
 	// job, so this holds by construction.
 	Eval func(Job) (*Result, error)
 
-	// Workers bounds the pool size; values <= 0 mean GOMAXPROCS.
+	// Workers bounds the pool size; values <= 0 mean GOMAXPROCS. The
+	// bound is shared across concurrent Run calls (the first call
+	// fixes it).
 	Workers int
 
 	// Cache, when non-nil, short-circuits jobs whose key is already
@@ -25,7 +37,9 @@ type Runner struct {
 	Cache *Cache
 
 	// Progress, when non-nil, receives one event per completed unique
-	// job. Events are delivered serially.
+	// job. Events of one Run call are delivered serially; concurrent
+	// Run calls deliver their events concurrently (guard accordingly,
+	// or use RunObserved for a per-call observer).
 	Progress func(ProgressEvent)
 
 	// OnReport, when non-nil, receives the aggregate report after
@@ -33,6 +47,25 @@ type Runner struct {
 	// campaign summaries without threading the report through the
 	// intermediate campaign layers.
 	OnReport func(Report)
+
+	// semOnce lazily sizes sem, the shared evaluation-slot pool that
+	// bounds concurrency across overlapping Run calls.
+	semOnce sync.Once
+	sem     chan struct{}
+
+	// flight tracks job evaluations currently in progress across all
+	// Run calls, keyed by content key, so overlapping batches never
+	// duplicate work the cache cannot yet answer.
+	flightMu sync.Mutex
+	flight   map[string]*flight
+}
+
+// flight is one in-progress evaluation; done is closed once res/err
+// are set.
+type flight struct {
+	done chan struct{}
+	res  *Result
+	err  error
 }
 
 // ProgressEvent describes one completed unique job.
@@ -40,8 +73,9 @@ type ProgressEvent struct {
 	Done, Total int // unique jobs completed / in the batch
 	Job         Job
 	Cached      bool
+	Shared      bool // answered by another batch's in-flight evaluation
 	Err         error
-	Elapsed     time.Duration // evaluation time (0 when cached)
+	Elapsed     time.Duration // evaluation time (0 when cached or shared)
 }
 
 // Report aggregates one Run call.
@@ -49,6 +83,7 @@ type Report struct {
 	Jobs      int // jobs requested
 	Unique    int // distinct specs after dedup
 	CacheHits int // unique jobs answered from the cache
+	Shared    int // unique jobs answered by another batch's in-flight evaluation
 	Computed  int // unique jobs evaluated
 	Failed    int // unique jobs whose evaluation errored
 	Wall      time.Duration
@@ -59,6 +94,9 @@ type Report struct {
 func (r Report) String() string {
 	s := fmt.Sprintf("%d jobs (%d unique): %d computed, %d cached",
 		r.Jobs, r.Unique, r.Computed, r.CacheHits)
+	if r.Shared > 0 {
+		s += fmt.Sprintf(", %d shared in-flight", r.Shared)
+	}
 	if r.Failed > 0 {
 		s += fmt.Sprintf(", %d failed", r.Failed)
 	}
@@ -72,9 +110,11 @@ func (r Report) String() string {
 // unit is one unique spec in a batch, shared by all duplicate indices.
 type unit struct {
 	job    Job
+	flight *flight
 	res    *Result
 	err    error
 	cached bool
+	shared bool
 	dur    time.Duration
 }
 
@@ -85,10 +125,124 @@ type unit struct {
 // lowest-indexed failing job (so a parallel run fails identically to
 // a serial one).
 func (r *Runner) Run(jobs []Job) ([]*Result, Report, error) {
+	return r.RunContext(context.Background(), jobs)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled, no new
+// evaluations start, in-progress ones finish (the simulator is not
+// interruptible mid-run), and the call returns every result it
+// already has plus the context's error. Jobs another batch is waiting
+// on are handed back to that batch for evaluation rather than failed.
+func (r *Runner) RunContext(ctx context.Context, jobs []Job) ([]*Result, Report, error) {
+	return r.run(ctx, jobs, r.Progress)
+}
+
+// RunObserved is RunContext with a per-call progress observer:
+// observe receives this call's events (serially, like Progress)
+// after any runner-level Progress hook. The campaign service uses it
+// to route one shared Runner's events to the right campaign.
+func (r *Runner) RunObserved(ctx context.Context, jobs []Job, observe func(ProgressEvent)) ([]*Result, Report, error) {
+	progress := r.Progress
+	if progress == nil {
+		progress = observe
+	} else if observe != nil {
+		global := progress
+		progress = func(ev ProgressEvent) {
+			global(ev)
+			observe(ev)
+		}
+	}
+	return r.run(ctx, jobs, progress)
+}
+
+// effectiveWorkers resolves the Workers default.
+func (r *Runner) effectiveWorkers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// acquire takes one shared evaluation slot, sizing the pool on first
+// use.
+func (r *Runner) acquire() {
+	r.semOnce.Do(func() { r.sem = make(chan struct{}, r.effectiveWorkers()) })
+	r.sem <- struct{}{}
+}
+
+// release returns one shared evaluation slot.
+func (r *Runner) release() { <-r.sem }
+
+// claim registers an in-flight evaluation for key. It returns the
+// flight and whether the caller owns it (owns == false means another
+// batch is already evaluating the key; wait on flight.done).
+func (r *Runner) claim(key string) (*flight, bool) {
+	r.flightMu.Lock()
+	defer r.flightMu.Unlock()
+	if r.flight == nil {
+		r.flight = map[string]*flight{}
+	}
+	if f, ok := r.flight[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	r.flight[key] = f
+	return f, true
+}
+
+// resolve completes an owned flight: publishes the outcome and wakes
+// every waiter. Callers must store to the cache first, so batches
+// that miss the flight window hit the cache instead.
+func (r *Runner) resolve(key string, f *flight, res *Result, err error) {
+	r.flightMu.Lock()
+	delete(r.flight, key)
+	r.flightMu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+}
+
+// evalUnit evaluates one owned unit under the shared slot pool,
+// stores the result, and resolves the unit's flight. The cache is
+// re-checked first: between this batch's cache pre-pass and its
+// claim, another batch may have finished the job and retired its
+// flight, and re-simulating a cached job would break the dedup
+// contract.
+func (r *Runner) evalUnit(u *unit) {
+	if r.Cache != nil {
+		if res, ok := r.Cache.peek(u.job.Key()); ok {
+			u.res, u.cached = res, true
+			r.resolve(u.job.Key(), u.flight, res, nil)
+			return
+		}
+	}
+	r.acquire()
+	t0 := time.Now()
+	u.res, u.err = r.Eval(u.job)
+	u.dur = time.Since(t0)
+	r.release()
+	if u.err == nil && r.Cache != nil {
+		r.Cache.Put(u.job, u.res)
+	}
+	r.resolve(u.job.Key(), u.flight, u.res, u.err)
+}
+
+// abandon resolves an owned flight with the batch's context error so
+// waiters in other batches can reclaim the key and evaluate it
+// themselves instead of blocking forever.
+func (r *Runner) abandon(u *unit, err error) {
+	u.err = err
+	r.resolve(u.job.Key(), u.flight, nil, err)
+}
+
+// run is the shared implementation behind Run/RunContext/RunObserved.
+func (r *Runner) run(ctx context.Context, jobs []Job, progress func(ProgressEvent)) ([]*Result, Report, error) {
 	start := time.Now()
 	rep := Report{Jobs: len(jobs)}
 	if r.Eval == nil {
 		return nil, rep, fmt.Errorf("exp: runner has no Eval function")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 
 	// Deduplicate by content key, preserving first-seen order.
@@ -107,17 +261,26 @@ func (r *Runner) Run(jobs []Job) ([]*Result, Report, error) {
 	}
 	rep.Unique = len(order)
 
-	// Resolve cache hits up front; the remainder goes to the pool.
-	var todo []*unit
+	// Resolve cache hits up front, then partition the remainder into
+	// units this batch owns and units another in-flight batch is
+	// already evaluating. Claims happen before any evaluation starts,
+	// so a batch submitted while another runs joins every overlapping
+	// job instead of recomputing it.
+	var owned, joined []*unit
 	for _, u := range order {
 		if r.Cache != nil {
 			if res, ok := r.Cache.Get(u.job.Key()); ok {
 				u.res, u.cached = res, true
-				rep.CacheHits++
 				continue
 			}
 		}
-		todo = append(todo, u)
+		f, mine := r.claim(u.job.Key())
+		u.flight = f
+		if mine {
+			owned = append(owned, u)
+		} else {
+			joined = append(joined, u)
+		}
 	}
 
 	var (
@@ -129,10 +292,11 @@ func (r *Runner) Run(jobs []Job) ([]*Result, Report, error) {
 		done++
 		ev := ProgressEvent{
 			Done: done, Total: rep.Unique,
-			Job: u.job, Cached: u.cached, Err: u.err, Elapsed: u.dur,
+			Job: u.job, Cached: u.cached, Shared: u.shared,
+			Err: u.err, Elapsed: u.dur,
 		}
-		if r.Progress != nil {
-			r.Progress(ev)
+		if progress != nil {
+			progress(ev)
 		}
 		mu.Unlock()
 	}
@@ -142,12 +306,49 @@ func (r *Runner) Run(jobs []Job) ([]*Result, Report, error) {
 		}
 	}
 
-	workers := r.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	// Joined units wait for the owning batch's evaluation. If that
+	// batch abandons the flight (its context was canceled), the
+	// waiter reclaims the key and evaluates inline — another batch's
+	// cancellation must not fail this one.
+	var jwg sync.WaitGroup
+	for _, u := range joined {
+		jwg.Add(1)
+		go func(u *unit) {
+			defer jwg.Done()
+			defer emit(u)
+			for {
+				select {
+				case <-ctx.Done():
+					u.err = ctx.Err()
+					return
+				case <-u.flight.done:
+					if isContextErr(u.flight.err) {
+						f, mine := r.claim(u.job.Key())
+						u.flight = f
+						if mine {
+							if err := ctx.Err(); err != nil {
+								r.abandon(u, err)
+								return
+							}
+							r.evalUnit(u)
+							return
+						}
+						continue // someone else reclaimed; wait again
+					}
+					u.res, u.err = u.flight.res, u.flight.err
+					u.shared = u.err == nil
+					return
+				}
+			}
+		}(u)
 	}
-	if workers > len(todo) {
-		workers = len(todo)
+
+	// Owned units go through this batch's worker pool; every Eval
+	// additionally holds a shared slot so concurrent batches cannot
+	// oversubscribe the machine.
+	workers := r.effectiveWorkers()
+	if workers > len(owned) {
+		workers = len(owned)
 	}
 	work := make(chan *unit)
 	var wg sync.WaitGroup
@@ -156,21 +357,32 @@ func (r *Runner) Run(jobs []Job) ([]*Result, Report, error) {
 		go func() {
 			defer wg.Done()
 			for u := range work {
-				t0 := time.Now()
-				u.res, u.err = r.Eval(u.job)
-				u.dur = time.Since(t0)
-				if u.err == nil && r.Cache != nil {
-					r.Cache.Put(u.job, u.res)
+				if err := ctx.Err(); err != nil {
+					r.abandon(u, err)
+				} else {
+					r.evalUnit(u)
 				}
 				emit(u)
 			}
 		}()
 	}
-	for _, u := range todo {
-		work <- u
+dispatch:
+	for i, u := range owned {
+		select {
+		case work <- u:
+		case <-ctx.Done():
+			// Hand every undispatched flight back so waiters in
+			// other batches can take over.
+			for _, v := range owned[i:] {
+				r.abandon(v, ctx.Err())
+				emit(v)
+			}
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
+	jwg.Wait()
 
 	out := make([]*Result, len(jobs))
 	var firstErr error
@@ -185,9 +397,14 @@ func (r *Runner) Run(jobs []Job) ([]*Result, Report, error) {
 	}
 	for _, u := range order {
 		rep.Compute += u.dur
-		if u.err != nil {
+		switch {
+		case u.err != nil:
 			rep.Failed++
-		} else if !u.cached {
+		case u.cached:
+			rep.CacheHits++
+		case u.shared:
+			rep.Shared++
+		default:
 			rep.Computed++
 		}
 	}
@@ -196,4 +413,11 @@ func (r *Runner) Run(jobs []Job) ([]*Result, Report, error) {
 		r.OnReport(rep)
 	}
 	return out, rep, firstErr
+}
+
+// isContextErr reports whether err is a context cancellation or
+// deadline error — the marker of an abandoned flight as opposed to a
+// genuine evaluation failure.
+func isContextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

@@ -1,0 +1,131 @@
+// Package report renders campaign results: the per-sweep markdown
+// tables and the flat CSV that cmd/shrun prints locally and
+// cmd/shserved serves over HTTP. Both frontends go through the same
+// functions, which is what makes the service's CSV byte-identical to
+// the CLI's on the same spec (the parity test and the CI smoke job
+// diff the two outputs byte for byte).
+//
+// Rendering is a pure function of (spec, jobs, results); results
+// slices may contain nils for failed jobs, whose rows are skipped.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/spec"
+)
+
+// CSVHeader is the flat-CSV column list covering all three job
+// modes. WriteCSV emits one header line followed by every sweep's
+// rows.
+const CSVHeader = "spec_sweep,mode,scenario,topology,params,routing,pattern,quality,seed,load," +
+	"radix,diameter,avg_hops,area_overhead_pct,noc_power_w,zero_load_latency,saturation_pct," +
+	"offered,accepted,avg_latency,p99_latency,delivered_fraction"
+
+// WriteCSV renders a whole campaign as one flat CSV: the header line,
+// then every sweep's rows in expansion order. groups must align with
+// the spec's ExpandSweeps output and results with the concatenated
+// expansion (one entry per job, nil for failed jobs).
+func WriteCSV(w io.Writer, s *spec.Spec, groups [][]exp.Job, results []*exp.Result) {
+	fmt.Fprintln(w, CSVHeader)
+	labels := s.Labels()
+	off := 0
+	for pi, g := range groups {
+		WriteCSVRows(w, labels[pi], g, results[off:off+len(g)])
+		off += len(g)
+	}
+}
+
+// WriteCSVRows renders one sweep's rows of the flat CSV (no header).
+func WriteCSVRows(w io.Writer, label string, jobs []exp.Job, results []*exp.Result) {
+	for k, r := range results {
+		if r == nil {
+			continue
+		}
+		j := jobs[k]
+		fmt.Fprintf(w, "%q,%s,%s,%s,%q,%s,%s,%s,%d,%g,%d,%d,%.4f,%.2f,%.3f,%.2f,%.2f,%.3f,%.3f,%.2f,%.2f,%.4f\n",
+			label, j.Mode, j.Scenario, r.Topology, r.Params, r.RoutingName, PatternName(j),
+			QualityName(j), j.Seed, j.Load,
+			r.RouterRadix, r.Diameter, r.AvgHops, r.AreaOverheadPct, r.NoCPowerW,
+			r.ZeroLoadLatency, r.SaturationPct,
+			r.OfferedRate, r.AcceptedRate, r.AvgPacketLatency, r.P99PacketLatency, r.DeliveredFraction)
+	}
+}
+
+// WriteSweepTable renders sweep pi of the spec as a markdown table
+// keyed by the sweep's mode, preceded by a heading line and followed
+// by a blank line — the shrun stdout format.
+func WriteSweepTable(w io.Writer, s *spec.Spec, pi int, jobs []exp.Job, results []*exp.Result) {
+	sw := s.Sweeps[pi]
+	label := s.Labels()[pi]
+	grid := ""
+	if len(jobs) > 0 {
+		if arch, err := spec.ArchForJob(jobs[0]); err == nil {
+			grid = fmt.Sprintf(", %dx%d tiles", arch.Rows, arch.Cols)
+		}
+	}
+	mode := sw.Mode
+	if mode == "" {
+		mode = string(exp.ModePredict)
+	}
+	fmt.Fprintf(w, "## %s / %s: scenario %s%s, mode %s\n\n", s.Name, label, sw.Arch.Scenario, grid, mode)
+	var b strings.Builder
+	switch exp.Mode(mode) {
+	case exp.ModeLoad:
+		fmt.Fprintf(&b, "| topology | params | routing | pattern | offered | accepted | avg lat | p99 lat | delivered |\n")
+		fmt.Fprintf(&b, "|---|---|---|---|---:|---:|---:|---:|---:|\n")
+		for k, r := range results {
+			if r == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %.3f | %.3f | %.1f | %.1f | %.3f |\n",
+				r.Topology, r.Params, r.RoutingName, PatternName(jobs[k]),
+				r.OfferedRate, r.AcceptedRate, r.AvgPacketLatency, r.P99PacketLatency, r.DeliveredFraction)
+		}
+	case exp.ModeCost:
+		fmt.Fprintf(&b, "| topology | params | radix | diam | avg hops | area ovh %% | NoC power W |\n")
+		fmt.Fprintf(&b, "|---|---|---:|---:|---:|---:|---:|\n")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %s | %d | %d | %.2f | %.1f | %.2f |\n",
+				r.Topology, r.Params, r.RouterRadix, r.Diameter, r.AvgHops,
+				r.AreaOverheadPct, r.NoCPowerW)
+		}
+	default: // predict
+		fmt.Fprintf(&b, "| topology | params | routing | area ovh %% | NoC power W | zero-load lat | saturation %% |\n")
+		fmt.Fprintf(&b, "|---|---|---|---:|---:|---:|---:|\n")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %.1f | %.2f | %.1f | %.1f |\n",
+				r.Topology, r.Params, r.RoutingName,
+				r.AreaOverheadPct, r.NoCPowerW, r.ZeroLoadLatency, r.SaturationPct)
+		}
+	}
+	fmt.Fprint(w, b.String())
+	fmt.Fprintln(w)
+}
+
+// PatternName renders a job's traffic pattern with the uniform
+// default spelled out.
+func PatternName(j exp.Job) string {
+	if j.Pattern == "" {
+		return "uniform"
+	}
+	return j.Pattern
+}
+
+// QualityName renders a job's quality with the quick default spelled
+// out.
+func QualityName(j exp.Job) string {
+	if j.Quality == "" {
+		return "quick"
+	}
+	return j.Quality
+}

@@ -1,0 +1,82 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/spec"
+)
+
+// costSpec returns a minimal one-sweep cost-mode spec.
+func costSpec() *spec.Spec {
+	return &spec.Spec{
+		Name: "t",
+		Sweeps: []spec.Sweep{{
+			Label: "s0", Mode: "cost",
+			Arch:       spec.ArchSpec{Scenario: "a"},
+			Topologies: []spec.TopologySpec{{Kind: "mesh"}, {Kind: "torus"}},
+		}},
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := costSpec()
+	groups, err := s.ExpandSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []*exp.Result{
+		{Topology: "mesh", RouterRadix: 4, Diameter: 14, AvgHops: 5.25, AreaOverheadPct: 12.3, NoCPowerW: 4.56},
+		nil, // a failed job renders no row
+	}
+	var b strings.Builder
+	WriteCSV(&b, s, groups, results)
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want header + 1 row:\n%s", len(lines), b.String())
+	}
+	if lines[0] != CSVHeader {
+		t.Errorf("header = %q", lines[0])
+	}
+	want := `"s0",cost,a,mesh,"",,uniform,quick,0,0,4,14,5.2500,12.30,4.560,0.00,0.00,0.000,0.000,0.00,0.00,0.0000`
+	if lines[1] != want {
+		t.Errorf("row = %q\nwant %q", lines[1], want)
+	}
+}
+
+func TestWriteSweepTable(t *testing.T) {
+	s := costSpec()
+	groups, err := s.ExpandSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []*exp.Result{
+		{Topology: "mesh", RouterRadix: 4, Diameter: 14, AvgHops: 5.25, AreaOverheadPct: 12.3, NoCPowerW: 4.56},
+		{Topology: "torus", RouterRadix: 4, Diameter: 8, AvgHops: 4.03, AreaOverheadPct: 14.1, NoCPowerW: 5.01},
+	}
+	var b strings.Builder
+	WriteSweepTable(&b, s, 0, groups[0], results)
+	out := b.String()
+	for _, want := range []string{
+		"## t / s0: scenario a, 8x8 tiles, mode cost",
+		"| topology | params | radix |",
+		"| mesh |  | 4 | 14 | 5.25 | 12.3 | 4.56 |",
+		"| torus |  | 4 | 8 | 4.03 | 14.1 | 5.01 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	j := exp.Job{}
+	if PatternName(j) != "uniform" || QualityName(j) != "quick" {
+		t.Errorf("defaults not spelled out: %s %s", PatternName(j), QualityName(j))
+	}
+	j = exp.Job{Pattern: "transpose", Quality: "full"}
+	if PatternName(j) != "transpose" || QualityName(j) != "full" {
+		t.Errorf("explicit names mangled: %s %s", PatternName(j), QualityName(j))
+	}
+}

@@ -1,0 +1,47 @@
+package serve_test
+
+// The API documentation contract: docs/API.md must document every
+// route the service registers (and document nothing that does not
+// exist). The doc uses one "### `METHOD /pattern`" heading per
+// endpoint; this test walks the route table against those headings
+// in both directions.
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/serve"
+)
+
+func TestAPIDocCoversEveryRoute(t *testing.T) {
+	doc, err := os.ReadFile("../../docs/API.md")
+	if err != nil {
+		t.Fatalf("reading docs/API.md: %v", err)
+	}
+	text := string(doc)
+
+	srv := serve.New(serve.Config{Runner: &exp.Runner{Eval: stubEval}})
+	defer srv.Close()
+
+	registered := map[string]bool{}
+	for _, rt := range srv.Routes() {
+		heading := fmt.Sprintf("### `%s %s`", rt.Method, rt.Pattern)
+		registered[rt.Method+" "+rt.Pattern] = true
+		if !strings.Contains(text, heading) {
+			t.Errorf("docs/API.md does not document %s %s (want a %q heading)",
+				rt.Method, rt.Pattern, heading)
+		}
+	}
+
+	// The reverse direction: headings must not outlive their routes.
+	re := regexp.MustCompile("(?m)^### `([A-Z]+) ([^`]+)`")
+	for _, m := range re.FindAllStringSubmatch(text, -1) {
+		if !registered[m[1]+" "+m[2]] {
+			t.Errorf("docs/API.md documents %s %s, which the service does not register", m[1], m[2])
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/spec"
+)
+
+// Status is a campaign's lifecycle state.
+type Status string
+
+// Campaign lifecycle: submissions enter the queue as StatusQueued,
+// an executor moves them to StatusRunning, and they end in exactly
+// one of the three terminal states.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Progress counts a campaign's unique jobs by outcome while it runs.
+type Progress struct {
+	// Total is the number of unique jobs in the campaign; Done of
+	// them have completed (in any way).
+	Total int `json:"total"`
+	Done  int `json:"done"`
+	// CacheHits were answered from the shared result cache, Shared by
+	// joining another campaign's in-flight evaluation, Computed by a
+	// fresh simulation, and Failed errored.
+	CacheHits int `json:"cache_hits"`
+	Shared    int `json:"shared"`
+	Computed  int `json:"computed"`
+	Failed    int `json:"failed"`
+}
+
+// Campaign is one submitted spec moving through the service: the
+// validated spec, its expansion, live progress, and (once finished)
+// the results. All mutable state is guarded by mu; reads go through
+// Snapshot.
+type Campaign struct {
+	// Immutable after creation.
+	ID       string
+	SpecHash string
+	Spec     *spec.Spec
+	Groups   [][]exp.Job // per-sweep expansion, concatenating to Jobs
+	Jobs     []exp.Job   // full expansion, runner input order
+
+	mu        sync.Mutex
+	status    Status
+	err       string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	progress  Progress
+	results   []*exp.Result // aligned with Jobs once terminal
+	report    exp.Report
+	cancel    func()                              // non-nil while running
+	subs      map[chan exp.ProgressEvent]struct{} // SSE subscribers
+	done      chan struct{}                       // closed on terminal state
+}
+
+// newCampaign builds a queued campaign around a validated, expanded
+// spec; jobs must be the concatenation of groups (the submit handler
+// already flattened it for hashing).
+func newCampaign(id, hash string, s *spec.Spec, groups [][]exp.Job, jobs []exp.Job, now time.Time) *Campaign {
+	unique := map[string]struct{}{}
+	for _, j := range jobs {
+		unique[j.Key()] = struct{}{}
+	}
+	return &Campaign{
+		ID:        id,
+		SpecHash:  hash,
+		Spec:      s,
+		Groups:    groups,
+		Jobs:      jobs,
+		status:    StatusQueued,
+		submitted: now,
+		progress:  Progress{Total: len(unique)},
+		subs:      map[chan exp.ProgressEvent]struct{}{},
+		done:      make(chan struct{}),
+	}
+}
+
+// Done returns a channel closed when the campaign reaches a terminal
+// state (the poll-free wait used by tests and the SSE handler).
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// markRunning moves a queued campaign to running with the given
+// cancel hook. It reports false when the campaign was canceled while
+// queued (the executor then skips it).
+func (c *Campaign) markRunning(cancel func(), now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.status != StatusQueued {
+		return false
+	}
+	c.status = StatusRunning
+	c.started = now
+	c.cancel = cancel
+	return true
+}
+
+// observe folds one runner progress event into the campaign counters
+// and fans it out to SSE subscribers (non-blocking: a subscriber that
+// stops draining misses events rather than stalling the simulation).
+func (c *Campaign) observe(ev exp.ProgressEvent) {
+	c.mu.Lock()
+	c.progress.Done = ev.Done
+	switch {
+	case ev.Err != nil:
+		c.progress.Failed++
+	case ev.Cached:
+		c.progress.CacheHits++
+	case ev.Shared:
+		c.progress.Shared++
+	default:
+		c.progress.Computed++
+	}
+	for ch := range c.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	c.mu.Unlock()
+}
+
+// finish records the terminal outcome of a run: results aligned with
+// Jobs, the aggregate report, and the final status (canceled when the
+// campaign's context was canceled, failed on any evaluation error,
+// done otherwise).
+func (c *Campaign) finish(results []*exp.Result, rep exp.Report, runErr, ctxErr error) {
+	c.mu.Lock()
+	c.results = results
+	c.report = rep
+	c.progress.Done = rep.CacheHits + rep.Shared + rep.Computed + rep.Failed
+	c.progress.CacheHits = rep.CacheHits
+	c.progress.Shared = rep.Shared
+	c.progress.Computed = rep.Computed
+	c.progress.Failed = rep.Failed
+	switch {
+	case runErr == nil:
+		// Every job resolved. A cancellation that raced in after the
+		// last evaluation must not relabel a complete campaign.
+		c.status = StatusDone
+	case ctxErr != nil:
+		c.status = StatusCanceled
+		c.err = ctxErr.Error()
+	default:
+		c.status = StatusFailed
+		c.err = runErr.Error()
+	}
+	c.finished = time.Now()
+	c.cancel = nil
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// Cancel requests cancellation: a queued campaign terminates
+// immediately, a running one stops scheduling new jobs and finishes
+// as canceled once in-progress evaluations drain. It reports whether
+// the request took effect (false once terminal).
+func (c *Campaign) Cancel() bool {
+	c.mu.Lock()
+	switch c.status {
+	case StatusQueued:
+		c.status = StatusCanceled
+		c.err = "canceled while queued"
+		c.finished = time.Now()
+		c.mu.Unlock()
+		close(c.done)
+		return true
+	case StatusRunning:
+		cancel := c.cancel
+		c.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		c.mu.Unlock()
+		return false
+	}
+}
+
+// subscribe registers an SSE subscriber channel; the returned func
+// unregisters it.
+func (c *Campaign) subscribe(buf int) (<-chan exp.ProgressEvent, func()) {
+	ch := make(chan exp.ProgressEvent, buf)
+	c.mu.Lock()
+	c.subs[ch] = struct{}{}
+	c.mu.Unlock()
+	return ch, func() {
+		c.mu.Lock()
+		delete(c.subs, ch)
+		c.mu.Unlock()
+	}
+}
+
+// Results returns the campaign's results (aligned with Jobs) and
+// report; ok is false until the campaign is terminal. A campaign
+// canceled before it ever ran is terminal but has no results —
+// callers must check the slice length against Jobs before slicing
+// by sweep.
+func (c *Campaign) Results() (results []*exp.Result, rep exp.Report, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.status.Terminal() {
+		return nil, exp.Report{}, false
+	}
+	return c.results, c.report, true
+}
+
+// SweepJSON summarizes one sweep of a campaign resource.
+type SweepJSON struct {
+	Label string `json:"label"`
+	Jobs  int    `json:"jobs"`
+}
+
+// ReportJSON is the wire form of exp.Report (durations in
+// milliseconds).
+type ReportJSON struct {
+	Jobs      int     `json:"jobs"`
+	Unique    int     `json:"unique"`
+	CacheHits int     `json:"cache_hits"`
+	Shared    int     `json:"shared"`
+	Computed  int     `json:"computed"`
+	Failed    int     `json:"failed"`
+	WallMs    float64 `json:"wall_ms"`
+	ComputeMs float64 `json:"compute_ms"`
+	Summary   string  `json:"summary"`
+}
+
+// CampaignJSON is the campaign resource returned by the campaign
+// endpoints.
+type CampaignJSON struct {
+	ID         string      `json:"id"`
+	Name       string      `json:"name"`
+	SpecHash   string      `json:"spec_hash"`
+	Status     Status      `json:"status"`
+	Error      string      `json:"error,omitempty"`
+	Submitted  time.Time   `json:"submitted"`
+	Started    time.Time   `json:"started,omitzero"`
+	Finished   time.Time   `json:"finished,omitzero"`
+	Jobs       int         `json:"jobs"`
+	UniqueJobs int         `json:"unique_jobs"`
+	Sweeps     []SweepJSON `json:"sweeps"`
+	Progress   Progress    `json:"progress"`
+	Report     *ReportJSON `json:"report,omitempty"`
+}
+
+// Snapshot renders the campaign's current state as its wire resource.
+func (c *Campaign) Snapshot() CampaignJSON {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	labels := c.Spec.Labels()
+	sweeps := make([]SweepJSON, len(c.Groups))
+	for i, g := range c.Groups {
+		sweeps[i] = SweepJSON{Label: labels[i], Jobs: len(g)}
+	}
+	snap := CampaignJSON{
+		ID:         c.ID,
+		Name:       c.Spec.Name,
+		SpecHash:   c.SpecHash,
+		Status:     c.status,
+		Error:      c.err,
+		Submitted:  c.submitted,
+		Started:    c.started,
+		Finished:   c.finished,
+		Jobs:       len(c.Jobs),
+		UniqueJobs: c.progress.Total,
+		Sweeps:     sweeps,
+		Progress:   c.progress,
+	}
+	if c.status.Terminal() {
+		r := c.report
+		snap.Report = &ReportJSON{
+			Jobs: r.Jobs, Unique: r.Unique, CacheHits: r.CacheHits,
+			Shared: r.Shared, Computed: r.Computed, Failed: r.Failed,
+			WallMs:    float64(r.Wall) / float64(time.Millisecond),
+			ComputeMs: float64(r.Compute) / float64(time.Millisecond),
+			Summary:   r.String(),
+		}
+	}
+	return snap
+}
+
+// Store is the in-memory campaign index, insertion-ordered.
+type Store struct {
+	mu   sync.Mutex
+	byID map[string]*Campaign
+	ids  []string
+	seq  int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byID: map[string]*Campaign{}}
+}
+
+// NextID mints a campaign id from a monotonic sequence number and the
+// spec hash prefix — unique per submission, yet eyeball-matchable to
+// the spec it runs.
+func (st *Store) NextID(specHash string) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.seq++
+	return fmt.Sprintf("c%d-%.8s", st.seq, specHash)
+}
+
+// Add indexes a campaign.
+func (st *Store) Add(c *Campaign) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.byID[c.ID] = c
+	st.ids = append(st.ids, c.ID)
+}
+
+// Remove unindexes a campaign (the rejected-submission path: indexed
+// for visibility, then refused by a full queue).
+func (st *Store) Remove(id string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, ok := st.byID[id]; !ok {
+		return
+	}
+	delete(st.byID, id)
+	for i, have := range st.ids {
+		if have == id {
+			st.ids = append(st.ids[:i], st.ids[i+1:]...)
+			break
+		}
+	}
+}
+
+// Get looks a campaign up by id.
+func (st *Store) Get(id string) (*Campaign, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c, ok := st.byID[id]
+	return c, ok
+}
+
+// All returns every campaign in submission order.
+func (st *Store) All() []*Campaign {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]*Campaign, len(st.ids))
+	for i, id := range st.ids {
+		out[i] = st.byID[id]
+	}
+	return out
+}
+
+// Len returns the number of stored campaigns.
+func (st *Store) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.ids)
+}

@@ -1,0 +1,116 @@
+package serve_test
+
+// The acceptance gate of the campaign service: submitting the
+// checked-in Figure 6 spec over HTTP yields results bit-identical to
+// cmd/shrun on the same spec — same cache keys (a follow-up local
+// run against the service's cache computes nothing) and same CSV
+// bytes. The CI smoke job repeats this check binary-to-binary over a
+// real socket.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/report"
+	"sparsehamming/internal/serve"
+	"sparsehamming/internal/spec"
+)
+
+func TestFigure6ServiceMatchesShrun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure 6 campaign in -short mode")
+	}
+	specBytes, err := os.ReadFile("../../examples/specs/figure6-quick.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The service side: a real toolchain runner with a shared cache.
+	cache := exp.NewCache()
+	srv := serve.New(serve.Config{Runner: noc.NewRunner(0, cache), Executors: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(string(specBytes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap serve.CampaignJSON
+	mustDecode(t, resp, http.StatusAccepted, &snap)
+	c, ok := srv.Store().Get(snap.ID)
+	if !ok {
+		t.Fatal("campaign missing from store")
+	}
+	select {
+	case <-c.Done():
+	case <-time.After(20 * time.Minute):
+		t.Fatalf("campaign did not finish: %+v", c.Snapshot())
+	}
+	final := c.Snapshot()
+	if final.Status != serve.StatusDone {
+		t.Fatalf("campaign %s: %s", final.Status, final.Error)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + snap.ID + "/results?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	serviceCSV, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The shrun side: same spec, fresh runner, same cache. Identical
+	// cache keys mean zero new simulations here — that equality is
+	// the point, so assert it.
+	sp, err := spec.Parse(specBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	groups, err := sp.ExpandSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []exp.Job
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	results, rep, err := noc.NewRunner(0, cache).Run(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Computed != 0 {
+		t.Errorf("local shrun run computed %d jobs against the service's cache, want 0 (cache keys differ)", rep.Computed)
+	}
+	var localCSV strings.Builder
+	report.WriteCSV(&localCSV, sp, groups, results)
+	if string(serviceCSV) != localCSV.String() {
+		t.Errorf("service CSV differs from shrun CSV:\n--- service\n%s--- shrun\n%s", serviceCSV, localCSV.String())
+	}
+}
+
+// mustDecode asserts the response status and decodes its JSON body.
+func mustDecode(t *testing.T, resp *http.Response, want int, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != want {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %s: %s", resp.Status, b)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

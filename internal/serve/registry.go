@@ -1,0 +1,69 @@
+package serve
+
+// The registry endpoint: a machine-readable catalog of everything a
+// campaign spec can name, straight from the topology/routing/pattern
+// registries — what a client needs to compose a valid spec without
+// reading the source.
+
+import (
+	"net/http"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/sim"
+	"sparsehamming/internal/spec"
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+// topologyJSON describes one registered topology family.
+type topologyJSON struct {
+	Kind            string `json:"kind"`
+	Label           string `json:"label"`
+	DefaultRouting  string `json:"default_routing,omitempty"`
+	Parameterized   bool   `json:"parameterized"`
+	GridConstrained bool   `json:"grid_constrained"`
+}
+
+// scenarioJSON describes one architecture preset.
+type scenarioJSON struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	Cols int    `json:"cols"`
+}
+
+// registryJSON is the GET /v1/registry response body.
+type registryJSON struct {
+	Topologies []topologyJSON `json:"topologies"`
+	Routings   []string       `json:"routings"`
+	Patterns   []string       `json:"patterns"`
+	Scenarios  []scenarioJSON `json:"scenarios"`
+	Modes      []string       `json:"modes"`
+	Qualities  []string       `json:"qualities"`
+}
+
+// handleRegistry implements GET /v1/registry.
+func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	out := registryJSON{
+		Routings:  route.Names(),
+		Patterns:  sim.PatternNames(),
+		Modes:     exp.ModeNames(),
+		Qualities: spec.QualityNames(),
+	}
+	for _, kind := range topo.Names() {
+		f, _ := topo.FamilyByName(kind)
+		out.Topologies = append(out.Topologies, topologyJSON{
+			Kind:            kind,
+			Label:           f.Label(),
+			DefaultRouting:  f.DefaultRouting,
+			Parameterized:   f.Parameterized,
+			GridConstrained: f.GridConstraint != nil,
+		})
+	}
+	for _, name := range tech.PresetNames() {
+		if arch := tech.ArchByName(name); arch != nil {
+			out.Scenarios = append(out.Scenarios, scenarioJSON{Name: name, Rows: arch.Rows, Cols: arch.Cols})
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}

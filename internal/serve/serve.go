@@ -1,0 +1,375 @@
+// Package serve is the campaign service behind cmd/shserved: a
+// long-running HTTP API that accepts the same declarative campaign
+// specs cmd/shrun executes, validates them against the
+// topology/routing/pattern registries, and runs them on one shared
+// exp.Runner with one shared content-keyed result cache — so
+// repeated or overlapping submissions from many clients dedupe to
+// zero extra simulation (cache hits for finished work, in-flight
+// sharing for work another campaign is computing right now).
+//
+// The shape is submission -> queue -> executors -> shared runner:
+// POST /v1/campaigns enqueues a validated campaign and returns its
+// id, a fixed pool of executor goroutines drains the queue, and each
+// execution is one Runner.RunObserved call whose progress events
+// drive the status endpoint and the SSE stream. Results render
+// through internal/report, the exact code path cmd/shrun prints
+// locally, which keeps the service's CSV byte-identical to the CLI's.
+//
+// Every endpoint is documented in docs/API.md; a test walks Routes()
+// and fails on any route the document does not cover.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/report"
+	"sparsehamming/internal/spec"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Runner evaluates every campaign's jobs; it must be non-nil.
+	// All campaigns share it (and through it, its Workers bound and
+	// Cache).
+	Runner *exp.Runner
+
+	// Executors is the number of campaigns executed concurrently
+	// (their total simulation parallelism is still bounded by the
+	// Runner's shared worker pool); <= 0 means 4.
+	Executors int
+
+	// QueueDepth bounds the submission queue; a full queue rejects
+	// submissions with 503. <= 0 means 256.
+	QueueDepth int
+
+	// MaxSpecBytes bounds the accepted spec body size; <= 0 means
+	// 1 MiB.
+	MaxSpecBytes int64
+
+	// OnCampaignFinished, when non-nil, runs after each campaign
+	// reaches a terminal state (cmd/shserved hooks cache persistence
+	// here). It may be called from several executors concurrently.
+	OnCampaignFinished func(*Campaign)
+}
+
+// Server is the campaign service: an HTTP handler plus the queue and
+// executor pool behind it. Create with New, serve Handler(), stop
+// with Close.
+type Server struct {
+	cfg     Config
+	store   *Store
+	queue   chan *Campaign
+	ctx     context.Context
+	stop    context.CancelFunc
+	wg      sync.WaitGroup
+	started time.Time
+}
+
+// New starts a server's executor pool around the config.
+func New(cfg Config) *Server {
+	if cfg.Runner == nil {
+		panic("serve: Config.Runner is nil")
+	}
+	if cfg.Executors <= 0 {
+		cfg.Executors = 4
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.MaxSpecBytes <= 0 {
+		cfg.MaxSpecBytes = 1 << 20
+	}
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		store:   NewStore(),
+		queue:   make(chan *Campaign, cfg.QueueDepth),
+		ctx:     ctx,
+		stop:    stop,
+		started: time.Now(),
+	}
+	for i := 0; i < cfg.Executors; i++ {
+		s.wg.Add(1)
+		go s.executor()
+	}
+	return s
+}
+
+// Close stops the executor pool: running campaigns are canceled,
+// queued ones stay queued (status preserved for inspection), and the
+// call returns once every executor has exited.
+func (s *Server) Close() {
+	s.stop()
+	s.wg.Wait()
+}
+
+// Store exposes the campaign index (read-mostly; used by status
+// handlers and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// executor drains the submission queue until the server closes.
+func (s *Server) executor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case c := <-s.queue:
+			s.execute(c)
+		}
+	}
+}
+
+// execute runs one campaign on the shared runner.
+func (s *Server) execute(c *Campaign) {
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	if !c.markRunning(cancel, time.Now()) {
+		return // canceled while queued
+	}
+	results, rep, err := s.cfg.Runner.RunObserved(ctx, c.Jobs, c.observe)
+	c.finish(results, rep, err, context.Cause(ctx))
+	if s.cfg.OnCampaignFinished != nil {
+		s.cfg.OnCampaignFinished(c)
+	}
+}
+
+// Route is one registered endpoint: the method and ServeMux pattern
+// plus a one-line summary. Routes() is the single source of truth
+// the mux, docs/API.md, and the doc-coverage test all derive from.
+type Route struct {
+	Method  string
+	Pattern string
+	Summary string
+
+	handler http.HandlerFunc
+}
+
+// Routes returns every endpoint the server exposes.
+func (s *Server) Routes() []Route {
+	return []Route{
+		{"POST", "/v1/campaigns", "submit a campaign spec; returns the campaign resource", s.handleSubmit},
+		{"GET", "/v1/campaigns", "list campaigns in submission order", s.handleList},
+		{"GET", "/v1/campaigns/{id}", "campaign status and per-job progress", s.handleStatus},
+		{"GET", "/v1/campaigns/{id}/events", "live progress stream (Server-Sent Events)", s.handleEvents},
+		{"GET", "/v1/campaigns/{id}/results", "results of a finished campaign (JSON, or ?format=csv)", s.handleResults},
+		{"DELETE", "/v1/campaigns/{id}", "cancel a queued or running campaign", s.handleCancel},
+		{"GET", "/v1/registry", "registered topologies, routings, patterns, scenarios", s.handleRegistry},
+		{"GET", "/healthz", "liveness probe with queue and cache statistics", s.handleHealthz},
+	}
+}
+
+// Handler builds the service's HTTP handler from the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	for _, rt := range s.Routes() {
+		mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
+	}
+	return mux
+}
+
+// apiError is the JSON error envelope every non-2xx response uses.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v as an application/json response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// writeError writes the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit implements POST /v1/campaigns: parse, validate,
+// expand, hash, enqueue.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.ctx.Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	sp, err := spec.ParseReader(http.MaxBytesReader(w, r.Body, s.cfg.MaxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := sp.Validate(); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	groups, err := sp.ExpandSweeps()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	var all []exp.Job
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	hash := spec.HashJobs(all)
+	c := newCampaign(s.store.NextID(hash), hash, sp, groups, all, time.Now())
+	// Index before enqueueing: an executor may pick the campaign up
+	// (and even finish it) immediately, and it must be visible to the
+	// status endpoints the moment that can happen.
+	s.store.Add(c)
+	select {
+	case s.queue <- c:
+	default:
+		s.store.Remove(c.ID)
+		writeError(w, http.StatusServiceUnavailable, "campaign queue is full (%d queued)", len(s.queue))
+		return
+	}
+	w.Header().Set("Location", "/v1/campaigns/"+c.ID)
+	writeJSON(w, http.StatusAccepted, c.Snapshot())
+}
+
+// campaignListJSON is the GET /v1/campaigns response body.
+type campaignListJSON struct {
+	Campaigns []CampaignJSON `json:"campaigns"`
+}
+
+// handleList implements GET /v1/campaigns.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	all := s.store.All()
+	out := campaignListJSON{Campaigns: make([]CampaignJSON, len(all))}
+	for i, c := range all {
+		out.Campaigns[i] = c.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// campaign resolves the {id} path value, writing 404 on a miss.
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request) (*Campaign, bool) {
+	id := r.PathValue("id")
+	c, ok := s.store.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no campaign %q", id)
+	}
+	return c, ok
+}
+
+// handleStatus implements GET /v1/campaigns/{id}.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Snapshot())
+}
+
+// handleCancel implements DELETE /v1/campaigns/{id}.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	if !c.Cancel() {
+		writeError(w, http.StatusConflict, "campaign %s is already %s", c.ID, c.Snapshot().Status)
+		return
+	}
+	snap := c.Snapshot()
+	if snap.Status.Terminal() && s.cfg.OnCampaignFinished != nil {
+		// A queued campaign cancels straight to terminal without ever
+		// passing through an executor, so the terminal hook must fire
+		// here (running campaigns reach it via execute).
+		s.cfg.OnCampaignFinished(c)
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// ResultsSweepJSON is one sweep of a results document: the expanded
+// jobs and their results, index-aligned (a null result marks a
+// failed job).
+type ResultsSweepJSON struct {
+	Label   string        `json:"label"`
+	Jobs    []exp.Job     `json:"jobs"`
+	Results []*exp.Result `json:"results"`
+}
+
+// ResultsJSON is the GET /v1/campaigns/{id}/results response body.
+// Concatenating the sweeps' results reproduces the spec's expansion
+// order, which is how shrun -server reassembles its local tables.
+type ResultsJSON struct {
+	ID       string             `json:"id"`
+	Name     string             `json:"name"`
+	SpecHash string             `json:"spec_hash"`
+	Status   Status             `json:"status"`
+	Report   ReportJSON         `json:"report"`
+	Sweeps   []ResultsSweepJSON `json:"sweeps"`
+}
+
+// handleResults implements GET /v1/campaigns/{id}/results.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	results, _, done := c.Results()
+	if !done {
+		writeError(w, http.StatusConflict, "campaign %s is still %s; poll status or stream events", c.ID, c.Snapshot().Status)
+		return
+	}
+	if len(results) != len(c.Jobs) {
+		// Canceled before the run started: terminal, but nothing to
+		// slice into sweeps.
+		writeError(w, http.StatusConflict, "campaign %s was %s before producing results", c.ID, c.Snapshot().Status)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		report.WriteCSV(w, c.Spec, c.Groups, results)
+	case "", "json":
+		snap := c.Snapshot()
+		out := ResultsJSON{
+			ID: c.ID, Name: c.Spec.Name, SpecHash: c.SpecHash,
+			Status: snap.Status, Report: *snap.Report,
+		}
+		labels := c.Spec.Labels()
+		off := 0
+		for pi, g := range c.Groups {
+			out.Sweeps = append(out.Sweeps, ResultsSweepJSON{
+				Label: labels[pi], Jobs: g, Results: results[off : off+len(g)],
+			})
+			off += len(g)
+		}
+		writeJSON(w, http.StatusOK, out)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown format %q (want json or csv)", format)
+	}
+}
+
+// healthJSON is the GET /healthz response body.
+type healthJSON struct {
+	Status       string `json:"status"`
+	UptimeSec    int64  `json:"uptime_sec"`
+	Campaigns    int    `json:"campaigns"`
+	Queued       int    `json:"queued"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// handleHealthz implements GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := healthJSON{
+		Status:    "ok",
+		UptimeSec: int64(time.Since(s.started).Seconds()),
+		Campaigns: s.store.Len(),
+		Queued:    len(s.queue),
+	}
+	if s.cfg.Runner.Cache != nil {
+		h.CacheEntries = s.cfg.Runner.Cache.Len()
+	}
+	writeJSON(w, http.StatusOK, h)
+}

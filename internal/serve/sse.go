@@ -1,0 +1,104 @@
+package serve
+
+// Server-Sent Events streaming of campaign progress, built on the
+// per-campaign observer fed by exp.Runner's progress events.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sparsehamming/internal/exp"
+)
+
+// eventJSON is the data payload of one SSE "progress" event.
+type eventJSON struct {
+	Done      int     `json:"done"`
+	Total     int     `json:"total"`
+	Job       string  `json:"job"`
+	Key       string  `json:"key"`
+	Cached    bool    `json:"cached,omitempty"`
+	Shared    bool    `json:"shared,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+}
+
+// sseWrite emits one named SSE event with a JSON data payload.
+func sseWrite(w http.ResponseWriter, flusher http.Flusher, event string, v any) {
+	data, _ := json.Marshal(v)
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	flusher.Flush()
+}
+
+// handleEvents implements GET /v1/campaigns/{id}/events: a
+// text/event-stream of "status" (initial snapshot), "progress" (one
+// per completed unique job), and "done" (terminal snapshot, then the
+// stream closes). A campaign that is already terminal yields the
+// snapshot events immediately. Slow consumers miss progress events
+// rather than stalling the simulation (the per-subscriber buffer is
+// generous, but the stream's contract is progress, not a journal —
+// fetch /results for the full record).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer does not support streaming")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	// Subscribe before snapshotting so no event between the snapshot
+	// and the subscription is lost.
+	events, unsubscribe := c.subscribe(4096)
+	defer unsubscribe()
+	sseWrite(w, flusher, "status", c.Snapshot())
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": keep-alive\n\n")
+			flusher.Flush()
+		case ev := <-events:
+			sseWrite(w, flusher, "progress", progressEventJSON(ev))
+		case <-c.Done():
+			// Drain events already buffered before the terminal
+			// state, then close with the final snapshot.
+			for {
+				select {
+				case ev := <-events:
+					sseWrite(w, flusher, "progress", progressEventJSON(ev))
+					continue
+				default:
+				}
+				break
+			}
+			sseWrite(w, flusher, "done", c.Snapshot())
+			return
+		}
+	}
+}
+
+// progressEventJSON converts a runner progress event to its wire
+// form.
+func progressEventJSON(ev exp.ProgressEvent) eventJSON {
+	out := eventJSON{
+		Done: ev.Done, Total: ev.Total,
+		Job: ev.Job.String(), Key: ev.Job.Key(),
+		Cached: ev.Cached, Shared: ev.Shared,
+		ElapsedMs: float64(ev.Elapsed) / float64(time.Millisecond),
+	}
+	if ev.Err != nil {
+		out.Error = ev.Err.Error()
+	}
+	return out
+}

@@ -25,8 +25,11 @@ package spec
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"sparsehamming/internal/exp"
@@ -131,13 +134,53 @@ type TopologySpec struct {
 // Parse decodes a spec from JSON, rejecting unknown fields so typos
 // in spec files fail loudly instead of silently shrinking a campaign.
 func Parse(data []byte) (*Spec, error) {
-	dec := json.NewDecoder(bytes.NewReader(data))
+	return ParseReader(bytes.NewReader(data))
+}
+
+// ParseReader decodes a spec from a stream (an HTTP request body, a
+// file) with the same strictness as Parse. It also rejects trailing
+// data after the spec object, so a concatenated or truncated upload
+// fails instead of silently dropping sweeps.
+func ParseReader(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
 		return nil, fmt.Errorf("spec: %w", err)
 	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after spec object")
+	}
 	return &s, nil
+}
+
+// Hash returns the campaign's stable content hash: a hex digest over
+// the expanded job content keys in expansion order. Two specs hash
+// equally exactly when they expand to the same job sequence, so
+// formatting, field order, and spelling a default explicitly all
+// leave the hash unchanged, while any change that alters even one
+// job's cache identity changes it. The name and description are
+// deliberately excluded — the hash identifies the work, not the
+// label. Expansion errors propagate (run Validate first for friendly
+// ones).
+func (s *Spec) Hash() (string, error) {
+	jobs, err := s.Expand()
+	if err != nil {
+		return "", err
+	}
+	return HashJobs(jobs), nil
+}
+
+// HashJobs digests an already-expanded job list the way Hash does —
+// for callers that hold the expansion and should not pay for a
+// second one (the campaign service hashes every submission).
+func HashJobs(jobs []exp.Job) string {
+	h := sha256.New()
+	for _, j := range jobs {
+		io.WriteString(h, j.Key())
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
 }
 
 // ParseFile reads and decodes a spec file.
@@ -153,9 +196,20 @@ func ParseFile(path string) (*Spec, error) {
 	return s, nil
 }
 
-// validQualities are the simulation quality tiers the toolchain
-// implements (package noc); the empty string is the quick default.
-var validQualities = map[string]bool{"": true, "quick": true, "full": true}
+// QualityNames lists the simulation quality tiers the toolchain
+// implements (package noc), in canonical order. Validation and the
+// campaign service's registry endpoint both derive from this list.
+func QualityNames() []string { return []string{"quick", "full"} }
+
+// validQualities are the accepted quality spellings: QualityNames
+// plus the empty string (the quick default).
+var validQualities = func() map[string]bool {
+	m := map[string]bool{"": true}
+	for _, q := range QualityNames() {
+		m[q] = true
+	}
+	return m
+}()
 
 // Validate checks the whole spec against the registries without
 // running anything: architectures resolve and validate, topology

@@ -96,6 +96,18 @@ func AllScenarios() []ScenarioID {
 	return []ScenarioID{ScenarioA, ScenarioB, ScenarioC, ScenarioD}
 }
 
+// PresetNames lists every name ArchByName resolves: the four
+// evaluation scenarios in paper order, then "mempool". The campaign
+// service's registry endpoint exports this catalog, so extending
+// ArchByName must extend this list too.
+func PresetNames() []string {
+	names := make([]string, 0, 5)
+	for _, id := range AllScenarios() {
+		names = append(names, string(id))
+	}
+	return append(names, "mempool")
+}
+
 // ArchByName resolves a preset architecture by its short job-spec
 // name: "a".."d" for the evaluation scenarios or "mempool". It
 // returns nil for unknown names, like Scenario does. The experiment
