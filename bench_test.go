@@ -70,17 +70,19 @@ func BenchmarkTableI(b *testing.B) {
 	benchRec.Set(meter.Done("TableI", b.N))
 }
 
-// BenchmarkTableIII regenerates the MemPool validation.
-func BenchmarkTableIII(b *testing.B) {
+// tableIIIBench regenerates the MemPool validation at a quality tier
+// and records it under the given trajectory name.
+func tableIIIBench(b *testing.B, quality noc.Quality, bench string) {
+	b.Helper()
 	meter := perf.StartMeter()
 	entry := perf.Entry{Metrics: map[string]float64{}}
 	for i := 0; i < b.N; i++ {
-		rows, _, err := noc.TableIII(noc.Quick)
+		rows, _, err := noc.TableIII(quality)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if i == 0 {
-			fmt.Println("\nTable III (MemPool):")
+			fmt.Printf("\nTable III (MemPool, %s):\n", noc.QualityName(quality))
 			fmt.Print(noc.FormatTableIII(rows))
 			for _, r := range rows {
 				b.ReportMetric(r.ErrorPct, "err%/"+r.Metric[:4])
@@ -88,30 +90,40 @@ func BenchmarkTableIII(b *testing.B) {
 			}
 		}
 	}
-	done := meter.Done("TableIII", b.N)
+	done := meter.Done(bench, b.N)
 	done.Metrics = entry.Metrics
 	benchRec.Set(done)
 }
 
-// figure6Bench regenerates one scenario panel and records the
-// campaign's simulation speed (simulated cycles per wall second).
-func figure6Bench(b *testing.B, id tech.ScenarioID) {
+// BenchmarkTableIII regenerates the MemPool validation.
+func BenchmarkTableIII(b *testing.B) { tableIIIBench(b, noc.Quick, "TableIII") }
+
+// BenchmarkTableIIIAdaptive regenerates the MemPool validation on the
+// adaptive simulation-control tier.
+func BenchmarkTableIIIAdaptive(b *testing.B) { tableIIIBench(b, noc.Adaptive, "TableIIIAdaptive") }
+
+// figure6Bench regenerates one scenario panel at a quality tier and
+// records the campaign's simulation speed (simulated cycles per wall
+// second) plus, on the adaptive tier, the cycles its early verdicts
+// avoided.
+func figure6Bench(b *testing.B, id tech.ScenarioID, quality noc.Quality, bench string) {
 	b.Helper()
 	meter := perf.StartMeter()
 	metrics := map[string]float64{}
-	var simCycles, simFlitHops int64
+	var simCycles, simFlitHops, cyclesSaved int64
 	for i := 0; i < b.N; i++ {
-		panels, stats, err := noc.Figure6Panels([]tech.ScenarioID{id}, noc.Quick, nil, nil)
+		panels, stats, err := noc.Figure6Panels([]tech.ScenarioID{id}, quality, nil, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
 		rows := panels[0]
 		simCycles += stats[0].SimCycles
 		simFlitHops += stats[0].SimFlitHops
+		cyclesSaved += stats[0].CyclesSaved
 		if i != 0 {
 			continue
 		}
-		fmt.Printf("\nFigure 6%s:\n", id)
+		fmt.Printf("\nFigure 6%s (%s):\n", id, noc.QualityName(quality))
 		fmt.Print(noc.FormatFigure6(rows))
 		for _, r := range rows {
 			if r.Topology == "sparse-hamming" {
@@ -127,26 +139,37 @@ func figure6Bench(b *testing.B, id tech.ScenarioID) {
 	elapsed := meter.Elapsed()
 	cyPerSec := float64(simCycles) / elapsed.Seconds()
 	b.ReportMetric(cyPerSec/1e6, "Msimcy/s")
-	entry := meter.Done("Figure6"+string(id), b.N)
+	entry := meter.Done(bench, b.N)
 	entry.CyclesPerSec = cyPerSec
 	if simFlitHops > 0 {
 		entry.NsPerFlit = float64(elapsed.Nanoseconds()) / float64(simFlitHops)
+	}
+	if cyclesSaved > 0 {
+		metrics["cycles_saved"] = float64(cyclesSaved) / float64(b.N)
 	}
 	entry.Metrics = metrics
 	benchRec.Set(entry)
 }
 
 // BenchmarkFigure6a: 64 tiles, 35 MGE, 1 core each.
-func BenchmarkFigure6a(b *testing.B) { figure6Bench(b, tech.ScenarioA) }
+func BenchmarkFigure6a(b *testing.B) { figure6Bench(b, tech.ScenarioA, noc.Quick, "Figure6a") }
+
+// BenchmarkFigure6aAdaptive: Figure 6a on the adaptive
+// simulation-control tier — same panel, early-verdict probes. The
+// trajectory records it separately so the fixed tier's history stays
+// comparable.
+func BenchmarkFigure6aAdaptive(b *testing.B) {
+	figure6Bench(b, tech.ScenarioA, noc.Adaptive, "Figure6aAdaptive")
+}
 
 // BenchmarkFigure6b: 64 tiles, 70 MGE, 2 cores each.
-func BenchmarkFigure6b(b *testing.B) { figure6Bench(b, tech.ScenarioB) }
+func BenchmarkFigure6b(b *testing.B) { figure6Bench(b, tech.ScenarioB, noc.Quick, "Figure6b") }
 
 // BenchmarkFigure6c: 128 tiles, 35 MGE, 1 core each (SlimNoC applies).
-func BenchmarkFigure6c(b *testing.B) { figure6Bench(b, tech.ScenarioC) }
+func BenchmarkFigure6c(b *testing.B) { figure6Bench(b, tech.ScenarioC, noc.Quick, "Figure6c") }
 
 // BenchmarkFigure6d: 128 tiles, 70 MGE, 2 cores each (SlimNoC applies).
-func BenchmarkFigure6d(b *testing.B) { figure6Bench(b, tech.ScenarioD) }
+func BenchmarkFigure6d(b *testing.B) { figure6Bench(b, tech.ScenarioD, noc.Quick, "Figure6d") }
 
 // BenchmarkCustomize runs the Section V strategy on scenario a.
 func BenchmarkCustomize(b *testing.B) {

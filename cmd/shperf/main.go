@@ -1,0 +1,63 @@
+// Command shperf inspects the benchmark trajectory BENCH_sim.json
+// (see internal/perf): -check compares the two newest entries of
+// every benchmark and prints a warning line for each whose ns/op
+// regressed beyond the threshold. The warnings use the GitHub Actions
+// annotation syntax (::warning ::...), so the CI bench job surfaces
+// them on the run without failing it — perf history is advisory, not
+// a gate, because container timing noise would otherwise flake
+// unrelated PRs. -fresh restricts the comparison to benchmarks whose
+// newest entry is recent (CI passes -fresh 1h so only the benches
+// the smoke run just refreshed are compared; stale pairs recorded in
+// other sessions never warn on unrelated runs).
+//
+// Examples:
+//
+//	shperf -check
+//	shperf -check -fresh 1h
+//	shperf -check -threshold 10 -file BENCH_sim.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sparsehamming/internal/perf"
+)
+
+func main() {
+	var (
+		file      = flag.String("file", perf.DefaultPath(), "benchmark trajectory file")
+		check     = flag.Bool("check", false, "warn when the newest entry of a bench regressed vs the previous one")
+		threshold = flag.Float64("threshold", 15, "regression threshold in percent")
+		fresh     = flag.Duration("fresh", 0, "only compare benches whose newest entry is younger than this (0 = all)")
+	)
+	flag.Parse()
+	if !*check {
+		flag.Usage()
+		os.Exit(2)
+	}
+	entries, err := perf.Load(*file)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shperf:", err)
+		os.Exit(1)
+	}
+	if len(entries) == 0 {
+		fmt.Printf("%s: no entries\n", *file)
+		return
+	}
+	var cutoff time.Time
+	if *fresh > 0 {
+		cutoff = time.Now().Add(-*fresh)
+	}
+	regs := perf.FreshRegressions(entries, *threshold, cutoff)
+	for _, d := range regs {
+		fmt.Printf("::warning ::bench %s regressed %.1f%% (%s -> %s per op)\n",
+			d.Bench, d.Pct, time.Duration(d.OldNs).Round(time.Microsecond),
+			time.Duration(d.NewNs).Round(time.Microsecond))
+	}
+	if len(regs) == 0 {
+		fmt.Printf("%s: no ns/op regressions beyond %.0f%%\n", *file, *threshold)
+	}
+}

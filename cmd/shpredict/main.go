@@ -10,13 +10,17 @@
 //
 // -route selects a routing algorithm and -traffic a synthetic traffic
 // pattern by their registry names (defaults: the topology's
-// co-designed routing, uniform random traffic).
+// co-designed routing, uniform random traffic). -quality selects the
+// simulation tier: fixed-budget "quick" (default) or "full", or the
+// adaptive-control "adaptive" tier (early-verdict probes inside
+// quick's budgets; >=2x faster, metrics within ~2%).
 //
 // Examples:
 //
 //	shpredict -scenario a -topo sparse-hamming -sr 4 -sc 2,5
 //	shpredict -scenario c -topo slimnoc
 //	shpredict -scenario b -topo mesh -full
+//	shpredict -scenario a -topo mesh -quality adaptive
 //	shpredict -scenario a -topo mesh -curve -jobs 8 -cache results.json
 //	shpredict -scenario a -topo hypercube -route e-cube -traffic transpose
 package main
@@ -47,11 +51,12 @@ func main() {
 			strings.Join(route.Names(), "|"))
 		traffic = flag.String("traffic", "", "traffic pattern for the performance simulations (default uniform): "+
 			strings.Join(sim.PatternNames(), "|"))
-		full   = flag.Bool("full", false, "full-length simulation windows")
-		trace  = flag.Int("trace", 0, "additionally trace the first N packets of a short run")
-		curve  = flag.Bool("curve", false, "additionally print a load-latency curve")
-		jobs   = flag.Int("jobs", 0, "parallel simulation workers (0 = all cores)")
-		cacheP = flag.String("cache", "", "JSON file memoizing results across invocations")
+		full    = flag.Bool("full", false, "full-length simulation windows (same as -quality full)")
+		quality = flag.String("quality", "", "simulation quality tier: quick|full|adaptive (default quick)")
+		trace   = flag.Int("trace", 0, "additionally trace the first N packets of a short run")
+		curve   = flag.Bool("curve", false, "additionally print a load-latency curve")
+		jobs    = flag.Int("jobs", 0, "parallel simulation workers (0 = all cores)")
+		cacheP  = flag.String("cache", "", "JSON file memoizing results across invocations")
 	)
 	flag.Parse()
 
@@ -69,9 +74,15 @@ func main() {
 	if !sim.PatternRegistered(*traffic) {
 		fatal(fmt.Errorf("-traffic: unknown pattern %q (want one of %s)", *traffic, strings.Join(sim.PatternNames(), "|")))
 	}
-	quality := noc.Quick
+	q := noc.Quick
 	if *full {
-		quality = noc.Full
+		q = noc.Full
+	}
+	if *quality != "" {
+		var err error
+		if q, err = noc.QualityByName(*quality); err != nil {
+			fatal(fmt.Errorf("-quality: %w", err))
+		}
 	}
 
 	runner := noc.NewRunner(*jobs, nil)
@@ -87,7 +98,7 @@ func main() {
 		Topo:     *kind,
 		Routing:  *routeF,
 		Pattern:  *traffic,
-		Quality:  noc.QualityName(quality),
+		Quality:  noc.QualityName(q),
 		Seed:     1,
 	}
 	// Only the kinds that read the offsets carry them in the spec;

@@ -17,12 +17,19 @@
 // the output is the same tables or CSV, computed on the service's
 // shared worker pool and cache.
 //
+// Specs naming the "adaptive" quality tier run under adaptive
+// simulation control (early-verdict probes inside the quick tier's
+// budgets; figure6-adaptive.json is the checked-in example).
+// -cpuprofile/-memprofile write pprof profiles around campaign
+// execution, for hunting down where a slow campaign spends its time.
+//
 // Examples:
 //
 //	shrun examples/specs/figure6-quick.json
 //	shrun -jobs 8 -cache results.json -progress examples/specs/custom-96.json
 //	shrun -csv examples/specs/cost-survey.json > survey.csv
 //	shrun -validate examples/specs/*.json
+//	shrun -cpuprofile prof.cpu examples/specs/figure6-adaptive.json
 //	shrun -server http://localhost:8080 examples/specs/figure6-quick.json
 package main
 
@@ -46,6 +53,8 @@ func main() {
 		progress = flag.Bool("progress", false, "log per-job progress to stderr")
 		csv      = flag.Bool("csv", false, "emit one flat CSV instead of per-sweep tables")
 		server   = flag.String("server", "", "submit to a shserved campaign service at this base URL instead of running locally")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the campaign to this file")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: shrun [flags] spec.json...\n")
@@ -92,6 +101,9 @@ func main() {
 		if *jobs != 0 || *cacheP != "" {
 			fmt.Fprintln(os.Stderr, "shrun: note: -jobs and -cache configure local runs; with -server the service's shared pool and cache apply")
 		}
+		if *cpuProf != "" || *memProf != "" {
+			fmt.Fprintln(os.Stderr, "shrun: note: -cpuprofile/-memprofile profile local runs; with -server the simulation happens in the service, so no profile is written")
+		}
 		client := &remote{base: *server, progress: *progress}
 		if *csv {
 			fmt.Println(report.CSVHeader)
@@ -107,16 +119,19 @@ func main() {
 
 	runner := noc.NewRunner(*jobs, nil)
 	camp := cli.StartCampaign("shrun", *cacheP, runner, *progress)
+	prof := cli.StartProfiles("shrun", *cpuProf, *memProf)
 	if *csv {
 		fmt.Println(report.CSVHeader)
 	}
 	for _, s := range specs {
 		if err := run(s, runner, *csv); err != nil {
+			prof.Stop()
 			camp.Close()
 			fmt.Fprintln(os.Stderr, "shrun:", err)
 			os.Exit(1)
 		}
 	}
+	prof.Stop()
 	camp.Close()
 }
 

@@ -9,6 +9,10 @@
 // computing right now is joined in flight.
 //
 // The HTTP API is documented endpoint by endpoint in docs/API.md.
+// Submitted specs may name any registered quality tier, including
+// "adaptive" (adaptive simulation control: early-verdict probes
+// inside the quick tier's budgets, >=2x cheaper campaigns with
+// metrics within ~2%); GET /v1/registry lists the tiers.
 //
 // Examples:
 //

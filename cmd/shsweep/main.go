@@ -14,12 +14,21 @@
 // pattern — the registry-driven ablation knobs (the result is then an
 // ablation, not the paper's Figure 6 configuration).
 //
+// -quality selects the simulation tier: the fixed-budget "quick"
+// (default) and "full" windows, or "adaptive" — quick's budgets as
+// caps with early-verdict saturation probes, steady-state stopping,
+// and speculative parallel bisection (>=2x faster, metrics within
+// ~2%; see docs/ARCHITECTURE.md "Simulation control").
+// -cpuprofile/-memprofile write pprof profiles around the campaign.
+//
 // Examples:
 //
 //	shsweep -scenario a
 //	shsweep -scenario all -jobs 8 -csv > figure6.csv
 //	shsweep -scenario all -cache results.json -progress
 //	shsweep -scenario a -route hop-minimal -traffic transpose
+//	shsweep -scenario a -quality adaptive
+//	shsweep -scenario a -cpuprofile prof.cpu
 //	shsweep -table3
 package main
 
@@ -41,7 +50,8 @@ func main() {
 		scenario = flag.String("scenario", "a", "scenario: a|b|c|d|all")
 		csv      = flag.Bool("csv", false, "emit CSV instead of markdown")
 		table3   = flag.Bool("table3", false, "print Table III (MemPool validation) instead")
-		full     = flag.Bool("full", false, "full-length simulation windows")
+		full     = flag.Bool("full", false, "full-length simulation windows (same as -quality full)")
+		qualityF = flag.String("quality", "", "simulation quality tier: quick|full|adaptive (default quick)")
 		routeF   = flag.String("route", "", "force one routing onto every topology (ablation): "+
 			strings.Join(route.Names(), "|"))
 		traffic = flag.String("traffic", "", "traffic pattern for the performance simulations (default uniform): "+
@@ -49,6 +59,8 @@ func main() {
 		jobs     = flag.Int("jobs", 0, "parallel simulation workers (0 = all cores)")
 		cacheP   = flag.String("cache", "", "JSON file memoizing results across invocations")
 		progress = flag.Bool("progress", false, "log per-job progress to stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile after the campaign to this file")
 	)
 	flag.Parse()
 
@@ -58,10 +70,19 @@ func main() {
 	}
 	runner := noc.NewRunner(*jobs, nil)
 	camp := cli.StartCampaign("shsweep", *cacheP, runner, *progress)
+	prof := cli.StartProfiles("shsweep", *cpuProf, *memProf)
 	fatal := func(err error) {
+		prof.Stop()
 		camp.Close()
 		fmt.Fprintln(os.Stderr, "shsweep:", err)
 		os.Exit(1)
+	}
+	if *qualityF != "" {
+		q, err := noc.QualityByName(*qualityF)
+		if err != nil {
+			fatal(fmt.Errorf("-quality: %w", err))
+		}
+		quality = q
 	}
 	if !route.Registered(*routeF) {
 		fatal(fmt.Errorf("-route: unknown algorithm %q (want one of %s)", *routeF, strings.Join(route.Names(), "|")))
@@ -82,6 +103,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		prof.Stop()
 		camp.Close()
 		fmt.Println("Table III: MemPool toolchain validation")
 		fmt.Print(noc.FormatTableIII(rows))
@@ -103,6 +125,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	prof.Stop()
 	camp.Close()
 	for _, ps := range stats {
 		fmt.Fprintf(os.Stderr, "shsweep: figure 6%s: %s\n", ps.Label, ps)

@@ -1,5 +1,7 @@
 package exp
 
+import "fmt"
+
 // Result is the serializable outcome of one job: the union of the
 // metrics the three modes produce. ModeCost fills the topology and
 // cost sections; ModePredict additionally fills the performance and
@@ -43,10 +45,36 @@ type Result struct {
 	SimCycles   int64 `json:"sim_cycles,omitempty"`
 	SimFlitHops int64 `json:"sim_flit_hops,omitempty"`
 
+	// Adaptive-control accounting (ModePredict): how many saturation
+	// probes the search consumed and how many simulated cycles the
+	// adaptive tier's early verdicts avoided (0 on fixed-budget
+	// tiers). Deterministic in the job spec: speculative probes whose
+	// verdicts went unused are never counted.
+	SimProbes      int   `json:"sim_probes,omitempty"`
+	SimCyclesSaved int64 `json:"sim_cycles_saved,omitempty"`
+
+	// SaturationLowerBound marks a saturation search that bottomed
+	// out: every probe down to the finest bisection midpoint
+	// saturated, so SaturationPct is the search resolution — an upper
+	// bound on the true rate — rather than a measured throughput.
+	SaturationLowerBound bool `json:"saturation_lower_bound,omitempty"`
+
 	// Single load point (ModeLoad).
 	OfferedRate       float64 `json:"offered_rate,omitempty"`
 	AcceptedRate      float64 `json:"accepted_rate,omitempty"`
 	AvgPacketLatency  float64 `json:"avg_packet_latency,omitempty"`
 	P99PacketLatency  float64 `json:"p99_packet_latency,omitempty"`
 	DeliveredFraction float64 `json:"delivered_fraction,omitempty"`
+}
+
+// FormatSaturation renders a saturation percentage for tables,
+// prefixing "<" when the search bottomed out (the value is then the
+// bisection resolution, an upper bound on the true rate). The one
+// shared spelling of the marker: the report tables and the noc
+// formatters both call it, so their renderings cannot drift apart.
+func FormatSaturation(pct float64, lowerBound bool) string {
+	if lowerBound {
+		return fmt.Sprintf("<%.1f", pct)
+	}
+	return fmt.Sprintf("%.1f", pct)
 }

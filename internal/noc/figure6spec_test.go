@@ -43,6 +43,7 @@ func TestFigure6SpecFileMatchesProgrammatic(t *testing.T) {
 	}{
 		{"figure6-quick.json", Quick},
 		{"figure6-full.json", Full},
+		{"figure6-adaptive.json", Adaptive},
 	} {
 		fromFile := figure6SpecFile(t, c.file)
 		built, err := Figure6Spec(tech.AllScenarios(), c.quality, nil)

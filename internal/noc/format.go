@@ -3,6 +3,8 @@ package noc
 import (
 	"fmt"
 	"strings"
+
+	"sparsehamming/internal/exp"
 )
 
 // This file renders the evaluation artifacts as GitHub-flavored
@@ -49,10 +51,17 @@ func FormatFigure6(rows []Figure6Row) string {
 			continue
 		}
 		p := r.Pred
-		fmt.Fprintf(&b, "| %s | %s | %.1f | %.2f | %.1f | %.1f |\n",
-			r.Topology, r.Params, p.AreaOverheadPct, p.NoCPowerW, p.ZeroLoadLatency, p.SaturationPct)
+		fmt.Fprintf(&b, "| %s | %s | %.1f | %.2f | %.1f | %s |\n",
+			r.Topology, r.Params, p.AreaOverheadPct, p.NoCPowerW, p.ZeroLoadLatency, satCell(p))
 	}
 	return b.String()
+}
+
+// satCell renders a prediction's saturation throughput, marking
+// searches that bottomed out ("<x": the true rate lies below the
+// bisection resolution x) instead of printing a hard zero.
+func satCell(p *Prediction) string {
+	return exp.FormatSaturation(p.SaturationPct, p.SatLowerBound)
 }
 
 // FormatCustomization renders the trace of a customization run.
@@ -88,7 +97,11 @@ func FormatPrediction(p *Prediction) string {
 	if p.RoutingName != "" {
 		fmt.Fprintf(&b, "routing:               %s\n", p.RoutingName)
 		fmt.Fprintf(&b, "zero-load latency:     %.1f cycles (closed form: %.1f)\n", p.ZeroLoadLatency, p.AnalyticZeroLoad)
-		fmt.Fprintf(&b, "saturation throughput: %.1f%% (channel-load bound: %.1f%%)\n", p.SaturationPct, p.AnalyticBoundPct)
+		fmt.Fprintf(&b, "saturation throughput: %s%% (channel-load bound: %.1f%%)\n", satCell(p), p.AnalyticBoundPct)
+		if p.CyclesSaved > 0 {
+			fmt.Fprintf(&b, "adaptive control:      %d probes, %.2fM simulated cycles saved\n",
+				p.Probes, float64(p.CyclesSaved)/1e6)
+		}
 	}
 	return b.String()
 }

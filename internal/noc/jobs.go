@@ -20,10 +20,14 @@ import (
 
 // QualityName serializes a quality level for job specs.
 func QualityName(q Quality) string {
-	if q == Full {
+	switch q {
+	case Full:
 		return "full"
+	case Adaptive:
+		return "adaptive"
+	default:
+		return "quick"
 	}
-	return "quick"
 }
 
 // QualityByName parses a quality level; "" means Quick.
@@ -33,6 +37,8 @@ func QualityByName(name string) (Quality, error) {
 		return Quick, nil
 	case "full":
 		return Full, nil
+	case "adaptive":
+		return Adaptive, nil
 	default:
 		return Quick, fmt.Errorf("noc: unknown quality %q", name)
 	}
@@ -47,8 +53,32 @@ func ArchForJob(j exp.Job) (*tech.Arch, error) {
 
 // NewRunner returns a campaign runner executing toolchain jobs on
 // workers goroutines (0 means all cores) with the optional cache.
+// The runner's shared evaluation-slot pool doubles as the probe
+// scheduler for adaptive-tier jobs: when slots sit idle (a campaign
+// tail narrower than the pool), a job's saturation search borrows
+// them for speculative bisection probes, so the pool stays busy
+// without ever oversubscribing the machine.
 func NewRunner(workers int, cache *exp.Cache) *exp.Runner {
-	return &exp.Runner{Eval: EvalJob, Workers: workers, Cache: cache}
+	r := &exp.Runner{Workers: workers, Cache: cache}
+	sched := runnerSched{r: r}
+	r.Eval = func(j exp.Job) (*exp.Result, error) { return evalJobSched(j, sched) }
+	return r
+}
+
+// runnerSched adapts the campaign runner's shared slot pool to the
+// simulator's ProbeScheduler interface.
+type runnerSched struct{ r *exp.Runner }
+
+// TryGo implements sim.ProbeScheduler over Runner.TryAcquire.
+func (s runnerSched) TryGo(fn func()) bool {
+	if !s.r.TryAcquire() {
+		return false
+	}
+	go func() {
+		defer s.r.Release()
+		fn()
+	}()
+	return true
 }
 
 // EvalJob executes one experiment job with the prediction toolchain.
@@ -56,6 +86,15 @@ func NewRunner(workers int, cache *exp.Cache) *exp.Runner {
 // traffic, and seed all come from the spec — which is what makes
 // parallel campaigns deterministic and cached results sound.
 func EvalJob(j exp.Job) (*exp.Result, error) {
+	return evalJobSched(j, nil)
+}
+
+// evalJobSched is EvalJob with an optional probe scheduler for
+// adaptive-tier speculative probes (NewRunner wires the runner's slot
+// pool; a nil scheduler runs every probe sequentially). The scheduler
+// never changes results — only how much wall-clock they take — so
+// both entry points produce identical, cache-sound outputs.
+func evalJobSched(j exp.Job, sched sim.ProbeScheduler) (*exp.Result, error) {
 	arch, err := ArchForJob(j)
 	if err != nil {
 		return nil, err
@@ -76,7 +115,7 @@ func EvalJob(j exp.Job) (*exp.Result, error) {
 		}
 		return resultFromPrediction(pred, j), nil
 	case exp.ModePredict:
-		pred, err := predictSeeded(arch, t, j.Routing, j.Pattern, quality, j.EffectiveSeed())
+		pred, err := predictSeeded(arch, t, j.Routing, j.Pattern, quality, j.EffectiveSeed(), sched)
 		if err != nil {
 			return nil, err
 		}
@@ -150,25 +189,28 @@ func resultFromPrediction(p *Prediction, j exp.Job) *exp.Result {
 		params = paramsString(j)
 	}
 	return &exp.Result{
-		Topology:           p.Topology,
-		Params:             params,
-		RouterRadix:        p.RouterRadix,
-		Diameter:           p.Diameter,
-		AvgHops:            p.AvgHops,
-		NumLinks:           p.NumLinks,
-		TotalAreaMm2:       p.TotalAreaMm2,
-		AreaOverheadPct:    p.AreaOverheadPct,
-		TotalPowerW:        p.TotalPowerW,
-		NoCPowerW:          p.NoCPowerW,
-		ChannelUtilization: p.ChannelUtilization,
-		MaxLinkLatency:     p.MaxLinkLatency,
-		ZeroLoadLatency:    p.ZeroLoadLatency,
-		SaturationPct:      p.SaturationPct,
-		RoutingName:        p.RoutingName,
-		AnalyticZeroLoad:   p.AnalyticZeroLoad,
-		AnalyticBoundPct:   p.AnalyticBoundPct,
-		SimCycles:          p.SimCycles,
-		SimFlitHops:        p.SimFlitHops,
+		Topology:             p.Topology,
+		Params:               params,
+		RouterRadix:          p.RouterRadix,
+		Diameter:             p.Diameter,
+		AvgHops:              p.AvgHops,
+		NumLinks:             p.NumLinks,
+		TotalAreaMm2:         p.TotalAreaMm2,
+		AreaOverheadPct:      p.AreaOverheadPct,
+		TotalPowerW:          p.TotalPowerW,
+		NoCPowerW:            p.NoCPowerW,
+		ChannelUtilization:   p.ChannelUtilization,
+		MaxLinkLatency:       p.MaxLinkLatency,
+		ZeroLoadLatency:      p.ZeroLoadLatency,
+		SaturationPct:        p.SaturationPct,
+		RoutingName:          p.RoutingName,
+		AnalyticZeroLoad:     p.AnalyticZeroLoad,
+		AnalyticBoundPct:     p.AnalyticBoundPct,
+		SimCycles:            p.SimCycles,
+		SimFlitHops:          p.SimFlitHops,
+		SimProbes:            p.Probes,
+		SimCyclesSaved:       p.CyclesSaved,
+		SaturationLowerBound: p.SatLowerBound,
 	}
 }
 
@@ -195,6 +237,9 @@ func PredictionFromResult(r *exp.Result) *Prediction {
 		AnalyticBoundPct:   r.AnalyticBoundPct,
 		SimCycles:          r.SimCycles,
 		SimFlitHops:        r.SimFlitHops,
+		Probes:             r.SimProbes,
+		CyclesSaved:        r.SimCyclesSaved,
+		SatLowerBound:      r.SaturationLowerBound,
 	}
 }
 

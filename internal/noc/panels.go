@@ -33,6 +33,11 @@ type PanelStats struct {
 	// flit movements behind the panel's predictions.
 	SimCycles   int64
 	SimFlitHops int64
+	// Probes totals the saturation probes behind the panel's
+	// predictions; CyclesSaved totals the simulated cycles the
+	// adaptive tier's early verdicts avoided (0 on fixed tiers).
+	Probes      int
+	CyclesSaved int64
 }
 
 // String renders the stats for campaign footers, e.g.
@@ -47,6 +52,10 @@ func (ps PanelStats) String() string {
 		if ps.Compute > 0 {
 			s += fmt.Sprintf(" (%.2f Mcycles/s)", float64(ps.SimCycles)/1e6/ps.Compute.Seconds())
 		}
+	}
+	if ps.CyclesSaved > 0 {
+		s += fmt.Sprintf(", %d probes, %.1fM cycles saved adaptively",
+			ps.Probes, float64(ps.CyclesSaved)/1e6)
 	}
 	return s
 }
@@ -125,5 +134,7 @@ func (pt *PanelTracker) AddResult(job exp.Job, res *exp.Result) {
 	if pi, ok := pt.panelOf[job.Key()]; ok {
 		pt.Stats[pi].SimCycles += res.SimCycles
 		pt.Stats[pi].SimFlitHops += res.SimFlitHops
+		pt.Stats[pi].Probes += res.SimProbes
+		pt.Stats[pi].CyclesSaved += res.SimCyclesSaved
 	}
 }

@@ -26,18 +26,43 @@ import (
 type Quality int
 
 // Quality levels: Quick for tests and interactive exploration, Full
-// for the benchmark harness regenerating the paper's figures.
+// for the benchmark harness regenerating the paper's figures, and
+// Adaptive for the adaptive-control tier — Quick's budgets as hard
+// caps, but every saturation probe may return an early verdict, the
+// measurement phase stops once the latency confidence interval has
+// converged, and bisection probes run speculatively in parallel when
+// worker slots are free (see internal/sim's Control). Fixed-budget
+// tiers stay bit-identical to previous releases; Adaptive trades
+// bit-stability of the pinned artifacts for a >=2x cheaper campaign
+// with metrics within a couple percent.
 const (
 	Quick Quality = iota
 	Full
+	Adaptive
 )
 
 // simWindows returns warmup/measure cycles for a quality level.
 func (q Quality) simWindows() (warmup, measure int) {
-	if q == Quick {
-		return 800, 2500
+	if q == Full {
+		return 2000, 6000
 	}
-	return 2000, 6000
+	return 800, 2500
+}
+
+// simControl returns the adaptive controller template for a quality
+// level: nil for the fixed-budget tiers, the toolchain's tuned
+// monitor configuration for Adaptive. The tuning is deliberately
+// conservative — early verdicts must imply the fixed-budget verdicts
+// (the adaptive Figure 6 panels deviate from the fixed ones by at
+// most about one bisection cell; the parity test pins two percent).
+func (q Quality) simControl() *sim.Control {
+	if q != Adaptive {
+		return nil
+	}
+	return &sim.Control{
+		RelHalfWidth:  0.02,
+		WarmTolerance: 0.05,
+	}
 }
 
 // Prediction is the toolchain output for one topology on one
@@ -80,6 +105,17 @@ type Prediction struct {
 	// predictions, which never simulate.
 	SimCycles   int64
 	SimFlitHops int64
+
+	// Probes counts the saturation probes the search consumed;
+	// CyclesSaved is the adaptive tier's conservative estimate of
+	// simulated cycles avoided by early verdicts (0 on fixed tiers).
+	Probes      int
+	CyclesSaved int64
+
+	// SatLowerBound marks a saturation search that bottomed out:
+	// SaturationPct is then the search resolution, an upper bound on
+	// the true rate, not a measured throughput.
+	SatLowerBound bool
 }
 
 // RouterDelay is the router pipeline depth in cycles assumed by the
@@ -91,21 +127,23 @@ const RouterDelay = 3
 
 // Predict runs the full toolchain for one topology.
 func Predict(arch *tech.Arch, t *topo.Topology, quality Quality) (*Prediction, error) {
-	return predictSeeded(arch, t, "", "", quality, 1)
+	return predictSeeded(arch, t, "", "", quality, 1, nil)
 }
 
 // PredictWith runs the toolchain with an explicit routing algorithm
 // (used by the routing ablation).
 func PredictWith(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quality Quality) (*Prediction, error) {
-	return predictSeeded(arch, t, routingName(alg), "", quality, 1)
+	return predictSeeded(arch, t, routingName(alg), "", quality, 1, nil)
 }
 
 // predictSeeded runs the toolchain with explicit routing and traffic
 // pattern names (route and sim registries; empty for the co-designed
 // default and uniform random) and an explicit simulation seed; the
 // campaign job evaluator threads all three from the job spec so
-// cached results stay reproducible.
-func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, quality Quality, seed int64) (*Prediction, error) {
+// cached results stay reproducible. sched, when non-nil, lets the
+// adaptive tier's saturation search borrow spare worker slots for
+// speculative probes (wall-clock only; never part of the result).
+func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, quality Quality, seed int64, sched sim.ProbeScheduler) (*Prediction, error) {
 	cost, err := phys.Evaluate(arch, t)
 	if err != nil {
 		return nil, err
@@ -136,6 +174,8 @@ func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, q
 		Seed:        seed,
 		Warmup:      warmup,
 		Measure:     measure,
+		Control:     quality.simControl(),
+		Sched:       sched,
 	}
 	sat, err := sim.SaturationThroughput(base)
 	if err != nil {
@@ -183,6 +223,9 @@ func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, q
 		AnalyticBoundPct:   100 * abound,
 		SimCycles:          sat.SimCycles,
 		SimFlitHops:        sat.SimFlitHops,
+		Probes:             sat.Probes,
+		CyclesSaved:        sat.CyclesSaved,
+		SatLowerBound:      sat.LowerBound,
 	}, nil
 }
 

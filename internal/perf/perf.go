@@ -162,6 +162,74 @@ func Load(path string) ([]Entry, error) {
 	return entries, nil
 }
 
+// Delta compares the two newest entries of one benchmark in a
+// trajectory.
+type Delta struct {
+	// Bench names the benchmark.
+	Bench string
+	// OldNs and NewNs are the second-newest and newest ns/op.
+	OldNs, NewNs float64
+	// Pct is the relative change in percent (positive = slower).
+	Pct float64
+}
+
+// Regressions compares, per benchmark name, the newest trajectory
+// entry against the one before it and returns the benchmarks whose
+// ns/op regressed by more than pct percent, in first-appearance
+// order. Benchmarks with fewer than two entries, or without ns/op
+// figures, are skipped. CI runs this as a non-blocking annotation
+// step over BENCH_sim.json.
+func Regressions(entries []Entry, pct float64) []Delta {
+	return FreshRegressions(entries, pct, time.Time{})
+}
+
+// FreshRegressions is Regressions restricted to benchmarks whose
+// newest entry is timestamped at or after cutoff. CI uses it so the
+// comparison only covers benchmarks the current run actually
+// refreshed — trajectory pairs recorded in other sessions (often on
+// differently-loaded machines) would otherwise warn on every
+// unrelated run. A zero cutoff disables the filter; entries without
+// a parseable timestamp count as stale under a non-zero one.
+func FreshRegressions(entries []Entry, pct float64, cutoff time.Time) []Delta {
+	type last2 struct {
+		prev, last float64
+		when       string
+	}
+	byName := map[string]*last2{}
+	var order []string
+	for _, e := range entries {
+		if e.NsPerOp <= 0 {
+			continue
+		}
+		l, ok := byName[e.Bench]
+		if !ok {
+			l = &last2{}
+			byName[e.Bench] = l
+			order = append(order, e.Bench)
+		}
+		l.prev, l.last = l.last, e.NsPerOp
+		l.when = e.When
+	}
+	var out []Delta
+	for _, name := range order {
+		l := byName[name]
+		if l.prev <= 0 {
+			continue
+		}
+		if !cutoff.IsZero() {
+			ts, err := time.Parse(time.RFC3339, l.when)
+			if err != nil || ts.Before(cutoff) {
+				continue
+			}
+		}
+		change := 100 * (l.last - l.prev) / l.prev
+		if change > pct {
+			out = append(out, Delta{Bench: name, OldNs: l.prev, NewNs: l.last, Pct: change})
+		}
+	}
+	return out
+}
+
 // Append loads the trajectory at path, appends the entries, and
 // writes it back atomically (write to a temporary file, then rename).
 func Append(path string, entries ...Entry) error {

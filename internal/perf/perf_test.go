@@ -111,3 +111,53 @@ func TestRecorderKeepsLatestPerBench(t *testing.T) {
 		t.Error("empty flush created a file")
 	}
 }
+
+func TestRegressions(t *testing.T) {
+	entries := []Entry{
+		{Bench: "A", NsPerOp: 100},
+		{Bench: "B", NsPerOp: 200},
+		{Bench: "A", NsPerOp: 130}, // +30%: regression
+		{Bench: "B", NsPerOp: 210}, // +5%: inside threshold
+		{Bench: "C", NsPerOp: 999}, // single entry: skipped
+		{Bench: "D"},               // no ns/op: skipped
+	}
+	regs := Regressions(entries, 15)
+	if len(regs) != 1 || regs[0].Bench != "A" {
+		t.Fatalf("regressions = %+v, want one entry for A", regs)
+	}
+	if regs[0].Pct < 29.9 || regs[0].Pct > 30.1 {
+		t.Errorf("pct = %v, want ~30", regs[0].Pct)
+	}
+	// Improvements never warn.
+	if regs := Regressions([]Entry{{Bench: "A", NsPerOp: 100}, {Bench: "A", NsPerOp: 50}}, 15); len(regs) != 0 {
+		t.Errorf("improvement flagged: %+v", regs)
+	}
+	// Three entries: only the two newest are compared.
+	regs = Regressions([]Entry{
+		{Bench: "A", NsPerOp: 500},
+		{Bench: "A", NsPerOp: 100},
+		{Bench: "A", NsPerOp: 110},
+	}, 15)
+	if len(regs) != 0 {
+		t.Errorf("10%% step over newest pair flagged: %+v", regs)
+	}
+}
+
+func TestFreshRegressions(t *testing.T) {
+	entries := []Entry{
+		{Bench: "stale", NsPerOp: 100, When: "2020-01-01T00:00:00Z"},
+		{Bench: "stale", NsPerOp: 200, When: "2020-01-02T00:00:00Z"},
+		{Bench: "fresh", NsPerOp: 100, When: "2020-01-01T00:00:00Z"},
+		{Bench: "fresh", NsPerOp: 200, When: time.Now().UTC().Format(time.RFC3339)},
+		{Bench: "unstamped", NsPerOp: 100},
+		{Bench: "unstamped", NsPerOp: 200},
+	}
+	regs := FreshRegressions(entries, 15, time.Now().Add(-time.Hour))
+	if len(regs) != 1 || regs[0].Bench != "fresh" {
+		t.Fatalf("fresh regressions = %+v, want only the fresh bench", regs)
+	}
+	// Zero cutoff compares everything.
+	if regs := FreshRegressions(entries, 15, time.Time{}); len(regs) != 3 {
+		t.Errorf("unfiltered regressions = %+v, want all three", regs)
+	}
+}

@@ -23,7 +23,7 @@ import (
 // rows.
 const CSVHeader = "spec_sweep,mode,scenario,topology,params,routing,pattern,quality,seed,load," +
 	"radix,diameter,avg_hops,area_overhead_pct,noc_power_w,zero_load_latency,saturation_pct," +
-	"offered,accepted,avg_latency,p99_latency,delivered_fraction"
+	"offered,accepted,avg_latency,p99_latency,delivered_fraction,sat_lower_bound"
 
 // WriteCSV renders a whole campaign as one flat CSV: the header line,
 // then every sweep's rows in expansion order. groups must align with
@@ -46,12 +46,17 @@ func WriteCSVRows(w io.Writer, label string, jobs []exp.Job, results []*exp.Resu
 			continue
 		}
 		j := jobs[k]
-		fmt.Fprintf(w, "%q,%s,%s,%s,%q,%s,%s,%s,%d,%g,%d,%d,%.4f,%.2f,%.3f,%.2f,%.2f,%.3f,%.3f,%.2f,%.2f,%.4f\n",
+		lower := 0
+		if r.SaturationLowerBound {
+			lower = 1
+		}
+		fmt.Fprintf(w, "%q,%s,%s,%s,%q,%s,%s,%s,%d,%g,%d,%d,%.4f,%.2f,%.3f,%.2f,%.2f,%.3f,%.3f,%.2f,%.2f,%.4f,%d\n",
 			label, j.Mode, j.Scenario, r.Topology, r.Params, r.RoutingName, PatternName(j),
 			QualityName(j), j.Seed, j.Load,
 			r.RouterRadix, r.Diameter, r.AvgHops, r.AreaOverheadPct, r.NoCPowerW,
 			r.ZeroLoadLatency, r.SaturationPct,
-			r.OfferedRate, r.AcceptedRate, r.AvgPacketLatency, r.P99PacketLatency, r.DeliveredFraction)
+			r.OfferedRate, r.AcceptedRate, r.AvgPacketLatency, r.P99PacketLatency, r.DeliveredFraction,
+			lower)
 	}
 }
 
@@ -103,9 +108,10 @@ func WriteSweepTable(w io.Writer, s *spec.Spec, pi int, jobs []exp.Job, results 
 			if r == nil {
 				continue
 			}
-			fmt.Fprintf(&b, "| %s | %s | %s | %.1f | %.2f | %.1f | %.1f |\n",
+			fmt.Fprintf(&b, "| %s | %s | %s | %.1f | %.2f | %.1f | %s |\n",
 				r.Topology, r.Params, r.RoutingName,
-				r.AreaOverheadPct, r.NoCPowerW, r.ZeroLoadLatency, r.SaturationPct)
+				r.AreaOverheadPct, r.NoCPowerW, r.ZeroLoadLatency,
+				exp.FormatSaturation(r.SaturationPct, r.SaturationLowerBound))
 		}
 	}
 	fmt.Fprint(w, b.String())

@@ -39,9 +39,36 @@ func TestWriteCSV(t *testing.T) {
 	if lines[0] != CSVHeader {
 		t.Errorf("header = %q", lines[0])
 	}
-	want := `"s0",cost,a,mesh,"",,uniform,quick,0,0,4,14,5.2500,12.30,4.560,0.00,0.00,0.000,0.000,0.00,0.00,0.0000`
+	want := `"s0",cost,a,mesh,"",,uniform,quick,0,0,4,14,5.2500,12.30,4.560,0.00,0.00,0.000,0.000,0.00,0.00,0.0000,0`
 	if lines[1] != want {
 		t.Errorf("row = %q\nwant %q", lines[1], want)
+	}
+}
+
+// TestLowerBoundSurfaced: a bottomed-out saturation search shows up
+// in both the CSV (sat_lower_bound column) and the predict table
+// (the "<" marker).
+func TestLowerBoundSurfaced(t *testing.T) {
+	s := costSpec()
+	s.Sweeps[0].Mode = "predict"
+	s.Sweeps[0].Topologies = s.Sweeps[0].Topologies[:1]
+	groups, err := s.ExpandSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := []*exp.Result{{
+		Topology: "mesh", RoutingName: "monotone-dor/mesh",
+		SaturationPct: 0.78, SaturationLowerBound: true,
+	}}
+	var b strings.Builder
+	WriteCSV(&b, s, groups, results)
+	if !strings.HasSuffix(strings.TrimRight(b.String(), "\n"), ",1") {
+		t.Errorf("CSV row does not flag the lower bound:\n%s", b.String())
+	}
+	b.Reset()
+	WriteSweepTable(&b, s, 0, groups[0], results)
+	if !strings.Contains(b.String(), "| <0.8 |") {
+		t.Errorf("table does not mark the lower bound:\n%s", b.String())
 	}
 }
 

@@ -234,6 +234,32 @@ func (r *Routing) MinimalPathsUsed() bool {
 	return true
 }
 
+// FromPaths builds a routing directly from an explicit path table —
+// the escape hatch for custom or adversarial tables (fault studies,
+// simulator stress tests) that the algorithm constructors cannot
+// express. The paths are connectivity-checked, but deadlock freedom
+// is deliberately NOT verified: callers wanting the guarantee run
+// VerifyDeadlockFree themselves, and callers building intentionally
+// deadlock-prone tables (the simulator's watchdog tests) skip it.
+func FromPaths(name string, t *topo.Topology, numClasses int, paths [][]Path) (*Routing, error) {
+	if numClasses < 1 {
+		return nil, fmt.Errorf("route: %s: %d VC classes", name, numClasses)
+	}
+	if len(paths) != t.NumTiles() {
+		return nil, fmt.Errorf("route: %s: %d path rows for %d tiles", name, len(paths), t.NumTiles())
+	}
+	for s, row := range paths {
+		if len(row) != t.NumTiles() {
+			return nil, fmt.Errorf("route: %s: row %d has %d paths for %d tiles", name, s, len(row), t.NumTiles())
+		}
+	}
+	r := &Routing{Name: name, Topo: t, NumClasses: numClasses, paths: paths}
+	if err := r.VerifyConnected(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
 // newPaths allocates the path matrix with trivial self-paths.
 func newPaths(n int) [][]Path {
 	paths := make([][]Path, n)

@@ -350,3 +350,39 @@ func TestAllDefaultsDeadlockFree(t *testing.T) {
 		}
 	}
 }
+
+func TestFromPaths(t *testing.T) {
+	rg, err := topo.NewRing(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := mustRoute(t, rg, nil, Auto)
+	n := rg.NumTiles()
+	paths := make([][]Path, n)
+	for s := 0; s < n; s++ {
+		paths[s] = make([]Path, n)
+		for d := 0; d < n; d++ {
+			paths[s][d] = good.Path(s, d)
+		}
+	}
+	r, err := FromPaths("copy", rg, good.NumClasses, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Path(0, 5).Hops() != good.Path(0, 5).Hops() {
+		t.Error("copied table routes differently")
+	}
+	// Malformed inputs must error, not panic.
+	if _, err := FromPaths("short", rg, 1, paths[:n-1]); err == nil {
+		t.Error("short table accepted")
+	}
+	ragged := make([][]Path, n)
+	copy(ragged, paths)
+	ragged[3] = paths[3][:n-1]
+	if _, err := FromPaths("ragged", rg, 1, ragged); err == nil {
+		t.Error("ragged table accepted")
+	}
+	if _, err := FromPaths("no-classes", rg, 0, paths); err == nil {
+		t.Error("zero classes accepted")
+	}
+}

@@ -80,6 +80,16 @@ type Stats struct {
 	// flits were in flight. The routings in package route are verified
 	// deadlock-free, so this indicates a simulator misconfiguration.
 	Deadlocked bool
+
+	// Verdict records how an adaptive run ended (VerdictNone for
+	// fixed-budget runs and adaptive runs that exhausted their
+	// budget). See Config.Control.
+	Verdict Verdict
+
+	// MeasuredCycles is the effective measurement-phase length the
+	// rate statistics are normalized over: Config.Measure, unless a
+	// stable verdict truncated the phase early.
+	MeasuredCycles int64
 }
 
 // DeliveredFraction returns MeasuredEjected / MeasuredInjected.
@@ -123,6 +133,10 @@ type Simulator struct {
 	flitsInFlight int64
 	lastProgress  int64
 	flitHops      int64
+
+	// ctl holds the adaptive-control monitor state; nil for
+	// fixed-budget runs, whose hot path never touches it.
+	ctl *ctlState
 
 	measureStart, measureEnd int64
 	winFlits                 int64
@@ -284,14 +298,20 @@ func (s *Simulator) classVCRange(class int8) (int, int) {
 }
 
 // Run executes the configured warmup/measure/drain schedule and
-// returns the statistics.
+// returns the statistics. With Config.Control set, the schedule is a
+// cap rather than a sentence: the adaptive monitors may end the run
+// with a saturation verdict or truncate the measurement phase once
+// the latency estimate has converged (see control.go); without it the
+// fixed schedule executes bit-identically to previous releases.
 func (s *Simulator) Run() Stats {
 	cfg := &s.cfg
 	s.measureStart = int64(cfg.Warmup)
 	s.measureEnd = int64(cfg.Warmup + cfg.Measure)
-	injectUntil := s.measureEnd
-	drainEnd := s.measureEnd + int64(cfg.Drain)
 	s.lastProgress = 0
+	verdict := VerdictNone
+	if cfg.Control != nil {
+		s.ctl = newCtlState(*cfg.Control, cfg.Measure)
+	}
 
 	// Preallocate the latency log for the expected measured-packet
 	// count (plus slack), so recording latencies in steady state does
@@ -305,23 +325,45 @@ func (s *Simulator) Run() Stats {
 	deadlocked := false
 	for {
 		t := s.now
-		if t >= drainEnd {
+		// s.measureEnd moves when a stable verdict truncates the
+		// measurement phase, so the injection stop and drain deadline
+		// are derived from it every cycle.
+		if t >= s.measureEnd+int64(cfg.Drain) {
 			break
 		}
-		if t >= injectUntil && s.measEjected == s.measInjected && s.flitsInFlight == 0 {
+		if t >= s.measureEnd && s.measEjected == s.measInjected && s.flitsInFlight == 0 {
 			break
 		}
 		if s.flitsInFlight > 0 && t-s.lastProgress > watchdogCycles {
 			deadlocked = true
 			break
 		}
-		s.step(t < injectUntil)
+		if s.ctl != nil && t == s.ctl.nextCheck {
+			switch v := s.controlCheck(t); v {
+			case VerdictSaturated, VerdictInterrupted:
+				verdict = v
+			case VerdictStable:
+				// Truncate the measurement phase here and drain
+				// normally, so the delivered statistics stay
+				// unbiased; injection stops this cycle. The monitor
+				// state stays alive in done mode: interrupt polling
+				// must keep working through the drain.
+				verdict = v
+				s.measureEnd = t
+				s.ctl.done = true
+			}
+			if verdict == VerdictSaturated || verdict == VerdictInterrupted {
+				break
+			}
+		}
+		s.step(t < s.measureEnd)
 	}
 
+	effMeasure := s.measureEnd - s.measureStart
 	st := Stats{
 		Cycles:           s.now,
 		OfferedRate:      cfg.InjectionRate,
-		AcceptedRate:     float64(s.winFlits) / (float64(cfg.Measure) * float64(cfg.Topo.NumTiles())),
+		AcceptedRate:     float64(s.winFlits) / (float64(effMeasure) * float64(cfg.Topo.NumTiles())),
 		MeasuredInjected: s.measInjected,
 		MeasuredEjected:  s.measEjected,
 		MaxPacketLatency: s.latencyMax,
@@ -329,6 +371,8 @@ func (s *Simulator) Run() Stats {
 		FlitHops:         s.flitHops,
 		OrderViolations:  s.orderViolations,
 		Deadlocked:       deadlocked,
+		Verdict:          verdict,
+		MeasuredCycles:   effMeasure,
 	}
 	if s.measEjected > 0 {
 		st.AvgPacketLatency = float64(s.latencySum) / float64(s.measEjected)
@@ -342,8 +386,8 @@ func (s *Simulator) Run() Stats {
 			maxFlits = n
 		}
 	}
-	if cfg.Measure > 0 {
-		st.MaxLinkUtilization = float64(maxFlits) / float64(cfg.Measure)
+	if effMeasure > 0 {
+		st.MaxLinkUtilization = float64(maxFlits) / float64(effMeasure)
 	}
 	return st
 }
@@ -634,6 +678,13 @@ func (s *Simulator) traverse(r *router, ip, v, op int, t int64) {
 		}
 		if t >= s.measureStart && t < s.measureEnd {
 			s.winFlits++
+		}
+		if s.ctl != nil {
+			s.ctl.winEjFlits++
+			if isTail {
+				s.ctl.winLatSum += t + 1 - pk.inject
+				s.ctl.winPkts++
+			}
 		}
 		if isTail {
 			if pk.measured {

@@ -2,6 +2,23 @@ package sim
 
 // This file implements the two performance estimates the toolchain
 // reports (Figure 3): zero-load latency and saturation throughput.
+//
+// The saturation search runs in one of two modes. With a nil
+// Config.Control it is the classic fixed-budget binary search —
+// every probe burns its full Warmup+Measure(+clamped Drain) schedule
+// and the probes run strictly one after another — kept bit-identical
+// across releases because the pinned evaluation artifacts depend on
+// it. With Config.Control set, the adaptive mode applies early-verdict
+// monitors to every probe (saturated probes stop in a small fraction
+// of their budget, stable probes stop once their latency confidence
+// interval converges) and, when Config.Sched provides spare worker
+// slots, speculatively issues the next bisection probes for both
+// possible outcomes of the one in flight, canceling the probe the
+// verdict makes irrelevant. Speculation is wall-clock-only: the
+// probes whose verdicts the search consumes are exactly the
+// sequential bisection sequence, so the result — including its
+// SimCycles accounting — is deterministic whether or not any
+// speculation happened.
 
 // ZeroLoadLatency measures the average packet latency at a very low
 // injection rate (0.5% of capacity), where queueing is negligible and
@@ -16,7 +33,9 @@ func ZeroLoadLatency(cfg Config) (float64, error) {
 }
 
 // zeroLoad runs the near-zero-load reference configuration and
-// returns its full statistics.
+// returns its full statistics. A Control carries over (with the
+// saturation monitors inert at this load, only the steady-state
+// stopping rule applies).
 func zeroLoad(cfg Config) (Stats, error) {
 	cfg.Defaults()
 	cfg.InjectionRate = 0.005
@@ -31,7 +50,9 @@ func zeroLoad(cfg Config) (Stats, error) {
 type SaturationResult struct {
 	// SaturationRate is the highest offered load (flits/node/cycle, in
 	// [0,1]) the network sustains: delivery stays complete and average
-	// latency stays below the latency threshold.
+	// latency stays below the latency threshold. When LowerBound is
+	// set it is instead the search's Resolution — an upper bound on a
+	// true rate the bisection could not resolve.
 	SaturationRate float64
 	// ZeroLoadLatency is the reference latency used for the threshold.
 	ZeroLoadLatency float64
@@ -43,6 +64,31 @@ type SaturationResult struct {
 	// divide them by wall-clock time to report simulation speed.
 	SimCycles   int64
 	SimFlitHops int64
+
+	// Probes counts the saturation probes whose verdicts the search
+	// used (the zero-load reference run is not a probe). Speculative
+	// probes canceled or discarded before their verdict was needed are
+	// excluded, which keeps the count — like every other field —
+	// deterministic in the configuration.
+	Probes int
+
+	// CyclesSaved conservatively estimates the simulated cycles the
+	// adaptive controller avoided: for each probe, the gap between its
+	// fixed injection schedule (warmup plus measurement; avoided drain
+	// cycles are not counted) and the cycles it actually ran. Zero for
+	// fixed-budget searches.
+	CyclesSaved int64
+
+	// Resolution is the finest offered-load step the bisection could
+	// resolve (the final search-interval width); 0 when the network
+	// sustained full load and no bisection ran.
+	Resolution float64
+
+	// LowerBound reports that every probe down to the smallest
+	// bisection midpoint saturated: the true saturation rate lies
+	// below Resolution, and SaturationRate carries Resolution as an
+	// explicit upper bound instead of a hard zero.
+	LowerBound bool
 }
 
 // latencyBlowupFactor defines saturation: the offered load at which
@@ -51,10 +97,50 @@ type SaturationResult struct {
 // typically use 2-3x).
 const latencyBlowupFactor = 3.0
 
+// bisectionSteps is the number of interval halvings after the
+// full-load probe, fixing the search resolution at 2^-bisectionSteps
+// of capacity.
+const bisectionSteps = 7
+
+// clampDrain caps a run's drain budget at factor*Measure: runs past
+// saturation never finish draining, so there is no point paying the
+// full default drain. The saturation search's probes use 4x and
+// load-sweep points their historical 3x — both factors are pinned
+// because changing either would alter fixed-tier results already
+// cached under existing job keys.
+func clampDrain(c *Config, factor int) {
+	if c.Drain > factor*c.Measure {
+		c.Drain = factor * c.Measure
+	}
+}
+
+// Drain clamp factors (see clampDrain).
+const (
+	probeDrainFactor = 4
+	curveDrainFactor = 3
+)
+
+// satVerdict applies the saturation criterion to a finished probe: an
+// early saturation verdict from the adaptive monitors, or the classic
+// whole-run thresholds for runs that completed their budget.
+func satVerdict(st Stats, zl, rate float64) bool {
+	return st.Verdict == VerdictSaturated ||
+		st.Deadlocked ||
+		st.DeliveredFraction() < 0.95 ||
+		st.AvgPacketLatency > latencyBlowupFactor*zl ||
+		st.AcceptedRate < 0.85*rate
+}
+
 // SaturationThroughput binary-searches the offered load for the
 // saturation point. The passed config's InjectionRate is ignored.
+// With Config.Control set the search is adaptive (early verdicts,
+// steady-state stopping, speculative parallel bisection over
+// Config.Sched); see the file comment.
 func SaturationThroughput(cfg Config) (SaturationResult, error) {
 	cfg.Defaults()
+	if cfg.Control != nil {
+		return adaptiveSaturation(cfg)
+	}
 	zlStats, err := zeroLoad(cfg)
 	if err != nil {
 		return SaturationResult{}, err
@@ -68,20 +154,15 @@ func SaturationThroughput(cfg Config) (SaturationResult, error) {
 		c := cfg
 		c.InjectionRate = rate
 		// Shorter drain than the default: saturated runs never drain.
-		if c.Drain > 4*c.Measure {
-			c.Drain = 4 * c.Measure
-		}
+		clampDrain(&c, probeDrainFactor)
 		st, err := RunConfig(c)
 		res.SimCycles += st.Cycles
 		res.SimFlitHops += st.FlitHops
+		res.Probes++
 		if err != nil {
 			return false, st, err
 		}
-		sat := st.Deadlocked ||
-			st.DeliveredFraction() < 0.95 ||
-			st.AvgPacketLatency > latencyBlowupFactor*zl ||
-			st.AcceptedRate < 0.85*rate
-		return sat, st, nil
+		return satVerdict(st, zl, rate), st, nil
 	}
 
 	lo, hi := 0.0, 1.0
@@ -96,7 +177,7 @@ func SaturationThroughput(cfg Config) (SaturationResult, error) {
 	} else {
 		res.Samples = append(res.Samples, st)
 	}
-	for i := 0; i < 7; i++ {
+	for i := 0; i < bisectionSteps; i++ {
 		mid := (lo + hi) / 2
 		sat, st, err := saturated(mid)
 		if err != nil {
@@ -109,24 +190,39 @@ func SaturationThroughput(cfg Config) (SaturationResult, error) {
 			lo = mid
 		}
 	}
-	res.SaturationRate = lo
+	finishSearch(&res, lo, hi)
 	return res, nil
+}
+
+// finishSearch fills the search outcome from the final bisection
+// interval, turning the all-probes-saturated case into an explicit
+// lower-bound report instead of a hard zero.
+func finishSearch(res *SaturationResult, lo, hi float64) {
+	res.Resolution = hi - lo
+	if lo == 0 {
+		// Even the smallest midpoint saturated: the true rate is
+		// somewhere below the resolution.
+		res.LowerBound = true
+		res.SaturationRate = res.Resolution
+		return
+	}
+	res.SaturationRate = lo
 }
 
 // LoadLatencyCurve sweeps the offered load over the given rates and
 // returns one Stats per point — the classic load-latency curve NoC
 // papers plot around their saturation discussions. Saturated points
 // (incomplete delivery) are included; callers can filter on
-// DeliveredFraction.
+// DeliveredFraction. Points share the saturation search's drain
+// clamp mechanism (at the curve's historical factor), so sweep
+// points above saturation do not pay the full drain budget.
 func LoadLatencyCurve(cfg Config, rates []float64) ([]Stats, error) {
 	cfg.Defaults()
 	out := make([]Stats, 0, len(rates))
 	for _, r := range rates {
 		c := cfg
 		c.InjectionRate = r
-		if c.Drain > 3*c.Measure {
-			c.Drain = 3 * c.Measure
-		}
+		clampDrain(&c, curveDrainFactor)
 		st, err := RunConfig(c)
 		if err != nil {
 			return nil, err

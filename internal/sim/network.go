@@ -50,6 +50,19 @@ type Config struct {
 	Warmup  int
 	Measure int
 	Drain   int
+
+	// Control, when non-nil, enables adaptive simulation control: the
+	// run may end early with a Verdict (saturation proven, latency
+	// confidence interval converged) instead of executing the full
+	// schedule above, which stays the hard cap. Nil preserves the
+	// fixed-budget schedule bit for bit. See control.go.
+	Control *Control
+
+	// Sched, when non-nil, lets saturation searches execute
+	// speculative probes concurrently on borrowed worker slots. It
+	// affects wall-clock time only — never results — and is therefore
+	// not part of any job identity.
+	Sched ProbeScheduler
 }
 
 // Defaults fills unset fields with the paper's evaluation defaults.

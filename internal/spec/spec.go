@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"sparsehamming/internal/exp"
 	"sparsehamming/internal/route"
@@ -83,8 +84,8 @@ type Sweep struct {
 	// "load" mode (required there, rejected elsewhere).
 	Loads []float64 `json:"loads,omitempty"`
 
-	// Qualities lists simulation quality tiers: "quick" or "full".
-	// Empty means ["quick"].
+	// Qualities lists simulation quality tiers: "quick", "full", or
+	// "adaptive". Empty means ["quick"].
 	Qualities []string `json:"qualities,omitempty"`
 
 	// Seeds lists simulation seeds; empty means [0], deriving a
@@ -197,9 +198,12 @@ func ParseFile(path string) (*Spec, error) {
 }
 
 // QualityNames lists the simulation quality tiers the toolchain
-// implements (package noc), in canonical order. Validation and the
-// campaign service's registry endpoint both derive from this list.
-func QualityNames() []string { return []string{"quick", "full"} }
+// implements (package noc), in canonical order: the fixed-budget
+// "quick" and "full" tiers, and the adaptive-control "adaptive" tier
+// (quick's budgets as caps, early verdicts and speculative probes
+// inside them). Validation and the campaign service's registry
+// endpoint both derive from this list.
+func QualityNames() []string { return []string{"quick", "full", "adaptive"} }
 
 // validQualities are the accepted quality spellings: QualityNames
 // plus the empty string (the quick default).
@@ -278,7 +282,7 @@ func (sw *Sweep) validate() error {
 	}
 	for _, q := range sw.Qualities {
 		if !validQualities[q] {
-			return fmt.Errorf("unknown quality %q (want quick or full)", q)
+			return fmt.Errorf("unknown quality %q (want one of %s)", q, strings.Join(QualityNames(), ", "))
 		}
 	}
 	switch mode {
