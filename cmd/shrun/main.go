@@ -21,7 +21,11 @@
 // simulation control (early-verdict probes inside the quick tier's
 // budgets; figure6-adaptive.json is the checked-in example).
 // -cpuprofile/-memprofile write pprof profiles around campaign
-// execution, for hunting down where a slow campaign spends its time.
+// execution, for hunting down where a slow campaign spends its time;
+// -metrics dumps the campaign's Prometheus series (simulator, runner,
+// cache) to stderr on exit. Both apply to local runs only — with
+// -server the simulation happens inside shserved, so profile and
+// scrape the service instead (shserved -pprof, GET /metrics).
 //
 // Examples:
 //
@@ -55,6 +59,7 @@ func main() {
 		server   = flag.String("server", "", "submit to a shserved campaign service at this base URL instead of running locally")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile after the campaign to this file")
+		metrics  = flag.Bool("metrics", false, "dump Prometheus metrics for the campaign to stderr on exit")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: shrun [flags] spec.json...\n")
@@ -102,7 +107,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "shrun: note: -jobs and -cache configure local runs; with -server the service's shared pool and cache apply")
 		}
 		if *cpuProf != "" || *memProf != "" {
-			fmt.Fprintln(os.Stderr, "shrun: note: -cpuprofile/-memprofile profile local runs; with -server the simulation happens in the service, so no profile is written")
+			fmt.Fprintln(os.Stderr, "shrun: note: -cpuprofile/-memprofile profile local runs; with -server the simulation happens in the service — profile it with shserved -pprof and GET /debug/pprof/profile (docs/API.md)")
+		}
+		if *metrics {
+			fmt.Fprintln(os.Stderr, "shrun: note: -metrics dumps local campaign metrics; with -server scrape the service's GET /metrics instead")
 		}
 		client := &remote{base: *server, progress: *progress}
 		if *csv {
@@ -130,6 +138,9 @@ func main() {
 			fmt.Fprintln(os.Stderr, "shrun:", err)
 			os.Exit(1)
 		}
+	}
+	if *metrics {
+		cli.DumpMetrics(os.Stderr, runner)
 	}
 	prof.Stop()
 	camp.Close()

@@ -14,6 +14,14 @@
 // inside the quick tier's budgets, >=2x cheaper campaigns with
 // metrics within ~2%); GET /v1/registry lists the tiers.
 //
+// The service is observable end to end: GET /metrics exposes
+// Prometheus series for the simulator, runner, cache, and HTTP
+// layers; ?debug=trace on a results fetch returns per-job execution
+// traces; -pprof mounts net/http/pprof for live CPU/heap profiling
+// (the supported way to profile campaigns running in the service);
+// and -log-level tunes the structured campaign-lifecycle logs on
+// stderr.
+//
 // Examples:
 //
 //	shserved -addr :8080 -cache results.json
@@ -35,6 +43,7 @@ import (
 
 	"sparsehamming/internal/cli"
 	"sparsehamming/internal/noc"
+	"sparsehamming/internal/obs"
 	"sparsehamming/internal/serve"
 )
 
@@ -46,6 +55,8 @@ func main() {
 		campaigns = flag.Int("campaigns", 4, "campaigns executed concurrently (simulation parallelism is still bounded by -jobs)")
 		queue     = flag.Int("queue", 256, "submission queue depth; a full queue rejects with 503")
 		progress  = flag.Bool("progress", false, "log per-job progress to stderr")
+		pprofF    = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profile campaigns in the service; see docs/API.md)")
+		logLevel  = flag.String("log-level", "info", "structured-log threshold: debug|info|warn|error")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: shserved [flags]\n")
@@ -57,12 +68,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	runner := noc.NewRunner(*jobs, nil)
+	logger, lerr := obs.NewLogger(os.Stderr, *logLevel)
+	if lerr != nil {
+		fmt.Fprintln(os.Stderr, "shserved:", lerr)
+		os.Exit(2)
+	}
+	hub := obs.NewHub()
+	hub.Log = logger
+
+	runner := noc.NewObservedRunner(*jobs, nil, hub)
 	camp := cli.StartCampaign("shserved", *cacheP, runner, *progress)
+	if runner.Cache != nil {
+		// StartCampaign attached the cache after the runner's metrics
+		// were registered; re-register so the sh_cache_* series appear
+		// (Func re-registration replaces samplers in place).
+		noc.RegisterMetrics(hub.Metrics, runner, runner.Cache)
+	}
 	srv := serve.New(serve.Config{
-		Runner:     runner,
-		Executors:  *campaigns,
-		QueueDepth: *queue,
+		Runner:      runner,
+		Executors:   *campaigns,
+		QueueDepth:  *queue,
+		Obs:         hub,
+		EnablePprof: *pprofF,
 		OnCampaignFinished: func(c *serve.Campaign) {
 			snap := c.Snapshot()
 			fmt.Fprintf(os.Stderr, "shserved: campaign %s (%s): %s\n", c.ID, snap.Name, snap.Status)

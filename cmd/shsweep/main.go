@@ -61,6 +61,7 @@ func main() {
 		progress = flag.Bool("progress", false, "log per-job progress to stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the campaign to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile after the campaign to this file")
+		metrics  = flag.Bool("metrics", false, "dump Prometheus metrics for the campaign to stderr on exit")
 	)
 	flag.Parse()
 
@@ -103,6 +104,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *metrics {
+			cli.DumpMetrics(os.Stderr, runner)
+		}
 		prof.Stop()
 		camp.Close()
 		fmt.Println("Table III: MemPool toolchain validation")
@@ -124,6 +128,9 @@ func main() {
 	panels, stats, err := noc.Figure6Panels(ids, quality, runner, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *metrics {
+		cli.DumpMetrics(os.Stderr, runner)
 	}
 	prof.Stop()
 	camp.Close()

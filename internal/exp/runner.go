@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -48,10 +49,18 @@ type Runner struct {
 	// intermediate campaign layers.
 	OnReport func(Report)
 
+	// Log, when non-nil, receives structured debug events for the
+	// rarely-exercised coordination paths (abandoned flights, reclaims
+	// after another batch's cancellation). Nil stays silent.
+	Log *slog.Logger
+
 	// semOnce lazily sizes sem, the shared evaluation-slot pool that
 	// bounds concurrency across overlapping Run calls.
 	semOnce sync.Once
 	sem     chan struct{}
+
+	// stats holds the cumulative counters and gauges behind Stats().
+	stats runnerStats
 
 	// flight tracks job evaluations currently in progress across all
 	// Run calls, keyed by content key, so overlapping batches never
@@ -167,11 +176,17 @@ func (r *Runner) effectiveWorkers() int {
 // use.
 func (r *Runner) acquire() {
 	r.semOnce.Do(func() { r.sem = make(chan struct{}, r.effectiveWorkers()) })
+	r.stats.waiting.Add(1)
 	r.sem <- struct{}{}
+	r.stats.waiting.Add(-1)
+	r.stats.inFlight.Add(1)
 }
 
 // release returns one shared evaluation slot.
-func (r *Runner) release() { <-r.sem }
+func (r *Runner) release() {
+	r.stats.inFlight.Add(-1)
+	<-r.sem
+}
 
 // TryAcquire attempts to borrow one shared evaluation slot without
 // blocking, returning whether it got one. Evaluators use it to run
@@ -184,6 +199,7 @@ func (r *Runner) TryAcquire() bool {
 	r.semOnce.Do(func() { r.sem = make(chan struct{}, r.effectiveWorkers()) })
 	select {
 	case r.sem <- struct{}{}:
+		r.stats.inFlight.Add(1)
 		return true
 	default:
 		return false
@@ -239,6 +255,7 @@ func (r *Runner) evalUnit(u *unit) {
 	t0 := time.Now()
 	u.res, u.err = r.Eval(u.job)
 	u.dur = time.Since(t0)
+	r.stats.busyNanos.Add(int64(u.dur))
 	r.release()
 	if u.err == nil && r.Cache != nil {
 		r.Cache.Put(u.job, u.res)
@@ -251,6 +268,9 @@ func (r *Runner) evalUnit(u *unit) {
 // themselves instead of blocking forever.
 func (r *Runner) abandon(u *unit, err error) {
 	u.err = err
+	if r.Log != nil {
+		r.Log.Debug("flight abandoned", "job", u.job.String(), "err", err)
+	}
 	r.resolve(u.job.Key(), u.flight, nil, err)
 }
 
@@ -350,6 +370,9 @@ func (r *Runner) run(ctx context.Context, jobs []Job, progress func(ProgressEven
 								r.abandon(u, err)
 								return
 							}
+							if r.Log != nil {
+								r.Log.Debug("flight reclaimed", "job", u.job.String())
+							}
 							r.evalUnit(u)
 							return
 						}
@@ -429,6 +452,12 @@ dispatch:
 		}
 	}
 	rep.Wall = time.Since(start)
+	r.stats.batches.Add(1)
+	r.stats.jobs.Add(int64(rep.Jobs))
+	r.stats.computed.Add(int64(rep.Computed))
+	r.stats.cached.Add(int64(rep.CacheHits))
+	r.stats.shared.Add(int64(rep.Shared))
+	r.stats.failed.Add(int64(rep.Failed))
 	if r.OnReport != nil {
 		r.OnReport(rep)
 	}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"sparsehamming/internal/exp"
+	"sparsehamming/internal/obs"
 	"sparsehamming/internal/phys"
 	"sparsehamming/internal/route"
 	"sparsehamming/internal/sim"
@@ -57,12 +58,10 @@ func ArchForJob(j exp.Job) (*tech.Arch, error) {
 // scheduler for adaptive-tier jobs: when slots sit idle (a campaign
 // tail narrower than the pool), a job's saturation search borrows
 // them for speculative bisection probes, so the pool stays busy
-// without ever oversubscribing the machine.
+// without ever oversubscribing the machine. For a runner with
+// metrics, traces, and logging attached, see NewObservedRunner.
 func NewRunner(workers int, cache *exp.Cache) *exp.Runner {
-	r := &exp.Runner{Workers: workers, Cache: cache}
-	sched := runnerSched{r: r}
-	r.Eval = func(j exp.Job) (*exp.Result, error) { return evalJobSched(j, sched) }
-	return r
+	return NewObservedRunner(workers, cache, nil)
 }
 
 // runnerSched adapts the campaign runner's shared slot pool to the
@@ -86,15 +85,16 @@ func (s runnerSched) TryGo(fn func()) bool {
 // traffic, and seed all come from the spec — which is what makes
 // parallel campaigns deterministic and cached results sound.
 func EvalJob(j exp.Job) (*exp.Result, error) {
-	return evalJobSched(j, nil)
+	return evalJobSched(j, nil, nil)
 }
 
 // evalJobSched is EvalJob with an optional probe scheduler for
 // adaptive-tier speculative probes (NewRunner wires the runner's slot
-// pool; a nil scheduler runs every probe sequentially). The scheduler
-// never changes results — only how much wall-clock they take — so
-// both entry points produce identical, cache-sound outputs.
-func evalJobSched(j exp.Job, sched sim.ProbeScheduler) (*exp.Result, error) {
+// pool; a nil scheduler runs every probe sequentially) and an
+// optional trace span (NewObservedRunner records one tree per job).
+// Neither changes results — only wall-clock and observability — so
+// all entry points produce identical, cache-sound outputs.
+func evalJobSched(j exp.Job, sched sim.ProbeScheduler, span *obs.Span) (*exp.Result, error) {
 	arch, err := ArchForJob(j)
 	if err != nil {
 		return nil, err
@@ -109,19 +109,21 @@ func evalJobSched(j exp.Job, sched sim.ProbeScheduler) (*exp.Result, error) {
 	}
 	switch j.Mode {
 	case exp.ModeCost:
+		cs := span.Child("cost")
 		pred, _, err := PredictCostOnly(arch, t)
+		cs.End()
 		if err != nil {
 			return nil, err
 		}
 		return resultFromPrediction(pred, j), nil
 	case exp.ModePredict:
-		pred, err := predictSeeded(arch, t, j.Routing, j.Pattern, quality, j.EffectiveSeed(), sched)
+		pred, err := predictSeeded(arch, t, j.Routing, j.Pattern, quality, j.EffectiveSeed(), sched, span)
 		if err != nil {
 			return nil, err
 		}
 		return resultFromPrediction(pred, j), nil
 	case exp.ModeLoad:
-		return evalLoadPoint(arch, t, quality, j)
+		return evalLoadPoint(arch, t, quality, j, span)
 	default:
 		return nil, fmt.Errorf("noc: unknown job mode %q", j.Mode)
 	}
@@ -129,8 +131,10 @@ func evalJobSched(j exp.Job, sched sim.ProbeScheduler) (*exp.Result, error) {
 
 // evalLoadPoint simulates a single offered-load point under the
 // job's traffic pattern.
-func evalLoadPoint(arch *tech.Arch, t *topo.Topology, quality Quality, j exp.Job) (*exp.Result, error) {
+func evalLoadPoint(arch *tech.Arch, t *topo.Topology, quality Quality, j exp.Job, span *obs.Span) (*exp.Result, error) {
+	cs := span.Child("cost")
 	cost, err := phys.Evaluate(arch, t)
+	cs.End()
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +152,7 @@ func evalLoadPoint(arch *tech.Arch, t *topo.Topology, quality Quality, j exp.Job
 		NumVCs: arch.Proto.NumVCs, BufDepth: arch.Proto.BufDepthFlits,
 		LinkLatency: cost.LinkLatencies, RouterDelay: RouterDelay,
 		PacketLen: packetLen(arch), Pattern: pat, Seed: j.EffectiveSeed(),
-		Warmup: warmup, Measure: measure,
+		Warmup: warmup, Measure: measure, Span: span,
 	}, []float64{j.Load})
 	if err != nil {
 		return nil, err

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"sparsehamming/internal/analytic"
+	"sparsehamming/internal/obs"
 	"sparsehamming/internal/phys"
 	"sparsehamming/internal/route"
 	"sparsehamming/internal/sim"
@@ -127,13 +128,13 @@ const RouterDelay = 3
 
 // Predict runs the full toolchain for one topology.
 func Predict(arch *tech.Arch, t *topo.Topology, quality Quality) (*Prediction, error) {
-	return predictSeeded(arch, t, "", "", quality, 1, nil)
+	return predictSeeded(arch, t, "", "", quality, 1, nil, nil)
 }
 
 // PredictWith runs the toolchain with an explicit routing algorithm
 // (used by the routing ablation).
 func PredictWith(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quality Quality) (*Prediction, error) {
-	return predictSeeded(arch, t, routingName(alg), "", quality, 1, nil)
+	return predictSeeded(arch, t, routingName(alg), "", quality, 1, nil, nil)
 }
 
 // predictSeeded runs the toolchain with explicit routing and traffic
@@ -142,9 +143,13 @@ func PredictWith(arch *tech.Arch, t *topo.Topology, alg route.Algorithm, quality
 // campaign job evaluator threads all three from the job spec so
 // cached results stay reproducible. sched, when non-nil, lets the
 // adaptive tier's saturation search borrow spare worker slots for
-// speculative probes (wall-clock only; never part of the result).
-func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, quality Quality, seed int64, sched sim.ProbeScheduler) (*Prediction, error) {
+// speculative probes; span, when non-nil, receives the execution
+// trace (both wall-clock/observability only; never part of the
+// result).
+func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, quality Quality, seed int64, sched sim.ProbeScheduler, span *obs.Span) (*Prediction, error) {
+	cs := span.Child("cost")
 	cost, err := phys.Evaluate(arch, t)
+	cs.End()
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +167,7 @@ func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, q
 	}
 
 	warmup, measure := quality.simWindows()
+	satSpan := span.Child("saturation")
 	base := sim.Config{
 		Topo:        t,
 		Routing:     r,
@@ -176,8 +182,11 @@ func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, q
 		Measure:     measure,
 		Control:     quality.simControl(),
 		Sched:       sched,
+		Span:        satSpan,
 	}
 	sat, err := sim.SaturationThroughput(base)
+	satSpan.SetAttr("probes", sat.Probes)
+	satSpan.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,453 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric kinds, as emitted in "# TYPE" exposition lines.
+const (
+	// KindCounter marks a monotonically increasing series.
+	KindCounter = "counter"
+	// KindGauge marks a series that can go up and down.
+	KindGauge = "gauge"
+	// KindHistogram marks a bucketed distribution series.
+	KindHistogram = "histogram"
+)
+
+// Registry holds named collectors and renders them in the Prometheus
+// text exposition format. All methods are safe for concurrent use.
+// Registering a name twice with the same kind returns the existing
+// collector (so independent layers can share a series); re-registering
+// with a different kind panics, as it is always a programming error.
+type Registry struct {
+	mu     sync.Mutex
+	byName map[string]*family
+	names  []string // registration order; output is sorted anyway
+}
+
+// family is one named metric with its help text, kind, and either a
+// set of label-keyed children or a sampling function.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]collector // exposition label block -> collector
+
+	// sample, when non-nil, replaces children at scrape time: the
+	// family's series are produced by calling it (Func collectors).
+	sample func() []Sample
+
+	// buckets holds the upper bounds for histogram families.
+	buckets []float64
+}
+
+// collector is anything that can report its current value(s).
+type collector interface{ value() float64 }
+
+// Sample is one series produced by a Func collector at scrape time.
+type Sample struct {
+	// Labels holds the label values, aligned with the label names the
+	// Func was registered with.
+	Labels []string
+	// Value is the sample's value.
+	Value float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family registers (or finds) the named family.
+func (r *Registry) family(name, help, kind string, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   labels,
+		children: make(map[string]collector),
+	}
+	r.byName[name] = f
+	r.names = append(r.names, name)
+	return f
+}
+
+// Counter registers (or finds) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.family(name, help, KindCounter, nil)
+	return f.counter("")
+}
+
+// Gauge registers (or finds) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, KindGauge, nil)
+	return f.gauge("")
+}
+
+// Histogram registers (or finds) an unlabeled histogram with the
+// given bucket upper bounds (ascending; a trailing +Inf is implied).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.family(name, help, KindHistogram, nil)
+	f.buckets = buckets
+	return f.histogram("")
+}
+
+// CounterVec registers (or finds) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{fam: r.family(name, help, KindCounter, labels)}
+}
+
+// GaugeVec registers (or finds) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{fam: r.family(name, help, KindGauge, labels)}
+}
+
+// HistogramVec registers (or finds) a labeled histogram family with
+// the given bucket upper bounds.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	f := r.family(name, help, KindHistogram, labels)
+	f.buckets = buckets
+	return &HistogramVec{fam: f}
+}
+
+// CounterFunc registers a counter whose value is sampled by fn at
+// scrape time (for cumulative figures another layer already tracks).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	r.Func(name, help, KindCounter, nil, func() []Sample {
+		return []Sample{{Value: fn()}}
+	})
+}
+
+// GaugeFunc registers a gauge whose value is sampled by fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.Func(name, help, KindGauge, nil, func() []Sample {
+		return []Sample{{Value: fn()}}
+	})
+}
+
+// Func registers a family whose series — possibly several, with
+// labels — are produced by fn at each scrape. kind is KindCounter or
+// KindGauge. Re-registering the name replaces the sampler, so a
+// rebuilt component (e.g. a fresh runner over the same registry) can
+// take over its series.
+func (r *Registry) Func(name, help, kind string, labelNames []string, fn func() []Sample) {
+	f := r.family(name, help, kind, labelNames)
+	f.mu.Lock()
+	f.sample = fn
+	f.mu.Unlock()
+}
+
+// WritePrometheus renders every registered family in the Prometheus
+// text exposition format, families and series in lexicographic order
+// so output is deterministic.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.byName))
+	for _, name := range r.names {
+		fams = append(fams, r.byName[name])
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		if err := f.write(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *family) write(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+
+	f.mu.Lock()
+	if f.sample != nil {
+		fn := f.sample
+		labels := f.labels
+		f.mu.Unlock()
+		samples := fn()
+		lines := make([]string, 0, len(samples))
+		for _, s := range samples {
+			lines = append(lines, fmt.Sprintf("%s%s %s\n", f.name, labelBlock(labels, s.Labels), formatValue(s.Value)))
+		}
+		sort.Strings(lines)
+		for _, ln := range lines {
+			b.WriteString(ln)
+		}
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := f.children[k]
+		switch c := c.(type) {
+		case *Histogram:
+			c.writeSeries(&b, f.name, k)
+		default:
+			b.WriteString(f.name)
+			b.WriteString(k)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(c.value()))
+			b.WriteByte('\n')
+		}
+	}
+	f.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// child returns the collector for the exposition label block, creating
+// it with mk when absent.
+func (f *family) child(block string, mk func() collector) collector {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.children[block]
+	if !ok {
+		c = mk()
+		f.children[block] = c
+	}
+	return c
+}
+
+func (f *family) counter(block string) *Counter {
+	return f.child(block, func() collector { return new(Counter) }).(*Counter)
+}
+
+func (f *family) gauge(block string) *Gauge {
+	return f.child(block, func() collector { return new(Gauge) }).(*Gauge)
+}
+
+func (f *family) histogram(block string) *Histogram {
+	return f.child(block, func() collector { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// Counter is a monotonically increasing metric. The zero value is
+// ready to use.
+type Counter struct{ bits atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds v (v must be >= 0; negative deltas are ignored).
+func (c *Counter) Add(v float64) {
+	if v < 0 {
+		return
+	}
+	addFloat(&c.bits, v)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *Counter) value() float64 { return c.Value() }
+
+// Gauge is a metric that can go up and down. The zero value is ready
+// to use.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds v (which may be negative).
+func (g *Gauge) Add(v float64) { addFloat(&g.bits, v) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) value() float64 { return g.Value() }
+
+// addFloat CAS-adds a float64 delta to an atomic bit pattern.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Histogram is a bucketed distribution (cumulative buckets, Prometheus
+// style). Create it through a Registry so the bucket bounds are set.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // one per bound, plus the +Inf bucket at the end
+	sum    float64
+	total  uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations recorded.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// value satisfies collector; families render histograms through
+// writeSeries instead, so this reports the observation count.
+func (h *Histogram) value() float64 { return float64(h.Count()) }
+
+// writeSeries renders the _bucket/_sum/_count series for one child.
+// block is the child's exposition label block ("" or "{k=\"v\"}").
+func (h *Histogram) writeSeries(b *strings.Builder, name, block string) {
+	h.mu.Lock()
+	bounds := h.bounds
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+
+	inner := strings.TrimSuffix(strings.TrimPrefix(block, "{"), "}")
+	var cum uint64
+	for i, ub := range bounds {
+		cum += counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabels(inner, `le="`+formatValue(ub)+`"`), cum)
+	}
+	cum += counts[len(bounds)]
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, mergeLabels(inner, `le="+Inf"`), cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, block, formatValue(sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, block, total)
+}
+
+// mergeLabels joins an existing label list with the le label.
+func mergeLabels(inner, le string) string {
+	if inner == "" {
+		return "{" + le + "}"
+	}
+	return "{" + inner + "," + le + "}"
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ fam *family }
+
+// With returns the counter for the given label values (aligned with
+// the registered label names).
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.fam.counter(labelBlock(v.fam.labels, values))
+}
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ fam *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.fam.gauge(labelBlock(v.fam.labels, values))
+}
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ fam *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.fam.histogram(labelBlock(v.fam.labels, values))
+}
+
+// labelBlock renders a {k="v",...} exposition block ("" for no
+// labels). Extra values beyond the registered names are dropped;
+// missing ones render empty.
+func labelBlock(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// escapeHelp escapes help text per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a float64 the way Prometheus expects: integers
+// without a decimal point, +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+// DefBuckets are general-purpose latency buckets in seconds, spanning
+// sub-millisecond HTTP handling to multi-second simulation phases.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}

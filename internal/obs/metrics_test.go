@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("test_depth", "Depth.")
+	g.Set(5)
+	g.Dec()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.\n",
+		"# TYPE test_ops_total counter\n",
+		"test_ops_total 3\n",
+		"# TYPE test_depth gauge\n",
+		"test_depth 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestDuplicateRegistrationSharesCollector(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "x")
+	b := r.Counter("dup_total", "x")
+	a.Inc()
+	b.Inc()
+	if got := a.Value(); got != 2 {
+		t.Fatalf("shared counter = %v, want 2", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering with a different kind should panic")
+		}
+	}()
+	r.Gauge("dup_total", "x")
+}
+
+func TestVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("http_requests_total", "Requests.", "route", "code")
+	v.With("GET /metrics", "200").Add(2)
+	v.With("GET /metrics", "200").Inc()
+	v.With(`we"ird`, "500").Inc()
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `http_requests_total{route="GET /metrics",code="200"} 3`) {
+		t.Errorf("missing labeled series in:\n%s", out)
+	}
+	if !strings.Contains(out, `http_requests_total{route="we\"ird",code="500"} 1`) {
+		t.Errorf("label escaping broken in:\n%s", out)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="+Inf"} 4`,
+		"lat_seconds_sum 6.05",
+		"lat_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram missing %q in:\n%s", want, out)
+		}
+	}
+	if h.Count() != 4 {
+		t.Errorf("Count = %d, want 4", h.Count())
+	}
+}
+
+func TestHistogramVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("phase_seconds", "Phase time.", []float64{1}, "phase")
+	v.With("warmup").Observe(0.5)
+	v.With("measure").Observe(2)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`phase_seconds_bucket{phase="warmup",le="1"} 1`,
+		`phase_seconds_bucket{phase="measure",le="+Inf"} 1`,
+		`phase_seconds_count{phase="measure"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("histogram vec missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFuncCollectors(t *testing.T) {
+	r := NewRegistry()
+	n := 7.0
+	r.CounterFunc("sampled_total", "Sampled.", func() float64 { return n })
+	r.Func("states", "Per-state gauge.", KindGauge, []string{"state"}, func() []Sample {
+		return []Sample{
+			{Labels: []string{"running"}, Value: 2},
+			{Labels: []string{"done"}, Value: 3},
+		}
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"sampled_total 7\n",
+		`states{state="running"} 2`,
+		`states{state="done"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("func collector missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Re-registering a Func replaces the sampler.
+	r.CounterFunc("sampled_total", "Sampled.", func() float64 { return 9 })
+	b.Reset()
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "sampled_total 9\n") {
+		t.Errorf("replaced sampler not used:\n%s", b.String())
+	}
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "x")
+	g := r.Gauge("conc_gauge", "x")
+	v := r.CounterVec("conc_vec_total", "x", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				v.With("a").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %v, want 8000", c.Value())
+	}
+	if g.Value() != 8000 {
+		t.Errorf("gauge = %v, want 8000", g.Value())
+	}
+	if v.With("a").Value() != 8000 {
+		t.Errorf("vec counter = %v, want 8000", v.With("a").Value())
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_total", "z").Inc()
+	r.Counter("aa_total", "a").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Index(out, "aa_total") > strings.Index(out, "zz_total") {
+		t.Errorf("families not sorted:\n%s", out)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for _, tc := range []struct {
+		in string
+		ok bool
+	}{
+		{"", true}, {"info", true}, {"DEBUG", true}, {"warn", true},
+		{"warning", true}, {"error", true}, {"verbose", false},
+	} {
+		_, err := ParseLevel(tc.in)
+		if (err == nil) != tc.ok {
+			t.Errorf("ParseLevel(%q) err = %v, want ok=%v", tc.in, err, tc.ok)
+		}
+	}
+	if _, err := NewLogger(&strings.Builder{}, "debug"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -58,6 +58,32 @@ type Entry struct {
 	// Note is free-form provenance ("pre-optimization baseline", the
 	// CI run ID, ...).
 	Note string `json:"note,omitempty"`
+
+	// Host identifies the machine and toolchain behind the numbers.
+	Host *Host `json:"host,omitempty"`
+}
+
+// Host is the measurement environment recorded with each entry:
+// ns/op deltas across entries only mean something when the entries
+// come from comparable machines, and the trajectory file spans many
+// sessions.
+type Host struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+}
+
+// CurrentHost snapshots the running process's environment.
+func CurrentHost() *Host {
+	return &Host{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
 }
 
 // Meter measures one benchmark invocation: wall-clock time and the
@@ -96,6 +122,7 @@ func (m *Meter) Done(bench string, iters int) Entry {
 		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
 		BytesPerOp:  float64(ms.TotalAlloc-m.bytes) / float64(iters),
 		AllocsPerOp: float64(ms.Mallocs-m.mallocs) / float64(iters),
+		Host:        CurrentHost(),
 	}
 }
 

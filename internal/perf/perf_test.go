@@ -74,6 +74,15 @@ func TestMeterMeasures(t *testing.T) {
 	if e.Iters != 10 || e.Bench != "meter" || e.When == "" {
 		t.Errorf("entry metadata wrong: %+v", e)
 	}
+	if e.Host == nil {
+		t.Fatal("Done did not record host metadata")
+	}
+	if e.Host.GoVersion == "" || e.Host.GOOS == "" || e.Host.GOARCH == "" {
+		t.Errorf("host toolchain fields empty: %+v", e.Host)
+	}
+	if e.Host.NumCPU < 1 || e.Host.GOMAXPROCS < 1 {
+		t.Errorf("host CPU fields not positive: %+v", e.Host)
+	}
 }
 
 func TestRecorderKeepsLatestPerBench(t *testing.T) {

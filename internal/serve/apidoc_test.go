@@ -24,7 +24,9 @@ func TestAPIDocCoversEveryRoute(t *testing.T) {
 	}
 	text := string(doc)
 
-	srv := serve.New(serve.Config{Runner: &exp.Runner{Eval: stubEval}})
+	// EnablePprof so the optional /debug/pprof/* routes are registered
+	// and the doc contract covers them too.
+	srv := serve.New(serve.Config{Runner: &exp.Runner{Eval: stubEval}, EnablePprof: true})
 	defer srv.Close()
 
 	registered := map[string]bool{}

@@ -1,0 +1,140 @@
+package serve
+
+// HTTP-layer observability: the GET /metrics exposition endpoint, the
+// optional net/http/pprof mount, per-route request instrumentation,
+// and the service gauges (campaign states, queue depth, SSE
+// subscribers, uptime). All series live on the hub's registry, so a
+// server sharing its hub with noc.NewObservedRunner exposes the
+// simulator, runner, cache, and HTTP tiers from one scrape.
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"runtime/debug"
+	"strconv"
+	"time"
+
+	"sparsehamming/internal/obs"
+)
+
+// registerMetrics installs the server's collectors on the hub's
+// registry and keeps handles to the per-request instruments the
+// middleware updates.
+func (s *Server) registerMetrics(m *obs.Registry) {
+	s.httpReqs = m.CounterVec("sh_http_requests_total",
+		"HTTP requests served, by route and status code.",
+		"route", "code")
+	s.httpLat = m.HistogramVec("sh_http_request_seconds",
+		"HTTP request duration by route (SSE streams count their full lifetime).",
+		obs.DefBuckets, "route")
+	s.sseSubs = m.Gauge("sh_sse_subscribers",
+		"Event-stream subscribers currently connected.")
+	m.GaugeFunc("sh_campaign_queue_depth",
+		"Campaigns waiting in the submission queue.",
+		func() float64 { return float64(len(s.queue)) })
+	m.GaugeFunc("sh_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	m.Func("sh_campaigns",
+		"Campaigns in the store, by lifecycle status.",
+		obs.KindGauge, []string{"status"}, func() []obs.Sample {
+			counts := map[Status]int{}
+			for _, c := range s.store.All() {
+				counts[c.Snapshot().Status]++
+			}
+			states := []Status{StatusQueued, StatusRunning, StatusDone,
+				StatusFailed, StatusCanceled}
+			out := make([]obs.Sample, 0, len(states))
+			for _, st := range states {
+				out = append(out, obs.Sample{
+					Labels: []string{string(st)},
+					Value:  float64(counts[st]),
+				})
+			}
+			return out
+		})
+}
+
+// instrument wraps a route handler to record the request count (by
+// final status code) and latency under the route's method+pattern —
+// bounded-cardinality labels, never raw URLs.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		h(rec, r)
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.httpReqs.With(route, strconv.Itoa(code)).Inc()
+		s.httpLat.With(route).Observe(time.Since(start).Seconds())
+	}
+}
+
+// statusRecorder captures the response status code for the request
+// counter. It forwards Flush so the SSE handler's streaming still
+// works through the wrapper.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the first status code written.
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.code == 0 {
+		r.code = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write counts an implicit 200 when the handler never set a status.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer when it streams.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// handleMetrics implements GET /metrics: the hub registry in
+// Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Obs.Metrics.WritePrometheus(w)
+}
+
+// pprofRoutes returns the net/http/pprof endpoints mounted when
+// Config.EnablePprof is set. shrun -server -cpuprofile cannot profile
+// the remote service's CPU, so /debug/pprof/profile on the server is
+// the supported way to profile campaigns executing in shserved.
+func pprofRoutes() []Route {
+	return []Route{
+		{"GET", "/debug/pprof/", "pprof index and named profiles (heap, goroutine, block, ...)", pprof.Index},
+		{"GET", "/debug/pprof/cmdline", "command line of the server process", pprof.Cmdline},
+		{"GET", "/debug/pprof/profile", "CPU profile over ?seconds=N (default 30)", pprof.Profile},
+		{"GET", "/debug/pprof/symbol", "resolve program counters to symbol names", pprof.Symbol},
+		{"GET", "/debug/pprof/trace", "execution trace over ?seconds=N", pprof.Trace},
+	}
+}
+
+// vcsRevision digs the VCS commit out of the build info; empty when
+// the binary was built outside a checkout (e.g. go test).
+func vcsRevision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			return kv.Value
+		}
+	}
+	return ""
+}

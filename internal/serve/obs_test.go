@@ -1,0 +1,200 @@
+package serve_test
+
+// Observability coverage: the /metrics exposition (parseable, and
+// monotonic across campaigns), the upgraded /healthz fields, the
+// ?debug=trace results field fed by a shared hub, and the optional
+// pprof mount.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/obs"
+	"sparsehamming/internal/serve"
+)
+
+// scrape fetches /metrics and returns the exposition text.
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain", ct)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// metricValue extracts one series' value from exposition text.
+func metricValue(t *testing.T, text, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("series %s: bad value %q", series, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not in exposition", series)
+	return 0
+}
+
+// expositionLine is the shape every sample line must have.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (-?[0-9.eE+-]+|NaN|\+Inf|-Inf)$`)
+
+func TestMetricsEndpointParsesAndCountsMonotonically(t *testing.T) {
+	srv, ts := newTestServer(t, stubEval, 2)
+
+	text := scrape(t, ts)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" || strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("malformed exposition line: %q", line)
+		}
+	}
+	for _, want := range []string{
+		"sh_http_requests_total", "sh_http_request_seconds",
+		"sh_sse_subscribers", "sh_campaign_queue_depth",
+		"sh_uptime_seconds", "sh_campaigns",
+	} {
+		if !strings.Contains(text, "# TYPE "+want+" ") {
+			t.Errorf("exposition missing family %s", want)
+		}
+	}
+
+	// Two campaigns, one scrape after each: the done-campaign gauge
+	// tracks the store and the submit counter never goes down.
+	snap := submit(t, ts, costSpecJSON)
+	waitTerminal(t, srv, snap.ID)
+	text = scrape(t, ts)
+	submits1 := metricValue(t, text,
+		`sh_http_requests_total{route="POST /v1/campaigns",code="202"}`)
+	done1 := metricValue(t, text, `sh_campaigns{status="done"}`)
+	if submits1 != 1 || done1 != 1 {
+		t.Fatalf("after one campaign: submits=%v done=%v, want 1 and 1", submits1, done1)
+	}
+
+	snap = submit(t, ts, strings.Replace(costSpecJSON, "svc-test", "svc-test-2", 1))
+	waitTerminal(t, srv, snap.ID)
+	text = scrape(t, ts)
+	submits2 := metricValue(t, text,
+		`sh_http_requests_total{route="POST /v1/campaigns",code="202"}`)
+	done2 := metricValue(t, text, `sh_campaigns{status="done"}`)
+	if submits2 != 2 || done2 != 2 {
+		t.Fatalf("after two campaigns: submits=%v done=%v, want 2 and 2", submits2, done2)
+	}
+	if submits2 < submits1 {
+		t.Errorf("request counter went backwards: %v -> %v", submits1, submits2)
+	}
+}
+
+func TestHealthzBuildAndRunnerFields(t *testing.T) {
+	_, ts := newTestServer(t, stubEval, 1)
+	var h map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK {
+		t.Fatalf("healthz: %d", code)
+	}
+	gv, _ := h["go_version"].(string)
+	if !strings.HasPrefix(gv, "go") {
+		t.Errorf("go_version %q does not look like a Go version", gv)
+	}
+	for _, key := range []string{"gomaxprocs", "workers"} {
+		v, ok := h[key].(float64)
+		if !ok || v < 1 {
+			t.Errorf("healthz %s = %v, want >= 1", key, h[key])
+		}
+	}
+	for _, key := range []string{"uptime_sec", "evals_in_flight", "waiting_jobs"} {
+		if _, ok := h[key]; !ok {
+			t.Errorf("healthz missing %s", key)
+		}
+	}
+}
+
+// TestResultsDebugTrace drives the full stack: a hub shared between
+// the observed toolchain runner and the server, so a finished
+// campaign's results can return per-job execution traces.
+func TestResultsDebugTrace(t *testing.T) {
+	hub := obs.NewHub()
+	srv := serve.New(serve.Config{
+		Runner: noc.NewObservedRunner(2, exp.NewCache(), hub),
+		Obs:    hub,
+	})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	snap := submit(t, ts, costSpecJSON)
+	waitTerminal(t, srv, snap.ID)
+
+	var out serve.ResultsJSON
+	if code := getJSON(t, ts.URL+"/v1/campaigns/"+snap.ID+"/results?debug=trace", &out); code != http.StatusOK {
+		t.Fatalf("results?debug=trace: %d", code)
+	}
+	for si, sw := range out.Sweeps {
+		if len(sw.Traces) != len(sw.Jobs) {
+			t.Fatalf("sweep %d: %d traces for %d jobs", si, len(sw.Traces), len(sw.Jobs))
+		}
+		for ji, tr := range sw.Traces {
+			if tr == nil {
+				t.Errorf("sweep %d job %d: nil trace for a freshly computed job", si, ji)
+				continue
+			}
+			if tr.Name != "job" || tr.Find("cost") == nil {
+				t.Errorf("sweep %d job %d: unexpected trace shape: %q", si, ji, tr.Name)
+			}
+		}
+	}
+
+	// Without the flag the field stays absent.
+	var plain serve.ResultsJSON
+	getJSON(t, ts.URL+"/v1/campaigns/"+snap.ID+"/results", &plain)
+	for si, sw := range plain.Sweeps {
+		if sw.Traces != nil {
+			t.Errorf("sweep %d: traces present without ?debug=trace", si)
+		}
+	}
+}
+
+func TestPprofMountIsOptIn(t *testing.T) {
+	srv := serve.New(serve.Config{Runner: &exp.Runner{Eval: stubEval}})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	if code := getJSON(t, ts.URL+"/debug/pprof/", nil); code != http.StatusNotFound {
+		t.Errorf("pprof reachable without EnablePprof: %d", code)
+	}
+
+	on := serve.New(serve.Config{Runner: &exp.Runner{Eval: stubEval}, EnablePprof: true})
+	t.Cleanup(on.Close)
+	tsOn := httptest.NewServer(on.Handler())
+	t.Cleanup(tsOn.Close)
+	resp, err := http.Get(tsOn.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof index with EnablePprof: %s", resp.Status)
+	}
+}

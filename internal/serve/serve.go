@@ -23,11 +23,14 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
 	"sparsehamming/internal/exp"
+	"sparsehamming/internal/obs"
 	"sparsehamming/internal/report"
 	"sparsehamming/internal/spec"
 )
@@ -56,6 +59,19 @@ type Config struct {
 	// reaches a terminal state (cmd/shserved hooks cache persistence
 	// here). It may be called from several executors concurrently.
 	OnCampaignFinished func(*Campaign)
+
+	// Obs is the observability hub behind GET /metrics, the
+	// ?debug=trace results field, and the service's structured logs.
+	// Nil gets a self-contained hub (metrics and traces still work;
+	// logs are discarded). Share the hub with the runner
+	// (noc.NewObservedRunner) so one scrape covers every tier.
+	Obs *obs.Hub
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ (the
+	// shserved -pprof flag). Off by default: profiling endpoints
+	// expose more than operational metrics and cost real CPU when
+	// scraped.
+	EnablePprof bool
 }
 
 // Server is the campaign service: an HTTP handler plus the queue and
@@ -69,6 +85,12 @@ type Server struct {
 	stop    context.CancelFunc
 	wg      sync.WaitGroup
 	started time.Time
+	log     *slog.Logger
+
+	// HTTP instrumentation handles (registered on cfg.Obs.Metrics).
+	httpReqs *obs.CounterVec
+	httpLat  *obs.HistogramVec
+	sseSubs  *obs.Gauge
 }
 
 // New starts a server's executor pool around the config.
@@ -85,6 +107,9 @@ func New(cfg Config) *Server {
 	if cfg.MaxSpecBytes <= 0 {
 		cfg.MaxSpecBytes = 1 << 20
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewHub()
+	}
 	ctx, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
@@ -93,7 +118,9 @@ func New(cfg Config) *Server {
 		ctx:     ctx,
 		stop:    stop,
 		started: time.Now(),
+		log:     cfg.Obs.Logger(),
 	}
+	s.registerMetrics(cfg.Obs.Metrics)
 	for i := 0; i < cfg.Executors; i++ {
 		s.wg.Add(1)
 		go s.executor()
@@ -133,8 +160,15 @@ func (s *Server) execute(c *Campaign) {
 	if !c.markRunning(cancel, time.Now()) {
 		return // canceled while queued
 	}
+	s.log.Info("campaign started", "id", c.ID, "jobs", len(c.Jobs))
 	results, rep, err := s.cfg.Runner.RunObserved(ctx, c.Jobs, c.observe)
 	c.finish(results, rep, err, context.Cause(ctx))
+	snap := c.Snapshot()
+	s.log.Info("campaign finished",
+		"id", c.ID, "status", string(snap.Status),
+		"computed", rep.Computed, "cached", rep.CacheHits,
+		"shared", rep.Shared, "failed", rep.Failed,
+		"wall", rep.Wall.Round(time.Millisecond))
 	if s.cfg.OnCampaignFinished != nil {
 		s.cfg.OnCampaignFinished(c)
 	}
@@ -151,9 +185,10 @@ type Route struct {
 	handler http.HandlerFunc
 }
 
-// Routes returns every endpoint the server exposes.
+// Routes returns every endpoint the server exposes. The pprof routes
+// appear only when Config.EnablePprof is set.
 func (s *Server) Routes() []Route {
-	return []Route{
+	routes := []Route{
 		{"POST", "/v1/campaigns", "submit a campaign spec; returns the campaign resource", s.handleSubmit},
 		{"GET", "/v1/campaigns", "list campaigns in submission order", s.handleList},
 		{"GET", "/v1/campaigns/{id}", "campaign status and per-job progress", s.handleStatus},
@@ -161,15 +196,23 @@ func (s *Server) Routes() []Route {
 		{"GET", "/v1/campaigns/{id}/results", "results of a finished campaign (JSON, or ?format=csv)", s.handleResults},
 		{"DELETE", "/v1/campaigns/{id}", "cancel a queued or running campaign", s.handleCancel},
 		{"GET", "/v1/registry", "registered topologies, routings, patterns, scenarios", s.handleRegistry},
-		{"GET", "/healthz", "liveness probe with queue and cache statistics", s.handleHealthz},
+		{"GET", "/healthz", "liveness probe with build, queue, runner, and cache statistics", s.handleHealthz},
+		{"GET", "/metrics", "Prometheus text exposition of simulator, runner, cache, and HTTP series", s.handleMetrics},
 	}
+	if s.cfg.EnablePprof {
+		routes = append(routes, pprofRoutes()...)
+	}
+	return routes
 }
 
-// Handler builds the service's HTTP handler from the route table.
+// Handler builds the service's HTTP handler from the route table,
+// each route wrapped with the request-count and latency
+// instrumentation.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	for _, rt := range s.Routes() {
-		mux.HandleFunc(rt.Method+" "+rt.Pattern, rt.handler)
+		key := rt.Method + " " + rt.Pattern
+		mux.HandleFunc(key, s.instrument(key, rt.handler))
 	}
 	return mux
 }
@@ -228,9 +271,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case s.queue <- c:
 	default:
 		s.store.Remove(c.ID)
+		s.log.Warn("campaign rejected: queue full",
+			"id", c.ID, "queued", len(s.queue))
 		writeError(w, http.StatusServiceUnavailable, "campaign queue is full (%d queued)", len(s.queue))
 		return
 	}
+	s.log.Info("campaign submitted",
+		"id", c.ID, "name", sp.Name, "jobs", len(all), "sweeps", len(groups))
 	w.Header().Set("Location", "/v1/campaigns/"+c.ID)
 	writeJSON(w, http.StatusAccepted, c.Snapshot())
 }
@@ -280,6 +327,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	snap := c.Snapshot()
+	s.log.Info("campaign canceled", "id", c.ID, "status", string(snap.Status))
 	if snap.Status.Terminal() && s.cfg.OnCampaignFinished != nil {
 		// A queued campaign cancels straight to terminal without ever
 		// passing through an executor, so the terminal hook must fire
@@ -291,11 +339,15 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // ResultsSweepJSON is one sweep of a results document: the expanded
 // jobs and their results, index-aligned (a null result marks a
-// failed job).
+// failed job). Traces appears only under ?debug=trace: the per-job
+// execution-trace span trees, also index-aligned — null for jobs the
+// trace store no longer holds (answered from the persistent cache, or
+// evicted).
 type ResultsSweepJSON struct {
 	Label   string        `json:"label"`
 	Jobs    []exp.Job     `json:"jobs"`
 	Results []*exp.Result `json:"results"`
+	Traces  []*obs.Span   `json:"traces,omitempty"`
 }
 
 // ResultsJSON is the GET /v1/campaigns/{id}/results response body.
@@ -337,12 +389,20 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 			ID: c.ID, Name: c.Spec.Name, SpecHash: c.SpecHash,
 			Status: snap.Status, Report: *snap.Report,
 		}
+		withTraces := r.URL.Query().Get("debug") == "trace"
 		labels := c.Spec.Labels()
 		off := 0
 		for pi, g := range c.Groups {
-			out.Sweeps = append(out.Sweeps, ResultsSweepJSON{
+			sw := ResultsSweepJSON{
 				Label: labels[pi], Jobs: g, Results: results[off : off+len(g)],
-			})
+			}
+			if withTraces {
+				sw.Traces = make([]*obs.Span, len(g))
+				for ji, j := range g {
+					sw.Traces[ji] = s.cfg.Obs.Traces.Get(j.Key())
+				}
+			}
+			out.Sweeps = append(out.Sweeps, sw)
 			off += len(g)
 		}
 		writeJSON(w, http.StatusOK, out)
@@ -351,22 +411,39 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// healthJSON is the GET /healthz response body.
+// healthJSON is the GET /healthz response body: liveness plus enough
+// build and load context to tell which binary is running and whether
+// its worker pool is busy, without scraping /metrics.
 type healthJSON struct {
 	Status       string `json:"status"`
 	UptimeSec    int64  `json:"uptime_sec"`
+	GoVersion    string `json:"go_version"`
+	Revision     string `json:"revision,omitempty"`
+	GoMaxProcs   int    `json:"gomaxprocs"`
 	Campaigns    int    `json:"campaigns"`
 	Queued       int    `json:"queued"`
 	CacheEntries int    `json:"cache_entries"`
+
+	// Runner gauges, mirroring the sh_runner_* series.
+	Workers       int   `json:"workers"`
+	EvalsInFlight int64 `json:"evals_in_flight"`
+	WaitingJobs   int64 `json:"waiting_jobs"`
 }
 
 // handleHealthz implements GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Runner.Stats()
 	h := healthJSON{
-		Status:    "ok",
-		UptimeSec: int64(time.Since(s.started).Seconds()),
-		Campaigns: s.store.Len(),
-		Queued:    len(s.queue),
+		Status:        "ok",
+		UptimeSec:     int64(time.Since(s.started).Seconds()),
+		GoVersion:     runtime.Version(),
+		Revision:      vcsRevision(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Campaigns:     s.store.Len(),
+		Queued:        len(s.queue),
+		Workers:       st.Workers,
+		EvalsInFlight: st.InFlight,
+		WaitingJobs:   st.Waiting,
 	}
 	if s.cfg.Runner.Cache != nil {
 		h.CacheEntries = s.cfg.Runner.Cache.Len()

@@ -57,6 +57,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// and the subscription is lost.
 	events, unsubscribe := c.subscribe(4096)
 	defer unsubscribe()
+	s.sseSubs.Inc()
+	defer s.sseSubs.Dec()
 	sseWrite(w, flusher, "status", c.Snapshot())
 
 	heartbeat := time.NewTicker(15 * time.Second)

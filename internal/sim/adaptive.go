@@ -6,6 +6,8 @@ package sim
 // exactly the sequential bisection's probe sequence, and speculation
 // only changes when those probes execute, never which ones count.
 
+import "sparsehamming/internal/obs"
+
 // specProbe is one speculatively launched probe.
 type specProbe struct {
 	rate float64
@@ -15,6 +17,13 @@ type specProbe struct {
 	// done receives the probe's outcome (buffered, so abandoned
 	// probes never leak a goroutine).
 	done chan probeOutcome
+	// span is the probe's trace subtree, forked (detached) from the
+	// search span: the probe goroutine mutates only this subtree, and
+	// eval adopts it into the search trace if and when the outcome is
+	// consumed. Canceled probes' spans are simply never attached, so a
+	// goroutine that is still winding down cannot race a published
+	// trace.
+	span *obs.Span
 }
 
 // probeOutcome is one finished probe.
@@ -29,14 +38,17 @@ type prober struct {
 	cfg     Config  // base config (Defaults applied)
 	ctl     Control // controller template (defaults applied)
 	zl      float64 // zero-load reference latency
+	span    *obs.Span
 	pending map[float64]*specProbe
 }
 
 // run executes one probe at rate synchronously on the calling
-// goroutine. interrupt may be nil.
-func (p *prober) run(rate float64, interrupt <-chan struct{}) probeOutcome {
+// goroutine, tracing it under span. interrupt and span may be nil.
+func (p *prober) run(rate float64, interrupt <-chan struct{}, span *obs.Span) probeOutcome {
 	c := p.cfg
 	c.InjectionRate = rate
+	c.Span = span
+	span.SetAttr("rate", rate)
 	clampDrain(&c, probeDrainFactor)
 	ctl := p.ctl
 	ctl.LatencyRef = p.zl
@@ -44,6 +56,7 @@ func (p *prober) run(rate float64, interrupt <-chan struct{}) probeOutcome {
 	ctl.Interrupt = interrupt
 	c.Control = &ctl
 	st, err := RunConfig(c)
+	span.End()
 	return probeOutcome{st: st, err: err}
 }
 
@@ -62,17 +75,22 @@ func (p *prober) speculate(rate float64) {
 		rate:      rate,
 		interrupt: make(chan struct{}),
 		done:      make(chan probeOutcome, 1),
+		span:      p.span.Fork("probe"),
 	}
+	sp.span.SetAttr("speculative", true)
 	started := p.cfg.Sched.TryGo(func() {
-		sp.done <- p.run(rate, sp.interrupt)
+		sp.done <- p.run(rate, sp.interrupt, sp.span)
 	})
 	if started {
+		counters.probesSpeculated.Add(1)
 		p.pending[rate] = sp
 	}
 }
 
 // eval returns the outcome of the probe at rate: the in-flight
-// speculative run when one exists, an inline run otherwise.
+// speculative run when one exists, an inline run otherwise. A
+// consumed speculative probe's trace subtree is adopted into the
+// search span here, on the search goroutine.
 func (p *prober) eval(rate float64) probeOutcome {
 	if sp, ok := p.pending[rate]; ok {
 		delete(p.pending, rate)
@@ -81,23 +99,27 @@ func (p *prober) eval(rate float64) probeOutcome {
 			// Canceled before we needed it after all (interrupt and
 			// demand raced); rerun inline for the deterministic
 			// outcome.
-			return p.run(rate, nil)
+			counters.probesCanceled.Add(1)
+			return p.run(rate, nil, p.span.Child("probe"))
 		}
+		p.span.Adopt(sp.span)
 		return out
 	}
-	return p.run(rate, nil)
+	return p.run(rate, nil, p.span.Child("probe"))
 }
 
 // cancelExcept interrupts every pending speculative probe but the one
 // at keep. The canceled probes' goroutines observe the interrupt at
 // their next monitor window, release their slots, and their outcomes
-// are discarded — they never enter the result.
+// are discarded — they never enter the result (nor the trace: their
+// detached spans are never adopted).
 func (p *prober) cancelExcept(keep float64) {
 	for rate, sp := range p.pending {
 		if rate == keep {
 			continue
 		}
 		close(sp.interrupt)
+		counters.probesCanceled.Add(1)
 		delete(p.pending, rate)
 	}
 }
@@ -116,9 +138,11 @@ func adaptiveSaturation(cfg Config) (SaturationResult, error) {
 	p := &prober{
 		cfg:     cfg,
 		ctl:     cfg.Control.withDefaults(),
+		span:    cfg.Span,
 		pending: map[float64]*specProbe{},
 	}
 	p.cfg.Control = nil // probes attach their own per-probe controller
+	p.cfg.Span = nil    // probes attach their own per-probe span
 
 	// Zero-load reference run, on the exact fixed schedule: it is
 	// cheap (almost no flits move at 0.5% load), it is the headline
@@ -127,7 +151,10 @@ func adaptiveSaturation(cfg Config) (SaturationResult, error) {
 	// it adaptively would let sampling noise shift all verdicts at
 	// once. Pinning it keeps the adaptive search's saturation answer
 	// in lockstep with the fixed-budget search.
-	zlStats, err := zeroLoad(p.cfg)
+	zc := p.cfg
+	zc.Span = p.span.Child("zeroload")
+	zlStats, err := zeroLoad(zc)
+	zc.Span.End()
 	if err != nil {
 		return SaturationResult{}, err
 	}
@@ -149,6 +176,7 @@ func adaptiveSaturation(cfg Config) (SaturationResult, error) {
 		res.Samples = append(res.Samples, out.st)
 		if saved := p.budgetCap() - out.st.Cycles; saved > 0 {
 			res.CyclesSaved += saved
+			counters.cyclesSaved.Add(saved)
 		}
 		return sat, nil
 	}

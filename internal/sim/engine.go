@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"slices"
 
+	"sparsehamming/internal/obs"
 	"sparsehamming/internal/route"
 )
 
@@ -322,9 +323,25 @@ func (s *Simulator) Run() Stats {
 		s.latencies = make([]int64, 0, expect+expect/4+64)
 	}
 
+	// Phase tracing: when a span is attached, mark the
+	// warmup/measure/drain transitions as child spans. The boundaries
+	// are detected against s.measureStart/s.measureEnd each iteration
+	// because adaptive control moves both; with no span attached the
+	// loop pays a single nil check per cycle and allocates nothing.
+	ph := phaseTrace{span: cfg.Span}
+	ph.enter("warmup", 0)
+
 	deadlocked := false
 	for {
 		t := s.now
+		if ph.span != nil {
+			if ph.n == 1 && t >= s.measureStart {
+				ph.enter("measure", t)
+			}
+			if ph.n == 2 && t >= s.measureEnd {
+				ph.enter("drain", t)
+			}
+		}
 		// s.measureEnd moves when a stable verdict truncates the
 		// measurement phase, so the injection stop and drain deadline
 		// are derived from it every cycle.
@@ -389,7 +406,55 @@ func (s *Simulator) Run() Stats {
 	if effMeasure > 0 {
 		st.MaxLinkUtilization = float64(maxFlits) / float64(effMeasure)
 	}
+	ph.finish(s.now, &st)
+	countRun(&st)
 	return st
+}
+
+// phaseTrace tracks which simulation phase the Run loop is in and
+// mirrors the transitions into child spans of the run's span. Inert
+// (and allocation-free) when span is nil.
+type phaseTrace struct {
+	span    *obs.Span
+	cur     *obs.Span
+	n       int   // 1 = warmup, 2 = measure, 3 = drain
+	startAt int64 // cycle the current phase began
+}
+
+// enter closes the current phase span and opens the next.
+func (p *phaseTrace) enter(name string, t int64) {
+	if p.span == nil {
+		return
+	}
+	p.close(t)
+	p.cur = p.span.Child(name)
+	p.n++
+	p.startAt = t
+}
+
+// close ends the current phase span, recording its cycle count.
+func (p *phaseTrace) close(t int64) {
+	if p.cur != nil {
+		p.cur.SetAttr("cycles", t-p.startAt)
+		p.cur.End()
+		p.cur = nil
+	}
+}
+
+// finish closes the open phase span and annotates the run span with
+// the run's outcome.
+func (p *phaseTrace) finish(t int64, st *Stats) {
+	if p.span == nil {
+		return
+	}
+	p.close(t)
+	p.span.SetAttr("cycles", st.Cycles)
+	if st.Verdict != VerdictNone {
+		p.span.SetAttr("verdict", st.Verdict.String())
+	}
+	if st.Deadlocked {
+		p.span.SetAttr("deadlocked", true)
+	}
 }
 
 // step advances the network by one cycle. It runs the five-phase

@@ -141,7 +141,11 @@ func SaturationThroughput(cfg Config) (SaturationResult, error) {
 	if cfg.Control != nil {
 		return adaptiveSaturation(cfg)
 	}
-	zlStats, err := zeroLoad(cfg)
+	search := cfg.Span
+	zc := cfg
+	zc.Span = search.Child("zeroload")
+	zlStats, err := zeroLoad(zc)
+	zc.Span.End()
 	if err != nil {
 		return SaturationResult{}, err
 	}
@@ -153,6 +157,8 @@ func SaturationThroughput(cfg Config) (SaturationResult, error) {
 	saturated := func(rate float64) (bool, Stats, error) {
 		c := cfg
 		c.InjectionRate = rate
+		c.Span = search.Child("probe")
+		c.Span.SetAttr("rate", rate)
 		// Shorter drain than the default: saturated runs never drain.
 		clampDrain(&c, probeDrainFactor)
 		st, err := RunConfig(c)
@@ -160,9 +166,13 @@ func SaturationThroughput(cfg Config) (SaturationResult, error) {
 		res.SimFlitHops += st.FlitHops
 		res.Probes++
 		if err != nil {
+			c.Span.End()
 			return false, st, err
 		}
-		return satVerdict(st, zl, rate), st, nil
+		sat := satVerdict(st, zl, rate)
+		c.Span.SetAttr("saturated", sat)
+		c.Span.End()
+		return sat, st, nil
 	}
 
 	lo, hi := 0.0, 1.0
@@ -222,8 +232,11 @@ func LoadLatencyCurve(cfg Config, rates []float64) ([]Stats, error) {
 	for _, r := range rates {
 		c := cfg
 		c.InjectionRate = r
+		c.Span = cfg.Span.Child("point")
+		c.Span.SetAttr("rate", r)
 		clampDrain(&c, curveDrainFactor)
 		st, err := RunConfig(c)
+		c.Span.End()
 		if err != nil {
 			return nil, err
 		}

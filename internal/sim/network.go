@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"sparsehamming/internal/obs"
 	"sparsehamming/internal/route"
 	"sparsehamming/internal/topo"
 )
@@ -63,6 +64,14 @@ type Config struct {
 	// affects wall-clock time only — never results — and is therefore
 	// not part of any job identity.
 	Sched ProbeScheduler
+
+	// Span, when non-nil, receives the execution trace: the engine
+	// attaches warmup/measure/drain phase child spans, and the
+	// saturation searches attach zero-load and per-probe spans (see
+	// package obs). Tracing is wall-clock observability only — it
+	// never affects results and is not part of any job identity. The
+	// per-cycle hot path pays one nil check when unset.
+	Span *obs.Span
 }
 
 // Defaults fills unset fields with the paper's evaluation defaults.
