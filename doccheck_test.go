@@ -19,6 +19,7 @@ import (
 var docCheckedPackages = []string{
 	"internal/sim",
 	"internal/exp",
+	"internal/noc",
 	"internal/obs",
 	"internal/perf",
 	"internal/spec",

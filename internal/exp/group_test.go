@@ -1,0 +1,269 @@
+package exp
+
+// Tests for grouped dispatch: GroupKey/EvalGroup batching, the
+// cache-peel and singleton degradations, the per-job fallback on
+// group failure, and in-flight sharing across concurrent batches of
+// a grouped runner.
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scenarioGroups is a GroupKey batching jobs by scenario.
+func scenarioGroups(j Job) (string, bool) {
+	return j.Scenario, true
+}
+
+// fakeEvalGroup adapts fakeEval to the group signature, counting
+// dispatches and recording group sizes.
+func fakeEvalGroup(dispatches *atomic.Int64, sizes *[]int, mu *sync.Mutex) func([]Job) ([]*Result, error) {
+	eval := fakeEval(nil)
+	return func(jobs []Job) ([]*Result, error) {
+		if dispatches != nil {
+			dispatches.Add(1)
+		}
+		if sizes != nil {
+			mu.Lock()
+			*sizes = append(*sizes, len(jobs))
+			mu.Unlock()
+		}
+		out := make([]*Result, len(jobs))
+		for i, j := range jobs {
+			res, err := eval(j)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+}
+
+// groupJobs is three scenario-a jobs, two scenario-b jobs, and a
+// scenario-c singleton.
+func groupJobs() []Job {
+	return []Job{
+		{Mode: ModeLoad, Scenario: "a", Topo: "mesh", Load: 0.1},
+		{Mode: ModeLoad, Scenario: "a", Topo: "mesh", Load: 0.2},
+		{Mode: ModeLoad, Scenario: "a", Topo: "mesh", Load: 0.3},
+		{Mode: ModeLoad, Scenario: "b", Topo: "torus", Load: 0.1},
+		{Mode: ModeLoad, Scenario: "b", Topo: "torus", Load: 0.2},
+		{Mode: ModeLoad, Scenario: "c", Topo: "ring", Load: 0.1},
+	}
+}
+
+// TestGroupDispatch pins the dispatch split: multi-job groups go
+// through EvalGroup, singletons through Eval, and results match the
+// per-job evaluator's.
+func TestGroupDispatch(t *testing.T) {
+	var evals, dispatches atomic.Int64
+	var sizes []int
+	var mu sync.Mutex
+	r := &Runner{
+		Workers:   4,
+		Eval:      fakeEval(&evals),
+		GroupKey:  scenarioGroups,
+		EvalGroup: fakeEvalGroup(&dispatches, &sizes, &mu),
+	}
+	jobs := groupJobs()
+	got, rep, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Computed != len(jobs) {
+		t.Errorf("report = %+v, want %d computed", rep, len(jobs))
+	}
+	if d := dispatches.Load(); d != 2 {
+		t.Errorf("EvalGroup dispatches = %d, want 2 (scenarios a and b)", d)
+	}
+	if e := evals.Load(); e != 1 {
+		t.Errorf("Eval calls = %d, want 1 (the scenario-c singleton)", e)
+	}
+	mu.Lock()
+	gotSizes := append([]int(nil), sizes...)
+	mu.Unlock()
+	wantSizes := map[int]int{3: 1, 2: 1}
+	for _, n := range gotSizes {
+		wantSizes[n]--
+	}
+	for n, c := range wantSizes {
+		if c != 0 {
+			t.Errorf("group sizes = %v, want one group of 3 and one of 2 (size %d off by %d)", gotSizes, n, c)
+		}
+	}
+	s := r.Stats()
+	if s.Groups != 2 || s.GroupedJobs != 5 {
+		t.Errorf("stats groups=%d groupedJobs=%d, want 2/5", s.Groups, s.GroupedJobs)
+	}
+
+	// Grouped results are the per-job evaluator's results.
+	plain, _, err := (&Runner{Eval: fakeEval(nil), Workers: 1}).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, plain) {
+		t.Errorf("grouped results differ from per-job:\n%v\n%v", got, plain)
+	}
+}
+
+// TestGroupCachePeel: members already in the cache are resolved
+// before dispatch, and a group peeled down to one member degrades to
+// the per-job Eval path.
+func TestGroupCachePeel(t *testing.T) {
+	var evals, dispatches atomic.Int64
+	r := &Runner{
+		Workers:   4,
+		Cache:     NewCache(),
+		Eval:      fakeEval(&evals),
+		GroupKey:  scenarioGroups,
+		EvalGroup: fakeEvalGroup(&dispatches, nil, nil),
+	}
+	jobs := groupJobs()[:3] // the scenario-a group
+	if _, _, err := r.Run(jobs[:2]); err != nil {
+		t.Fatal(err)
+	}
+	d0, e0 := dispatches.Load(), evals.Load()
+
+	_, rep, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHits != 2 || rep.Computed != 1 {
+		t.Errorf("report = %+v, want 2 cached / 1 computed", rep)
+	}
+	if d := dispatches.Load() - d0; d != 0 {
+		t.Errorf("EvalGroup dispatches = %d, want 0 (peeled to a singleton)", d)
+	}
+	if e := evals.Load() - e0; e != 1 {
+		t.Errorf("Eval calls = %d, want 1", e)
+	}
+}
+
+// TestGroupFallback pins the failure contract: a group dispatch that
+// errors, returns the wrong result count, or returns a nil member is
+// retried member by member through Eval, preserving per-job failure
+// semantics.
+func TestGroupFallback(t *testing.T) {
+	cases := []struct {
+		name string
+		eg   func([]Job) ([]*Result, error)
+	}{
+		{"error", func(jobs []Job) ([]*Result, error) {
+			return nil, fmt.Errorf("batch engine declined")
+		}},
+		{"short", func(jobs []Job) ([]*Result, error) {
+			return make([]*Result, len(jobs)-1), nil
+		}},
+		{"nil member", func(jobs []Job) ([]*Result, error) {
+			out := make([]*Result, len(jobs))
+			for i := range out[:len(out)-1] {
+				out[i] = &Result{Topology: jobs[i].Topo}
+			}
+			return out, nil
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var evals atomic.Int64
+			r := &Runner{
+				Workers:   2,
+				Eval:      fakeEval(&evals),
+				GroupKey:  scenarioGroups,
+				EvalGroup: tc.eg,
+			}
+			jobs := groupJobs()[:3]
+			got, rep, err := r.Run(jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Computed != len(jobs) {
+				t.Errorf("report = %+v, want %d computed", rep, len(jobs))
+			}
+			if e := evals.Load(); e != int64(len(jobs)) {
+				t.Errorf("Eval calls = %d, want %d (full fallback)", e, len(jobs))
+			}
+			if s := r.Stats(); s.Groups != 0 {
+				t.Errorf("failed dispatch counted as %d completed groups", s.Groups)
+			}
+			for i, res := range got {
+				if res == nil {
+					t.Errorf("result %d is nil after fallback", i)
+				}
+			}
+		})
+	}
+}
+
+// TestGroupedInFlightSharing extends TestInFlightSharing to grouped
+// dispatch: a second batch submitted while a grouped batch is
+// evaluating the same specs computes nothing — every job resolves
+// from the first batch's flights or cache entries, under the race
+// detector in CI.
+func TestGroupedInFlightSharing(t *testing.T) {
+	var evals, dispatches atomic.Int64
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	inner := fakeEvalGroup(&dispatches, nil, nil)
+	r := &Runner{
+		Workers:  4,
+		Cache:    NewCache(),
+		Eval:     gatedEval(&evals, started, release),
+		GroupKey: scenarioGroups,
+		EvalGroup: func(jobs []Job) ([]*Result, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			<-release
+			return inner(jobs)
+		},
+	}
+	jobs := groupJobs()[:3] // one group, three jobs
+
+	type outcome struct {
+		results []*Result
+		rep     Report
+		err     error
+	}
+	runA := make(chan outcome, 1)
+	go func() {
+		results, rep, err := r.Run(jobs)
+		runA <- outcome{results, rep, err}
+	}()
+	<-started // A owns every flight and its group dispatch is in EvalGroup
+
+	runB := make(chan outcome, 1)
+	go func() {
+		results, rep, err := r.Run(jobs)
+		runB <- outcome{results, rep, err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	a, b := <-runA, <-runB
+
+	if a.err != nil || b.err != nil {
+		t.Fatalf("errors: A=%v B=%v", a.err, b.err)
+	}
+	if d := dispatches.Load(); d != 1 {
+		t.Errorf("EvalGroup dispatches = %d, want 1", d)
+	}
+	if e := evals.Load(); e != 0 {
+		t.Errorf("per-job Eval calls = %d, want 0", e)
+	}
+	if a.rep.Computed != 3 {
+		t.Errorf("A report = %+v, want Computed=3", a.rep)
+	}
+	if b.rep.Computed != 0 || b.rep.Shared+b.rep.CacheHits != 3 {
+		t.Errorf("B report = %+v, want Computed=0 and Shared+CacheHits=3", b.rep)
+	}
+	for i := range jobs {
+		if a.results[i] == nil || b.results[i] == nil || *a.results[i] != *b.results[i] {
+			t.Fatalf("job %d: results differ between batches: %v vs %v", i, a.results[i], b.results[i])
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package noc
+
+// This file wires the simulator's batched multi-replica engine into
+// the campaign runner: LoadGroupKey names the jobs that share one
+// topology build (same scenario, grid, architecture, topology, and
+// routing — a load sweep's ladder differs only in pattern, load,
+// quality windows, and seed), and evalLoadGroup evaluates such a
+// group through one sim.Batch, paying the channel wiring and
+// output-port LUT once instead of once per point.
+//
+// Per-job results are bit-identical to the per-job evalLoadPoint path
+// — same Stats, same SimCycles, same cache keys — because batch
+// replicas share no mutable state (enforced by the sim package's
+// differential harness, and by TestGroupedLoadEvalMatchesPerJob here).
+
+import (
+	"fmt"
+	"strings"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/obs"
+	"sparsehamming/internal/phys"
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/sim"
+	"sparsehamming/internal/topo"
+)
+
+// LoadGroupKey is the exp.Runner.GroupKey for toolchain campaigns: it
+// groups ModeLoad jobs that resolve to the same architecture,
+// topology instance, and routing — exactly the inputs of a simulator
+// Shape — so the runner dispatches them as one batch. Predict and
+// cost jobs are never grouped (each already amortizes its probes over
+// one shared Shape inside the saturation search).
+func LoadGroupKey(j exp.Job) (string, bool) {
+	if j.Mode != exp.ModeLoad {
+		return "", false
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "loadgrp-v1|scenario=%s|rows=%d|cols=%d|topo=%s|sr=%v|sc=%v|routing=%s",
+		j.Scenario, j.Rows, j.Cols, j.Topo, j.SR, j.SC, j.Routing)
+	if o := j.Arch; !o.IsZero() {
+		fmt.Fprintf(&b, "|arch=ge:%g,cores:%d,freq:%g,bw:%g,vcs:%d,buf:%d,aspect:%g",
+			o.EndpointGE, o.CoresPerTile, o.FreqHz, o.LinkBWBits,
+			o.NumVCs, o.BufDepthFlits, o.TileAspect)
+	}
+	return b.String(), true
+}
+
+// evalLoadGroup evaluates a group of ModeLoad jobs sharing one
+// LoadGroupKey through a single sim.Batch. spans, when non-nil,
+// carries one per-job trace span (created by the observed runner);
+// each replica then runs under a "point" child of its job's span,
+// mirroring the per-job path's trace shape. Any resolution error
+// fails the whole group — the runner falls back to per-job Eval
+// calls, which preserves single-job failure semantics.
+func evalLoadGroup(jobs []exp.Job, spans []*obs.Span) ([]*exp.Result, error) {
+	j0 := jobs[0]
+	arch, err := ArchForJob(j0)
+	if err != nil {
+		return nil, err
+	}
+	t, err := topo.ByName(j0.Topo, arch.Rows, arch.Cols, j0.SR, j0.SC)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := phys.Evaluate(arch, t)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := route.ForName(t, j0.Routing)
+	if err != nil {
+		return nil, err
+	}
+
+	base := sim.Config{
+		Topo: t, Routing: rt,
+		NumVCs: arch.Proto.NumVCs, BufDepth: arch.Proto.BufDepthFlits,
+		LinkLatency: cost.LinkLatencies, RouterDelay: RouterDelay,
+		PacketLen: packetLen(arch),
+	}
+	base.Defaults()
+
+	reps := make([]sim.Replica, len(jobs))
+	pointSpans := make([]*obs.Span, len(jobs))
+	for i, j := range jobs {
+		quality, err := QualityByName(j.Quality)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := sim.PatternByName(j.Pattern, arch.Rows, arch.Cols)
+		if err != nil {
+			return nil, err
+		}
+		warmup, measure := quality.simWindows()
+		// Reproduce the per-job path's schedule exactly: the default
+		// drain budget clamped at the load sweep's historical factor of
+		// the replica's own measurement window.
+		c := base
+		c.Warmup, c.Measure = warmup, measure
+		clampCurveDrain(&c)
+		if spans != nil {
+			pointSpans[i] = spans[i].Child("point")
+			pointSpans[i].SetAttr("rate", j.Load)
+		}
+		reps[i] = sim.Replica{
+			InjectionRate: j.Load,
+			Seed:          j.EffectiveSeed(),
+			Pattern:       pat,
+			Warmup:        warmup,
+			Measure:       measure,
+			Drain:         c.Drain,
+			Span:          pointSpans[i],
+		}
+	}
+
+	b, err := sim.NewBatch(base, reps)
+	if err != nil {
+		return nil, err
+	}
+	stats := b.Run()
+	for _, sp := range pointSpans {
+		sp.End()
+	}
+
+	out := make([]*exp.Result, len(jobs))
+	for i, j := range jobs {
+		st := stats[i]
+		out[i] = &exp.Result{
+			Topology:          t.Kind,
+			Params:            paramsString(j),
+			RouterRadix:       t.MaxRadix(),
+			Diameter:          t.Diameter(),
+			AvgHops:           rt.AvgHops(),
+			NumLinks:          t.NumLinks(),
+			RoutingName:       rt.Name,
+			OfferedRate:       st.OfferedRate,
+			AcceptedRate:      st.AcceptedRate,
+			AvgPacketLatency:  st.AvgPacketLatency,
+			P99PacketLatency:  st.P99PacketLatency,
+			DeliveredFraction: st.DeliveredFraction(),
+			SimCycles:         st.Cycles,
+			SimFlitHops:       st.FlitHops,
+		}
+	}
+	return out, nil
+}
+
+// clampCurveDrain applies the load sweep's drain clamp (the same
+// pinned factor sim.LoadLatencyCurve uses) to a defaulted config.
+func clampCurveDrain(c *sim.Config) {
+	if c.Drain > sim.CurveDrainFactor*c.Measure {
+		c.Drain = sim.CurveDrainFactor * c.Measure
+	}
+}

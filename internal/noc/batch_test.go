@@ -1,0 +1,161 @@
+package noc
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"sparsehamming/internal/exp"
+)
+
+// loadLadder is a mixed load sweep on one topology — one group under
+// LoadGroupKey, with pattern, load, seed, and quality varying per
+// point.
+func loadLadder() []exp.Job {
+	return []exp.Job{
+		{Mode: exp.ModeLoad, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh", Load: 0.05, Seed: 1},
+		{Mode: exp.ModeLoad, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh", Load: 0.1, Pattern: "transpose", Seed: 2},
+		{Mode: exp.ModeLoad, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh", Load: 0.2, Seed: 3, Quality: "adaptive"},
+		{Mode: exp.ModeLoad, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh", Load: 0.4, Pattern: "shuffle", Seed: 4},
+	}
+}
+
+// TestGroupedLoadEvalMatchesPerJob is the noc-level parity contract:
+// a load ladder evaluated through one sim.Batch produces bit-identical
+// results — SimCycles included — to the per-job evalLoadPoint path.
+func TestGroupedLoadEvalMatchesPerJob(t *testing.T) {
+	jobs := loadLadder()
+
+	want := make([]*exp.Result, len(jobs))
+	for i, j := range jobs {
+		res, err := EvalJob(j)
+		if err != nil {
+			t.Fatalf("EvalJob(%v): %v", j, err)
+		}
+		want[i] = res
+	}
+
+	got, err := evalLoadGroup(jobs, nil)
+	if err != nil {
+		t.Fatalf("evalLoadGroup: %v", err)
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("job %v:\ngrouped %+v\nper-job %+v", jobs[i], got[i], want[i])
+		}
+	}
+}
+
+// TestLoadGroupKey pins what the group key does and does not
+// distinguish: load points of one sweep share a key, other modes and
+// other topologies or architectures never join the group.
+func TestLoadGroupKey(t *testing.T) {
+	jobs := loadLadder()
+	k0, ok := LoadGroupKey(jobs[0])
+	if !ok {
+		t.Fatal("load job not groupable")
+	}
+	for _, j := range jobs[1:] {
+		k, ok := LoadGroupKey(j)
+		if !ok || k != k0 {
+			t.Errorf("ladder job %v got key %q, want %q", j, k, k0)
+		}
+	}
+
+	if _, ok := LoadGroupKey(exp.Job{Mode: exp.ModePredict, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh"}); ok {
+		t.Error("predict job was groupable")
+	}
+	if _, ok := LoadGroupKey(exp.Job{Mode: exp.ModeCost, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh"}); ok {
+		t.Error("cost job was groupable")
+	}
+
+	j := jobs[0]
+	j.Topo = "torus"
+	if k, _ := LoadGroupKey(j); k == k0 {
+		t.Error("different topology shares a group key")
+	}
+	j = jobs[0]
+	j.Routing = "hop-minimal"
+	if k, _ := LoadGroupKey(j); k == k0 {
+		t.Error("different routing shares a group key")
+	}
+	j = jobs[0]
+	j.Arch = &exp.ArchOverride{NumVCs: 8}
+	if k, _ := LoadGroupKey(j); k == k0 {
+		t.Error("different architecture override shares a group key")
+	}
+}
+
+// TestRunnerGroupsLoadSweep checks the wiring end to end: a campaign
+// of load points dispatches as one group (visible in the runner
+// stats) and its results match the per-job evaluator.
+func TestRunnerGroupsLoadSweep(t *testing.T) {
+	jobs := loadLadder()
+	r := NewRunner(4, nil)
+	before := r.Stats()
+	got, rep, err := r.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := r.Stats()
+	if rep.Computed != len(jobs) {
+		t.Errorf("report = %+v, want %d computed", rep, len(jobs))
+	}
+	if d := after.Groups - before.Groups; d != 1 {
+		t.Errorf("group dispatches: got %d, want 1", d)
+	}
+	if d := after.GroupedJobs - before.GroupedJobs; d != int64(len(jobs)) {
+		t.Errorf("grouped jobs: got %d, want %d", d, len(jobs))
+	}
+
+	for i, j := range jobs {
+		want, err := EvalJob(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("job %v:\nrunner  %+v\nper-job %+v", j, got[i], want)
+		}
+	}
+}
+
+// TestGroupFallbackOnBadMember: when one point of a ladder cannot be
+// evaluated (here: an unknown traffic pattern), the whole-group
+// dispatch fails and the runner re-evaluates every member through the
+// per-job path — so the good points still succeed with their usual
+// results and only the bad one fails, exactly as an ungrouped
+// campaign would behave.
+func TestGroupFallbackOnBadMember(t *testing.T) {
+	jobs := loadLadder()
+	bad := jobs[0]
+	bad.Load = 0.3
+	bad.Pattern = "tornado" // not a registered pattern
+	jobs = append(jobs, bad)
+
+	r := NewRunner(4, nil)
+	before := r.Stats()
+	got, rep, err := r.Run(jobs)
+	if err == nil || !strings.Contains(err.Error(), "tornado") {
+		t.Fatalf("Run error = %v, want pattern failure", err)
+	}
+	after := r.Stats()
+	if rep.Failed != 1 || rep.Computed != len(jobs)-1 {
+		t.Errorf("report = %+v, want 1 failed / %d computed", rep, len(jobs)-1)
+	}
+	// The failed dispatch must not count as a completed group.
+	if d := after.Groups - before.Groups; d != 0 {
+		t.Errorf("group dispatches: got %d, want 0 (fallback)", d)
+	}
+	if got[len(jobs)-1] != nil {
+		t.Errorf("bad job produced a result: %+v", got[len(jobs)-1])
+	}
+	for i, j := range jobs[:len(jobs)-1] {
+		want, err := EvalJob(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got[i], want) {
+			t.Errorf("job %v:\nfallback %+v\nper-job  %+v", j, got[i], want)
+		}
+	}
+}

@@ -40,45 +40,89 @@ var phaseNames = map[string]bool{
 func NewObservedRunner(workers int, cache *exp.Cache, hub *obs.Hub) *exp.Runner {
 	r := &exp.Runner{Workers: workers, Cache: cache}
 	sched := runnerSched{r: r}
+	// Load-sweep jobs sharing one topology build are dispatched as a
+	// group and evaluated through one sim.Batch (see batch.go) —
+	// instrumented or not, since grouping changes scheduling only,
+	// never results.
+	r.GroupKey = LoadGroupKey
 	if hub == nil {
 		r.Eval = func(j exp.Job) (*exp.Result, error) { return evalJobSched(j, sched, nil) }
+		r.EvalGroup = func(jobs []exp.Job) ([]*exp.Result, error) { return evalLoadGroup(jobs, nil) }
 		return r
 	}
 	r.Log = hub.Logger()
-	phases := hub.Metrics.HistogramVec("sh_sim_phase_seconds",
-		"Wall-clock duration of simulation phases and probes, by span name.",
-		obs.DefBuckets, "phase")
+	ob := &jobObserver{
+		hub: hub,
+		phases: hub.Metrics.HistogramVec("sh_sim_phase_seconds",
+			"Wall-clock duration of simulation phases and probes, by span name.",
+			obs.DefBuckets, "phase"),
+	}
 	r.Eval = func(j exp.Job) (*exp.Result, error) {
-		span := obs.NewSpan("job")
-		span.SetAttr("mode", string(j.Mode))
-		span.SetAttr("topo", j.Topo)
-		if j.Quality != "" {
-			span.SetAttr("quality", j.Quality)
-		}
+		span := ob.begin(j)
 		res, err := evalJobSched(j, sched, span)
-		span.End()
-		if err != nil {
-			span.SetAttr("error", err.Error())
+		ob.finish(j, span, err)
+		return res, err
+	}
+	r.EvalGroup = func(jobs []exp.Job) ([]*exp.Result, error) {
+		// One span tree per job, so batched jobs keep per-key traces:
+		// the batch's replicas run under "point" children of these.
+		spans := make([]*obs.Span, len(jobs))
+		for i, j := range jobs {
+			spans[i] = ob.begin(j)
 		}
-		probes := 0
-		span.Walk(func(s *obs.Span) {
-			if phaseNames[s.Name] {
-				phases.With(s.Name).Observe(float64(s.DurMs) / 1000)
-			}
-			if s.Name == "probe" {
-				probes++
-			}
-		})
-		hub.Traces.Put(j.Key(), span)
-		if d := span.Duration(); d > hub.SlowJobThreshold() {
-			hub.Logger().Warn("slow job",
-				"job", j.String(), "elapsed", d.Round(time.Millisecond),
-				"probes", probes)
+		res, err := evalLoadGroup(jobs, spans)
+		for i, j := range jobs {
+			ob.finish(j, spans[i], err)
 		}
 		return res, err
 	}
 	RegisterMetrics(hub.Metrics, r, cache)
 	return r
+}
+
+// jobObserver records one evaluated job's execution trace and derived
+// telemetry: begin opens the job span, finish closes it, feeds the
+// per-phase duration histograms, stores the trace under the job's
+// content key, and logs slow jobs. Both the per-job Eval path and the
+// grouped batch path share it, so batched jobs are observed exactly
+// like sequential ones.
+type jobObserver struct {
+	hub    *obs.Hub
+	phases *obs.HistogramVec
+}
+
+// begin opens the span tree for one job evaluation.
+func (o *jobObserver) begin(j exp.Job) *obs.Span {
+	span := obs.NewSpan("job")
+	span.SetAttr("mode", string(j.Mode))
+	span.SetAttr("topo", j.Topo)
+	if j.Quality != "" {
+		span.SetAttr("quality", j.Quality)
+	}
+	return span
+}
+
+// finish closes a job span and publishes its telemetry.
+func (o *jobObserver) finish(j exp.Job, span *obs.Span, err error) {
+	span.End()
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	probes := 0
+	span.Walk(func(s *obs.Span) {
+		if phaseNames[s.Name] {
+			o.phases.With(s.Name).Observe(float64(s.DurMs) / 1000)
+		}
+		if s.Name == "probe" {
+			probes++
+		}
+	})
+	o.hub.Traces.Put(j.Key(), span)
+	if d := span.Duration(); d > o.hub.SlowJobThreshold() {
+		o.hub.Logger().Warn("slow job",
+			"job", j.String(), "elapsed", d.Round(time.Millisecond),
+			"probes", probes)
+	}
 }
 
 // RegisterMetrics installs scrape-time collectors for the simulator's
@@ -108,6 +152,18 @@ func RegisterMetrics(m *obs.Registry, r *exp.Runner, cache *exp.Cache) {
 	m.CounterFunc("sh_sim_probes_canceled_total",
 		"Speculative probes abandoned because a sibling's verdict made them irrelevant.",
 		func() float64 { return float64(sim.Counters().ProbesCanceled) })
+	m.CounterFunc("sh_sim_shape_builds_total",
+		"Shared topology builds (channel wiring + output-port LUT); sh_sim_builds_total / this is the batched engine's build amortization.",
+		func() float64 { return float64(sim.Counters().ShapeBuilds) })
+	m.CounterFunc("sh_sim_builds_total",
+		"Simulator replica instantiations (each used to pay a full topology build).",
+		func() float64 { return float64(sim.Counters().SimBuilds) })
+	m.CounterFunc("sh_sim_batches_total",
+		"Interleaved multi-replica batch passes executed.",
+		func() float64 { return float64(sim.Counters().Batches) })
+	m.CounterFunc("sh_sim_batch_replicas_total",
+		"Replicas stepped by interleaved batch passes.",
+		func() float64 { return float64(sim.Counters().BatchReplicas) })
 	m.Func("sh_sim_verdicts_total",
 		"Completed simulation runs by how they ended.",
 		obs.KindCounter, []string{"verdict"}, func() []obs.Sample {
@@ -138,6 +194,12 @@ func RegisterMetrics(m *obs.Registry, r *exp.Runner, cache *exp.Cache) {
 		m.CounterFunc("sh_runner_busy_seconds_total",
 			"Evaluation wall-time summed across workers.",
 			func() float64 { return float64(r.Stats().BusyNanos) / 1e9 })
+		m.CounterFunc("sh_runner_groups_total",
+			"Multi-job group dispatches completed (batched load sweeps).",
+			func() float64 { return float64(r.Stats().Groups) })
+		m.CounterFunc("sh_runner_grouped_jobs_total",
+			"Jobs answered by multi-job group dispatches.",
+			func() float64 { return float64(r.Stats().GroupedJobs) })
 		m.GaugeFunc("sh_runner_evals_in_flight",
 			"Evaluation slots currently held (including borrowed probe slots).",
 			func() float64 { return float64(r.Stats().InFlight) })

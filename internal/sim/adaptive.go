@@ -36,6 +36,7 @@ type probeOutcome struct {
 // speculation table.
 type prober struct {
 	cfg     Config  // base config (Defaults applied)
+	sh      *Shape  // shared build products; read-only, so concurrent speculative probes instantiate from it safely
 	ctl     Control // controller template (defaults applied)
 	zl      float64 // zero-load reference latency
 	span    *obs.Span
@@ -55,7 +56,7 @@ func (p *prober) run(rate float64, interrupt <-chan struct{}, span *obs.Span) pr
 	ctl.DecideLatency = latencyBlowupFactor * p.zl
 	ctl.Interrupt = interrupt
 	c.Control = &ctl
-	st, err := RunConfig(c)
+	st, err := runShaped(p.sh, c)
 	span.End()
 	return probeOutcome{st: st, err: err}
 }
@@ -133,10 +134,12 @@ func (p *prober) budgetCap() int64 {
 	return int64(p.cfg.Warmup + p.cfg.Measure)
 }
 
-// adaptiveSaturation is the Control-enabled saturation search.
-func adaptiveSaturation(cfg Config) (SaturationResult, error) {
+// adaptiveSaturation is the Control-enabled saturation search over
+// the search's shared Shape.
+func adaptiveSaturation(sh *Shape, cfg Config) (SaturationResult, error) {
 	p := &prober{
 		cfg:     cfg,
+		sh:      sh,
 		ctl:     cfg.Control.withDefaults(),
 		span:    cfg.Span,
 		pending: map[float64]*specProbe{},
@@ -153,7 +156,7 @@ func adaptiveSaturation(cfg Config) (SaturationResult, error) {
 	// in lockstep with the fixed-budget search.
 	zc := p.cfg
 	zc.Span = p.span.Child("zeroload")
-	zlStats, err := zeroLoad(zc)
+	zlStats, err := zeroLoad(sh, zc)
 	zc.Span.End()
 	if err != nil {
 		return SaturationResult{}, err

@@ -1,0 +1,345 @@
+package sim
+
+// Batched multi-replica simulation: one Shape — the read-only build
+// product of a (topology, routing, link-latency) configuration — is
+// instantiated into many independent replicas that differ only in
+// load, seed, traffic pattern, schedule, or adaptive-control state,
+// and a Batch steps those replicas in a single interleaved pass.
+//
+// The campaign layers spend most of their build time recomputing the
+// same network over and over: a saturation search runs a zero-load
+// reference plus up to eight probes, and a load-latency sweep one run
+// per point, each of which used to rebuild the routers, channel
+// wiring, and — dominating everything — the per-(src,dst) output-port
+// LUT. A Shape computes all of that once; Instantiate only allocates
+// the mutable per-replica state (VC rings, credit counters, arbiter
+// pointers, queues).
+//
+// Correctness is bit-level by construction: replicas share no mutable
+// state (the Shape is never written after NewShape returns), each
+// replica runs exactly the per-cycle code of a sequential
+// Simulator.Run, and replicas are independent — so interleaving their
+// cycles changes nothing about any replica's result. The differential
+// harness in differential_test.go enforces this field by field across
+// every topology family.
+
+import (
+	"fmt"
+	"slices"
+
+	"sparsehamming/internal/obs"
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/topo"
+)
+
+// chanShape is the immutable description of one directed channel:
+// endpoints, port numbers, and pipeline latency. The mutable flit and
+// credit queues live in the per-replica dchan.
+type chanShape struct {
+	from, to int32
+	outPort  int16
+	inPort   int16
+	latency  int64
+}
+
+// Shape is the replica-independent build product of one (topology,
+// routing, link-latency) configuration: the directed-channel layout,
+// the per-router channel wiring, and the per-(src,dst) output-port
+// LUT. It is read-only after NewShape returns and therefore safe to
+// share across replicas running concurrently (the adaptive saturation
+// search's speculative probes instantiate from one Shape on several
+// goroutines).
+type Shape struct {
+	topo    *topo.Topology
+	routing *route.Routing
+	linkLat []int // copy of the Config.LinkLatency it was built from
+
+	chans []chanShape
+
+	// inChans[id] / outChans[id] are the dchan indices feeding input
+	// port i / driven by output port o of router id. Routers reference
+	// these slices directly (they are never mutated).
+	inChans, outChans [][]int32
+
+	// pathPorts[src][dst][i] is the output port taken at hop i of the
+	// routed path src->dst. Packets reference rows of this table
+	// directly; it is the dominant build cost a Shape amortizes.
+	pathPorts [][][]int16
+}
+
+// NewShape builds the shared state for the configuration's topology,
+// routing, and link latencies. The remaining Config fields (load,
+// seed, VC parameters, schedule) are ignored — they parameterize
+// Instantiate, not the shape.
+func NewShape(cfg Config) (*Shape, error) {
+	cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return newShape(&cfg), nil
+}
+
+// newShape builds the shared state from a defaulted, validated config.
+func newShape(cfg *Config) *Shape {
+	t := cfg.Topo
+	n := t.NumTiles()
+	sh := &Shape{
+		topo:     t,
+		routing:  cfg.Routing,
+		linkLat:  slices.Clone(cfg.LinkLatency),
+		inChans:  make([][]int32, n),
+		outChans: make([][]int32, n),
+	}
+
+	// Per-link latency lookup.
+	latOf := make(map[[2]int32]int64)
+	for i, l := range t.Links() {
+		lat := int64(1)
+		if cfg.LinkLatency != nil {
+			lat = int64(cfg.LinkLatency[i])
+			if lat < 1 {
+				lat = 1
+			}
+		}
+		a, b := int32(t.Index(l.A)), int32(t.Index(l.B))
+		latOf[[2]int32{a, b}] = lat
+		latOf[[2]int32{b, a}] = lat
+	}
+
+	// Port numbering: position of the neighbor in the sorted neighbor
+	// list (both for input and output ports).
+	portOf := func(node, nb int) int16 {
+		for i, v := range t.Neighbors(node) {
+			if v == nb {
+				return int16(i)
+			}
+		}
+		panic("sim: neighbor not found")
+	}
+
+	for id := 0; id < n; id++ {
+		deg := t.Degree(id)
+		sh.inChans[id] = make([]int32, deg)
+		sh.outChans[id] = make([]int32, deg)
+	}
+
+	// Directed channels: one per (from, to) adjacency.
+	for id := 0; id < n; id++ {
+		for _, nb := range t.Neighbors(id) {
+			c := chanShape{
+				from:    int32(id),
+				to:      int32(nb),
+				outPort: portOf(id, nb),
+				inPort:  portOf(nb, id),
+				latency: latOf[[2]int32{int32(id), int32(nb)}],
+			}
+			idx := int32(len(sh.chans))
+			sh.chans = append(sh.chans, c)
+			sh.outChans[id][c.outPort] = idx
+			sh.inChans[nb][c.inPort] = idx
+		}
+	}
+
+	// Precompute, per (src, dst) pair, the output port taken at every
+	// hop of the routed path, so neither VC allocation nor injection
+	// ever searches a path or a neighbor list at simulation time.
+	portTo := make([][]int16, n)
+	for id := range portTo {
+		portTo[id] = make([]int16, n)
+		for j := range portTo[id] {
+			portTo[id][j] = -1
+		}
+	}
+	for _, c := range sh.chans {
+		portTo[c.from][c.to] = c.outPort
+	}
+	sh.pathPorts = make([][][]int16, n)
+	for src := 0; src < n; src++ {
+		row := make([][]int16, n)
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			p := cfg.Routing.Path(src, dst)
+			pp := make([]int16, p.Hops())
+			for i := range pp {
+				pp[i] = portTo[p.Tiles[i]][p.Tiles[i+1]]
+				if pp[i] < 0 {
+					panic("sim: routed path uses a missing channel")
+				}
+			}
+			row[dst] = pp
+		}
+		sh.pathPorts[src] = row
+	}
+
+	counters.shapeBuilds.Add(1)
+	return sh
+}
+
+// matches reports whether the config's topology, routing, and link
+// latencies are the ones the shape was built from.
+func (sh *Shape) matches(cfg *Config) error {
+	if cfg.Topo != sh.topo || cfg.Routing != sh.routing {
+		return fmt.Errorf("sim: config topology/routing differ from the shape's")
+	}
+	if !slices.Equal(cfg.LinkLatency, sh.linkLat) {
+		return fmt.Errorf("sim: config link latencies differ from the shape's")
+	}
+	return nil
+}
+
+// Instantiate builds one simulator replica over the shared shape. The
+// config's topology, routing, and link latencies must be exactly the
+// shape's; everything else (load, seed, pattern, VC parameters,
+// schedule, control) is free per replica.
+func (sh *Shape) Instantiate(cfg Config) (*Simulator, error) {
+	cfg.Defaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sh.matches(&cfg); err != nil {
+		return nil, err
+	}
+	return sh.instantiate(&cfg), nil
+}
+
+// Replica configures one member of a Batch as a delta against the
+// batch's base Config. Zero fields keep the base's value, so a batch
+// over a load ladder only sets InjectionRate per replica.
+type Replica struct {
+	// InjectionRate is the replica's offered load (flits/node/cycle).
+	InjectionRate float64
+
+	// Seed, when non-zero, overrides the base seed.
+	Seed int64
+
+	// Pattern, when non-nil, overrides the base traffic pattern.
+	Pattern Pattern
+
+	// Warmup, Measure, and Drain, when positive, override the base
+	// schedule (a saturation probe's clamped drain, a zero-load
+	// reference's longer measurement).
+	Warmup, Measure, Drain int
+
+	// Control, when non-nil, overrides the base adaptive controller —
+	// replicas of one batch may mix fixed-budget and adaptive runs, and
+	// adaptive replicas end (and leave the batch) as soon as their
+	// verdict is decided.
+	Control *Control
+
+	// Span, when non-nil, overrides the base trace span for this
+	// replica (observability only, never results).
+	Span *obs.Span
+}
+
+// config materializes the replica's effective Config over the base.
+func (rep *Replica) config(base Config) Config {
+	c := base
+	c.InjectionRate = rep.InjectionRate
+	if rep.Seed != 0 {
+		c.Seed = rep.Seed
+	}
+	if rep.Pattern != nil {
+		c.Pattern = rep.Pattern
+	}
+	if rep.Warmup > 0 {
+		c.Warmup = rep.Warmup
+	}
+	if rep.Measure > 0 {
+		c.Measure = rep.Measure
+	}
+	if rep.Drain > 0 {
+		c.Drain = rep.Drain
+	}
+	if rep.Control != nil {
+		c.Control = rep.Control
+	}
+	c.Span = rep.Span
+	return c
+}
+
+// Batch is a set of independent simulator replicas sharing one Shape,
+// stepped in a single interleaved pass. Create with NewBatch, run
+// with Run; results are bit-identical to running each replica's
+// configuration through RunConfig sequentially.
+type Batch struct {
+	shape *Shape
+	sims  []*Simulator
+}
+
+// NewBatch builds one shared Shape from the base configuration and
+// instantiates one replica per entry of reps. The base's
+// InjectionRate is ignored (each replica sets its own); its Span is
+// not inherited by replicas (set Replica.Span per member).
+func NewBatch(base Config, reps []Replica) (*Batch, error) {
+	if len(reps) == 0 {
+		return nil, fmt.Errorf("sim: batch with no replicas")
+	}
+	base.Defaults()
+	sh, err := NewShape(base)
+	if err != nil {
+		return nil, err
+	}
+	return sh.Batch(base, reps)
+}
+
+// Batch instantiates a batch of replicas over an existing shape —
+// for callers that run several batches or sequential probes against
+// one configuration (the saturation searches).
+func (sh *Shape) Batch(base Config, reps []Replica) (*Batch, error) {
+	base.Defaults()
+	b := &Batch{shape: sh, sims: make([]*Simulator, len(reps))}
+	for i := range reps {
+		s, err := sh.Instantiate(reps[i].config(base))
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch replica %d: %w", i, err)
+		}
+		b.sims[i] = s
+	}
+	return b, nil
+}
+
+// Len returns the number of replicas.
+func (b *Batch) Len() int { return len(b.sims) }
+
+// batchChunk is how many cycles one replica advances before the
+// interleaved pass moves to the next. Replicas are independent, so
+// the chunk size is invisible in the results — it only trades cache
+// locality (a replica's VC rings and queues stay hot for the whole
+// chunk) against how promptly the pass retires finished replicas.
+// Per-cycle interleaving (chunk 1) measurably thrashes the cache once
+// the combined replica state outgrows it.
+const batchChunk = 1024
+
+// Run steps every replica to completion in one interleaved pass —
+// each pass advances each still-running replica by a bounded chunk of
+// cycles over the shared output-port LUT — and returns one Stats per
+// replica, in replica order. Replicas that finish early (short
+// drains, adaptive verdicts) drop out of the pass immediately.
+func (b *Batch) Run() []Stats {
+	out := make([]Stats, len(b.sims))
+	active := make([]int, 0, len(b.sims))
+	for i, s := range b.sims {
+		s.startRun()
+		active = append(active, i)
+	}
+	for len(active) > 0 {
+		live := active[:0]
+		for _, i := range active {
+			running := true
+			for k := 0; running && k < batchChunk; k++ {
+				running = b.sims[i].stepRun()
+			}
+			if running {
+				live = append(live, i)
+			} else {
+				out[i] = b.sims[i].finishRun()
+			}
+		}
+		active = live
+	}
+	counters.batches.Add(1)
+	counters.batchReplicas.Add(int64(len(b.sims)))
+	return out
+}

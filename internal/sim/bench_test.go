@@ -11,11 +11,39 @@ package sim
 //	go test ./internal/sim -bench=. -benchmem
 
 import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"sparsehamming/internal/perf"
 	"sparsehamming/internal/route"
 	"sparsehamming/internal/topo"
 )
+
+// benchRec collects the batch-engine benchmark entries; TestMain
+// flushes them to the repository's perf trajectory after a -bench run
+// so `cmd/shperf -check` guards the batched path.
+var benchRec = perf.NewRecorder()
+
+// TestMain appends recorded measurements to the perf trajectory. The
+// default trajectory path is relative to the repository root; package
+// tests run in the package directory, so rebase it (an explicit
+// $BENCH_SIM_JSON is used as-is).
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if f := flag.Lookup("test.bench"); f != nil && f.Value.String() != "" {
+		path := perf.DefaultPath()
+		if os.Getenv(perf.DefaultPathEnv) == "" {
+			path = filepath.Join("..", "..", path)
+		}
+		if err := benchRec.Flush(path); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+		}
+	}
+	os.Exit(code)
+}
 
 // benchSim builds an 8x8 mesh simulator warmed up to steady state at
 // the given injection rate.
@@ -172,6 +200,124 @@ func BenchmarkStageGenerate(b *testing.B) {
 		}
 		s.now++
 	}
+}
+
+// benchLadderConfig returns the 8x8-mesh base configuration the batch
+// benchmarks share.
+func benchLadderConfig(b *testing.B) Config {
+	b.Helper()
+	m, err := topo.NewMesh(8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := route.For(m, route.Auto)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return Config{
+		Topo: m, Routing: r, NumVCs: 8, BufDepth: 32,
+		RouterDelay: 3, PacketLen: 4,
+		Seed: 1, Warmup: 300, Measure: 800, Drain: 2400,
+	}
+}
+
+// benchLadderRates is the 8-point load ladder the batch benchmarks
+// sweep — the shape of a Figure 6 load sweep.
+var benchLadderRates = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9}
+
+// BenchmarkShapeBuild times the shared build product alone: channel
+// wiring plus the pathPorts LUT — the per-topology cost a batch pays
+// once.
+func BenchmarkShapeBuild(b *testing.B) {
+	cfg := benchLadderConfig(b)
+	meter := perf.StartMeter()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewShape(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchRec.Set(meter.Done("ShapeBuild", b.N))
+}
+
+// BenchmarkInstantiateFromShape times the per-replica remainder: the
+// mutable VC rings, credits, and arbiter state a batch pays per
+// replica. ShapeBuild ns/op over this ns/op is the per-replica build
+// saving of sharing a shape.
+func BenchmarkInstantiateFromShape(b *testing.B) {
+	cfg := benchLadderConfig(b)
+	sh, err := NewShape(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	meter := perf.StartMeter()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sh.Instantiate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	benchRec.Set(meter.Done("InstantiateFromShape", b.N))
+}
+
+// BenchmarkBatchLadder runs the 8-point load ladder as one
+// interleaved Batch — one shape build, eight replicas.
+func BenchmarkBatchLadder(b *testing.B) {
+	cfg := benchLadderConfig(b)
+	meter := perf.StartMeter()
+	var cycles int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reps := make([]Replica, len(benchLadderRates))
+		for j, r := range benchLadderRates {
+			reps[j] = Replica{InjectionRate: r, Seed: int64(i + 1)}
+		}
+		batch, err := NewBatch(cfg, reps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, st := range batch.Run() {
+			cycles += st.Cycles
+		}
+	}
+	elapsed := meter.Elapsed()
+	cyPerSec := float64(cycles) / elapsed.Seconds()
+	b.ReportMetric(cyPerSec/1e6, "Msimcy/s")
+	entry := meter.Done("BatchLadder", b.N)
+	entry.CyclesPerSec = cyPerSec
+	benchRec.Set(entry)
+}
+
+// BenchmarkSequentialLadder runs the same 8-point ladder the
+// pre-batching way — one full build per point — as the baseline for
+// BenchmarkBatchLadder.
+func BenchmarkSequentialLadder(b *testing.B) {
+	cfg := benchLadderConfig(b)
+	meter := perf.StartMeter()
+	var cycles int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range benchLadderRates {
+			c := cfg
+			c.InjectionRate = r
+			c.Seed = int64(i + 1)
+			st, err := RunConfig(c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += st.Cycles
+		}
+	}
+	elapsed := meter.Elapsed()
+	cyPerSec := float64(cycles) / elapsed.Seconds()
+	b.ReportMetric(cyPerSec/1e6, "Msimcy/s")
+	entry := meter.Done("SequentialLadder", b.N)
+	entry.CyclesPerSec = cyPerSec
+	benchRec.Set(entry)
 }
 
 // BenchmarkRun measures a complete short run end to end, the unit of

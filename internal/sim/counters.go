@@ -21,6 +21,11 @@ var counters struct {
 	cyclesSaved      atomic.Int64
 	probesSpeculated atomic.Int64
 	probesCanceled   atomic.Int64
+
+	shapeBuilds   atomic.Int64
+	simBuilds     atomic.Int64
+	batches       atomic.Int64
+	batchReplicas atomic.Int64
 }
 
 // CounterSnapshot is a point-in-time copy of the process-wide
@@ -52,6 +57,18 @@ type CounterSnapshot struct {
 	// because a sibling's verdict made them irrelevant.
 	ProbesSpeculated int64
 	ProbesCanceled   int64
+
+	// ShapeBuilds counts shared topology builds (Shape constructions:
+	// channel wiring + output-port LUT) and SimBuilds counts replica
+	// instantiations; their ratio SimBuilds/ShapeBuilds is the batched
+	// engine's build-work amortization factor (every replica used to
+	// pay a full shape build).
+	ShapeBuilds int64
+	SimBuilds   int64
+	// Batches counts interleaved Batch.Run passes and BatchReplicas the
+	// replicas they stepped.
+	Batches       int64
+	BatchReplicas int64
 }
 
 // Counters returns a snapshot of the process-wide simulation counters.
@@ -68,6 +85,10 @@ func Counters() CounterSnapshot {
 		CyclesSaved:         counters.cyclesSaved.Load(),
 		ProbesSpeculated:    counters.probesSpeculated.Load(),
 		ProbesCanceled:      counters.probesCanceled.Load(),
+		ShapeBuilds:         counters.shapeBuilds.Load(),
+		SimBuilds:           counters.simBuilds.Load(),
+		Batches:             counters.batches.Load(),
+		BatchReplicas:       counters.batchReplicas.Load(),
 	}
 }
 

@@ -1,0 +1,281 @@
+package sim
+
+// Differential equivalence harness for the batched engine: a seeded
+// generator draws random (topology family, routing, pattern, load,
+// seed, control on/off) tuples, runs each tuple once through the
+// sequential Simulator.Run path and once as a replica of an
+// interleaved Batch, and asserts the two Stats are bit-identical
+// field by field. This is the proof obligation behind every layer
+// above the engine — the cache, the CSV guarantees, and the parity
+// tests all assume batched == sequential at the bit level.
+
+import (
+	"math/rand"
+	"testing"
+
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/topo"
+)
+
+// diffFamily is one topology family instance the generator draws
+// from: a small grid satisfying the family's constraint.
+type diffFamily struct {
+	kind       string
+	rows, cols int
+	sr, sc     []int
+}
+
+// diffFamilies covers every registered topology family.
+var diffFamilies = []diffFamily{
+	{kind: "ring", rows: 2, cols: 4},
+	{kind: "mesh", rows: 4, cols: 4},
+	{kind: "torus", rows: 4, cols: 4},
+	{kind: "folded-torus", rows: 4, cols: 4},
+	{kind: "hypercube", rows: 4, cols: 4},
+	{kind: "slimnoc", rows: 2, cols: 4},
+	{kind: "flattened-butterfly", rows: 4, cols: 4},
+	{kind: "sparse-hamming", rows: 4, cols: 4, sr: []int{2}, sc: []int{2}},
+	{kind: "ruche", rows: 4, cols: 4, sr: []int{2}},
+}
+
+// diffRoutings are the routing names the generator draws: the
+// family's co-designed default and the generic hop-minimal tables
+// (buildable for any connected topology).
+var diffRoutings = []string{"", "hop-minimal"}
+
+// diffLoads spans from near-zero through deep saturation so the
+// harness exercises drained, early-verdict, and drain-capped exits.
+var diffLoads = []float64{0.02, 0.08, 0.15, 0.3, 0.5, 0.9}
+
+// diffCase is one generated configuration tuple.
+type diffCase struct {
+	family  diffFamily
+	routing string
+	pattern string
+	load    float64
+	seed    int64
+	control bool
+}
+
+// diffConfig materializes the tuple against a topology and routing
+// into the sequential-path Config. Short windows keep the full corpus
+// fast; small VC counts and buffers reach interesting contention at
+// these network sizes.
+func (dc diffCase) diffConfig(t *testing.T, tp *topo.Topology, rt *route.Routing) Config {
+	t.Helper()
+	pat, err := PatternByName(dc.pattern, dc.family.rows, dc.family.cols)
+	if err != nil {
+		t.Fatalf("pattern %q: %v", dc.pattern, err)
+	}
+	vcs := 4
+	if rt.NumClasses > vcs {
+		vcs = rt.NumClasses
+	}
+	cfg := Config{
+		Topo: tp, Routing: rt,
+		NumVCs: vcs, BufDepth: 8,
+		RouterDelay: 2, PacketLen: 4,
+		InjectionRate: dc.load,
+		Pattern:       pat,
+		Seed:          dc.seed,
+		Warmup:        200, Measure: 500, Drain: 1500,
+	}
+	if dc.control {
+		cfg.Control = &Control{Window: 50, RelHalfWidth: 0.05}
+	}
+	return cfg
+}
+
+// TestBatchedMatchesSequentialDifferential is the harness entry
+// point: 36 batches of 3 replicas each (108 generated configurations,
+// every family represented) in full mode, a quarter of that under
+// -short. Each batch mixes loads, seeds, patterns, and control modes,
+// so replicas finish at different cycles and the interleaver's
+// early-exit path is always exercised.
+func TestBatchedMatchesSequentialDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xD1FFE12E))
+	batches := 36
+	if testing.Short() {
+		batches = 9
+	}
+	const replicasPerBatch = 3
+	patterns := PatternNames()
+
+	covered := map[string]bool{}
+	total := 0
+	for b := 0; b < batches; b++ {
+		fam := diffFamilies[b%len(diffFamilies)]
+		covered[fam.kind] = true
+		tp, err := topo.ByName(fam.kind, fam.rows, fam.cols, fam.sr, fam.sc)
+		if err != nil {
+			t.Fatalf("topology %s: %v", fam.kind, err)
+		}
+		routing := diffRoutings[rng.Intn(len(diffRoutings))]
+		rt, err := route.ForName(tp, routing)
+		if err != nil {
+			t.Fatalf("routing %q on %s: %v", routing, fam.kind, err)
+		}
+
+		// Draw the batch's replica tuples.
+		cases := make([]diffCase, replicasPerBatch)
+		for i := range cases {
+			pattern := patterns[rng.Intn(len(patterns))]
+			if _, err := PatternByName(pattern, fam.rows, fam.cols); err != nil {
+				pattern = "uniform" // pattern unsupported on this grid
+			}
+			cases[i] = diffCase{
+				family:  fam,
+				routing: routing,
+				pattern: pattern,
+				load:    diffLoads[rng.Intn(len(diffLoads))],
+				seed:    rng.Int63n(1 << 32),
+				control: rng.Intn(2) == 1,
+			}
+		}
+
+		// Sequential reference: each tuple through the classic
+		// build-and-run path.
+		want := make([]Stats, len(cases))
+		for i, dc := range cases {
+			st, err := RunConfig(dc.diffConfig(t, tp, rt))
+			if err != nil {
+				t.Fatalf("sequential %+v: %v", dc, err)
+			}
+			want[i] = st
+		}
+
+		// Batched: the same tuples as replicas of one interleaved
+		// batch over one shared shape. The base carries the shared
+		// fields; per-replica deltas carry the rest.
+		base := cases[0].diffConfig(t, tp, rt)
+		base.Control = nil
+		reps := make([]Replica, len(cases))
+		for i, dc := range cases {
+			cfg := dc.diffConfig(t, tp, rt)
+			reps[i] = Replica{
+				InjectionRate: cfg.InjectionRate,
+				Seed:          cfg.Seed,
+				Pattern:       cfg.Pattern,
+				Warmup:        cfg.Warmup,
+				Measure:       cfg.Measure,
+				Drain:         cfg.Drain,
+				Control:       cfg.Control,
+			}
+		}
+		batch, err := NewBatch(base, reps)
+		if err != nil {
+			t.Fatalf("NewBatch %s: %v", fam.kind, err)
+		}
+		got := batch.Run()
+
+		for i := range cases {
+			total++
+			// Stats has only scalar fields, so == is a field-by-field
+			// bit-identity check.
+			if got[i] != want[i] {
+				t.Errorf("%s routing=%q %+v:\nbatched    %+v\nsequential %+v",
+					fam.kind, routing, cases[i], got[i], want[i])
+			}
+		}
+	}
+
+	if !testing.Short() {
+		if total < 100 {
+			t.Fatalf("harness covered %d configurations, want >= 100", total)
+		}
+		for _, fam := range diffFamilies {
+			if !covered[fam.kind] {
+				t.Errorf("family %s never drawn", fam.kind)
+			}
+		}
+	}
+	t.Logf("verified %d configurations across %d families", total, len(covered))
+}
+
+// TestShapeRejectsForeignConfig pins the Shape compatibility checks:
+// replicas may vary load, seed, pattern, and schedule, but never the
+// topology, routing, or link latencies the shape was built from.
+func TestShapeRejectsForeignConfig(t *testing.T) {
+	mesh, err := topo.NewMesh(4, 4)
+	if err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+	rt, err := route.For(mesh, route.Auto)
+	if err != nil {
+		t.Fatalf("routing: %v", err)
+	}
+	cfg := Config{Topo: mesh, Routing: rt, InjectionRate: 0.1}
+	sh, err := NewShape(cfg)
+	if err != nil {
+		t.Fatalf("NewShape: %v", err)
+	}
+	if _, err := sh.Instantiate(cfg); err != nil {
+		t.Fatalf("Instantiate same config: %v", err)
+	}
+
+	other, err := topo.NewMesh(4, 4)
+	if err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+	ort, err := route.For(other, route.Auto)
+	if err != nil {
+		t.Fatalf("routing: %v", err)
+	}
+	if _, err := sh.Instantiate(Config{Topo: other, Routing: ort, InjectionRate: 0.1}); err == nil {
+		t.Fatal("Instantiate accepted a different topology instance")
+	}
+
+	lats := make([]int, mesh.NumLinks())
+	for i := range lats {
+		lats[i] = 2
+	}
+	if _, err := sh.Instantiate(Config{Topo: mesh, Routing: rt, InjectionRate: 0.1, LinkLatency: lats}); err == nil {
+		t.Fatal("Instantiate accepted different link latencies")
+	}
+}
+
+// TestBatchCountsBuildWork pins the amortization accounting: a batch
+// of N replicas performs one shape build and N replica builds.
+func TestBatchCountsBuildWork(t *testing.T) {
+	mesh, err := topo.NewMesh(4, 4)
+	if err != nil {
+		t.Fatalf("mesh: %v", err)
+	}
+	rt, err := route.For(mesh, route.Auto)
+	if err != nil {
+		t.Fatalf("routing: %v", err)
+	}
+	base := Config{Topo: mesh, Routing: rt, Warmup: 100, Measure: 200, Drain: 600}
+	reps := []Replica{
+		{InjectionRate: 0.05, Seed: 1},
+		{InjectionRate: 0.1, Seed: 2},
+		{InjectionRate: 0.2, Seed: 3},
+		{InjectionRate: 0.4, Seed: 4},
+	}
+	before := Counters()
+	b, err := NewBatch(base, reps)
+	if err != nil {
+		t.Fatalf("NewBatch: %v", err)
+	}
+	out := b.Run()
+	after := Counters()
+
+	if n := len(out); n != len(reps) {
+		t.Fatalf("batch returned %d stats for %d replicas", n, len(reps))
+	}
+	if d := after.ShapeBuilds - before.ShapeBuilds; d != 1 {
+		t.Errorf("shape builds: got %d, want 1", d)
+	}
+	if d := after.SimBuilds - before.SimBuilds; d != int64(len(reps)) {
+		t.Errorf("replica builds: got %d, want %d", d, len(reps))
+	}
+	if d := after.Batches - before.Batches; d != 1 {
+		t.Errorf("batches: got %d, want 1", d)
+	}
+	if d := after.BatchReplicas - before.BatchReplicas; d != int64(len(reps)) {
+		t.Errorf("batch replicas: got %d, want %d", d, len(reps))
+	}
+	if d := after.Runs - before.Runs; d != int64(len(reps)) {
+		t.Errorf("runs: got %d, want %d", d, len(reps))
+	}
+}

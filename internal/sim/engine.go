@@ -148,6 +148,13 @@ type Simulator struct {
 	latencies                []int64
 	orderViolations          int64
 	linkFlits                []int64 // flits traversed per dchan in the window
+
+	// Run-loop state, held on the simulator rather than the Run stack
+	// so a Batch can suspend and resume replicas between cycles (see
+	// startRun / stepRun / finishRun).
+	runVerdict    Verdict
+	runDeadlocked bool
+	runPh         phaseTrace
 }
 
 // watchdogCycles is how long the watchdog waits without any flit
@@ -155,59 +162,40 @@ type Simulator struct {
 const watchdogCycles = 8000
 
 // New builds a simulator for the configuration (applying defaults).
+// It is equivalent to building a single-use Shape and instantiating
+// one replica from it; callers running several configurations that
+// differ only in load, seed, pattern, or schedule should build the
+// Shape once and share it (see NewShape, NewBatch).
 func New(cfg Config) (*Simulator, error) {
 	cfg.Defaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return newShape(&cfg).instantiate(&cfg), nil
+}
+
+// instantiate allocates the mutable per-replica state — routers with
+// their VC rings, credit counters, and arbiter pointers, plus the
+// directed-channel queues — over the shape's shared wiring and
+// output-port LUT. cfg must be defaulted, validated, and match the
+// shape (see Instantiate for the checked public entry point).
+func (sh *Shape) instantiate(cfg *Config) *Simulator {
 	s := &Simulator{
-		cfg:        cfg,
+		cfg:        *cfg,
 		rng:        rand.New(rand.NewSource(cfg.Seed)),
 		vcPerClass: cfg.NumVCs / cfg.Routing.NumClasses,
 		noPool:     cfg.Tracer != nil,
+		pathPorts:  sh.pathPorts,
 	}
-	s.build()
-	return s, nil
-}
-
-// build creates routers and directed channels.
-func (s *Simulator) build() {
-	t := s.cfg.Topo
-	n := t.NumTiles()
+	n := sh.topo.NumTiles()
 	s.routers = make([]*router, n)
-
-	// Per-link latency lookup.
-	latOf := make(map[[2]int32]int64)
-	for i, l := range t.Links() {
-		lat := int64(1)
-		if s.cfg.LinkLatency != nil {
-			lat = int64(s.cfg.LinkLatency[i])
-			if lat < 1 {
-				lat = 1
-			}
-		}
-		a, b := int32(t.Index(l.A)), int32(t.Index(l.B))
-		latOf[[2]int32{a, b}] = lat
-		latOf[[2]int32{b, a}] = lat
-	}
-
-	// Port numbering: position of the neighbor in the sorted neighbor
-	// list (both for input and output ports).
-	portOf := func(node, nb int) int16 {
-		for i, v := range t.Neighbors(node) {
-			if v == nb {
-				return int16(i)
-			}
-		}
-		panic("sim: neighbor not found")
-	}
-
 	for id := 0; id < n; id++ {
-		deg := t.Degree(id)
+		deg := len(sh.inChans[id])
 		r := &router{
-			id:       int32(id),
-			inChans:  make([]int32, deg),
-			outChans: make([]int32, deg),
+			id: int32(id),
+			// The channel wiring is read-only; share the shape's slices.
+			inChans:  sh.inChans[id],
+			outChans: sh.outChans[id],
 			injVC:    -1,
 		}
 		r.vcs = make([][]vcState, deg+1)
@@ -236,56 +224,21 @@ func (s *Simulator) build() {
 		s.routers[id] = r
 	}
 
-	// Directed channels: one per (from, to) adjacency.
-	for id := 0; id < n; id++ {
-		for _, nb := range t.Neighbors(id) {
-			c := &dchan{
-				from:    int32(id),
-				to:      int32(nb),
-				outPort: portOf(id, nb),
-				inPort:  portOf(nb, id),
-				latency: latOf[[2]int32{int32(id), int32(nb)}],
-			}
-			idx := int32(len(s.chans))
-			s.chans = append(s.chans, c)
-			s.routers[id].outChans[c.outPort] = idx
-			s.routers[nb].inChans[c.inPort] = idx
+	s.chans = make([]*dchan, len(sh.chans))
+	for i := range sh.chans {
+		cs := &sh.chans[i]
+		s.chans[i] = &dchan{
+			from:    cs.from,
+			to:      cs.to,
+			outPort: cs.outPort,
+			inPort:  cs.inPort,
+			latency: cs.latency,
 		}
 	}
 	s.linkFlits = make([]int64, len(s.chans))
 
-	// Precompute, per (src, dst) pair, the output port taken at every
-	// hop of the routed path, so neither VC allocation nor injection
-	// ever searches a path or a neighbor list at simulation time.
-	portTo := make([][]int16, n)
-	for id := range portTo {
-		portTo[id] = make([]int16, n)
-		for j := range portTo[id] {
-			portTo[id][j] = -1
-		}
-	}
-	for _, c := range s.chans {
-		portTo[c.from][c.to] = c.outPort
-	}
-	s.pathPorts = make([][][]int16, n)
-	for src := 0; src < n; src++ {
-		row := make([][]int16, n)
-		for dst := 0; dst < n; dst++ {
-			if src == dst {
-				continue
-			}
-			p := s.cfg.Routing.Path(src, dst)
-			pp := make([]int16, p.Hops())
-			for i := range pp {
-				pp[i] = portTo[p.Tiles[i]][p.Tiles[i+1]]
-				if pp[i] < 0 {
-					panic("sim: routed path uses a missing channel")
-				}
-			}
-			row[dst] = pp
-		}
-		s.pathPorts[src] = row
-	}
+	counters.simBuilds.Add(1)
+	return s
 }
 
 // classVCRange returns the VC interval [lo, hi) serving a VC class.
@@ -305,11 +258,22 @@ func (s *Simulator) classVCRange(class int8) (int, int) {
 // the latency estimate has converged (see control.go); without it the
 // fixed schedule executes bit-identically to previous releases.
 func (s *Simulator) Run() Stats {
+	s.startRun()
+	for s.stepRun() {
+	}
+	return s.finishRun()
+}
+
+// startRun initializes the run-loop state. The loop body lives in
+// stepRun so Run (sequential) and Batch.Run (interleaved) execute the
+// identical per-cycle code.
+func (s *Simulator) startRun() {
 	cfg := &s.cfg
 	s.measureStart = int64(cfg.Warmup)
 	s.measureEnd = int64(cfg.Warmup + cfg.Measure)
 	s.lastProgress = 0
-	verdict := VerdictNone
+	s.runVerdict = VerdictNone
+	s.runDeadlocked = false
 	if cfg.Control != nil {
 		s.ctl = newCtlState(*cfg.Control, cfg.Measure)
 	}
@@ -328,54 +292,62 @@ func (s *Simulator) Run() Stats {
 	// are detected against s.measureStart/s.measureEnd each iteration
 	// because adaptive control moves both; with no span attached the
 	// loop pays a single nil check per cycle and allocates nothing.
-	ph := phaseTrace{span: cfg.Span}
-	ph.enter("warmup", 0)
+	s.runPh = phaseTrace{span: cfg.Span}
+	s.runPh.enter("warmup", 0)
+}
 
-	deadlocked := false
-	for {
-		t := s.now
-		if ph.span != nil {
-			if ph.n == 1 && t >= s.measureStart {
-				ph.enter("measure", t)
-			}
-			if ph.n == 2 && t >= s.measureEnd {
-				ph.enter("drain", t)
-			}
+// stepRun executes one iteration of the run loop: the end-of-run
+// checks followed by one network cycle. It returns false once the run
+// is over (schedule exhausted, network drained, watchdog fired, or an
+// adaptive verdict ended the run) without advancing the network
+// further; call finishRun then.
+func (s *Simulator) stepRun() bool {
+	cfg := &s.cfg
+	t := s.now
+	if s.runPh.span != nil {
+		if s.runPh.n == 1 && t >= s.measureStart {
+			s.runPh.enter("measure", t)
 		}
-		// s.measureEnd moves when a stable verdict truncates the
-		// measurement phase, so the injection stop and drain deadline
-		// are derived from it every cycle.
-		if t >= s.measureEnd+int64(cfg.Drain) {
-			break
+		if s.runPh.n == 2 && t >= s.measureEnd {
+			s.runPh.enter("drain", t)
 		}
-		if t >= s.measureEnd && s.measEjected == s.measInjected && s.flitsInFlight == 0 {
-			break
-		}
-		if s.flitsInFlight > 0 && t-s.lastProgress > watchdogCycles {
-			deadlocked = true
-			break
-		}
-		if s.ctl != nil && t == s.ctl.nextCheck {
-			switch v := s.controlCheck(t); v {
-			case VerdictSaturated, VerdictInterrupted:
-				verdict = v
-			case VerdictStable:
-				// Truncate the measurement phase here and drain
-				// normally, so the delivered statistics stay
-				// unbiased; injection stops this cycle. The monitor
-				// state stays alive in done mode: interrupt polling
-				// must keep working through the drain.
-				verdict = v
-				s.measureEnd = t
-				s.ctl.done = true
-			}
-			if verdict == VerdictSaturated || verdict == VerdictInterrupted {
-				break
-			}
-		}
-		s.step(t < s.measureEnd)
 	}
+	// s.measureEnd moves when a stable verdict truncates the
+	// measurement phase, so the injection stop and drain deadline
+	// are derived from it every cycle.
+	if t >= s.measureEnd+int64(cfg.Drain) {
+		return false
+	}
+	if t >= s.measureEnd && s.measEjected == s.measInjected && s.flitsInFlight == 0 {
+		return false
+	}
+	if s.flitsInFlight > 0 && t-s.lastProgress > watchdogCycles {
+		s.runDeadlocked = true
+		return false
+	}
+	if s.ctl != nil && t == s.ctl.nextCheck {
+		switch v := s.controlCheck(t); v {
+		case VerdictSaturated, VerdictInterrupted:
+			s.runVerdict = v
+			return false
+		case VerdictStable:
+			// Truncate the measurement phase here and drain
+			// normally, so the delivered statistics stay
+			// unbiased; injection stops this cycle. The monitor
+			// state stays alive in done mode: interrupt polling
+			// must keep working through the drain.
+			s.runVerdict = v
+			s.measureEnd = t
+			s.ctl.done = true
+		}
+	}
+	s.step(t < s.measureEnd)
+	return true
+}
 
+// finishRun assembles the Stats after stepRun has returned false.
+func (s *Simulator) finishRun() Stats {
+	cfg := &s.cfg
 	effMeasure := s.measureEnd - s.measureStart
 	st := Stats{
 		Cycles:           s.now,
@@ -387,8 +359,8 @@ func (s *Simulator) Run() Stats {
 		AvgHops:          cfg.Routing.AvgHops(),
 		FlitHops:         s.flitHops,
 		OrderViolations:  s.orderViolations,
-		Deadlocked:       deadlocked,
-		Verdict:          verdict,
+		Deadlocked:       s.runDeadlocked,
+		Verdict:          s.runVerdict,
 		MeasuredCycles:   effMeasure,
 	}
 	if s.measEjected > 0 {
@@ -406,7 +378,7 @@ func (s *Simulator) Run() Stats {
 	if effMeasure > 0 {
 		st.MaxLinkUtilization = float64(maxFlits) / float64(effMeasure)
 	}
-	ph.finish(s.now, &st)
+	s.runPh.finish(s.now, &st)
 	countRun(&st)
 	return st
 }

@@ -20,30 +20,45 @@ package sim
 // SimCycles accounting — is deterministic whether or not any
 // speculation happened.
 
+import "sparsehamming/internal/obs"
+
 // ZeroLoadLatency measures the average packet latency at a very low
 // injection rate (0.5% of capacity), where queueing is negligible and
 // the latency reflects hop counts, router pipelines, link pipelining,
 // and serialization only.
 func ZeroLoadLatency(cfg Config) (float64, error) {
-	st, err := zeroLoad(cfg)
+	st, err := zeroLoad(nil, cfg)
 	if err != nil {
 		return 0, err
 	}
 	return st.AvgPacketLatency, nil
 }
 
+// runShaped builds and runs one configuration, instantiating from the
+// shared shape when one is supplied (nil falls back to a full build).
+func runShaped(sh *Shape, cfg Config) (Stats, error) {
+	if sh == nil {
+		return RunConfig(cfg)
+	}
+	s, err := sh.Instantiate(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	return s.Run(), nil
+}
+
 // zeroLoad runs the near-zero-load reference configuration and
 // returns its full statistics. A Control carries over (with the
 // saturation monitors inert at this load, only the steady-state
 // stopping rule applies).
-func zeroLoad(cfg Config) (Stats, error) {
+func zeroLoad(sh *Shape, cfg Config) (Stats, error) {
 	cfg.Defaults()
 	cfg.InjectionRate = 0.005
 	cfg.Warmup = 1000
 	if cfg.Measure < 20000 {
 		cfg.Measure = 20000
 	}
-	return RunConfig(cfg)
+	return runShaped(sh, cfg)
 }
 
 // SaturationResult reports the outcome of a saturation search.
@@ -114,10 +129,17 @@ func clampDrain(c *Config, factor int) {
 	}
 }
 
-// Drain clamp factors (see clampDrain).
+// Drain clamp factors (see clampDrain). CurveDrainFactor is exported
+// so batching callers that assemble load-sweep replicas themselves
+// (the noc layer's grouped evaluator) reproduce LoadLatencyCurve's
+// pinned schedule exactly.
 const (
 	probeDrainFactor = 4
 	curveDrainFactor = 3
+	// CurveDrainFactor is the load-sweep drain clamp: a sweep point's
+	// drain budget is capped at this multiple of its measurement
+	// window.
+	CurveDrainFactor = curveDrainFactor
 )
 
 // satVerdict applies the saturation criterion to a finished probe: an
@@ -138,13 +160,19 @@ func satVerdict(st Stats, zl, rate float64) bool {
 // Config.Sched); see the file comment.
 func SaturationThroughput(cfg Config) (SaturationResult, error) {
 	cfg.Defaults()
+	// One shared Shape serves the zero-load reference and every probe:
+	// a search used to pay up to nine full topology builds, now one.
+	sh, err := NewShape(cfg)
+	if err != nil {
+		return SaturationResult{}, err
+	}
 	if cfg.Control != nil {
-		return adaptiveSaturation(cfg)
+		return adaptiveSaturation(sh, cfg)
 	}
 	search := cfg.Span
 	zc := cfg
 	zc.Span = search.Child("zeroload")
-	zlStats, err := zeroLoad(zc)
+	zlStats, err := zeroLoad(sh, zc)
 	zc.Span.End()
 	if err != nil {
 		return SaturationResult{}, err
@@ -161,7 +189,7 @@ func SaturationThroughput(cfg Config) (SaturationResult, error) {
 		c.Span.SetAttr("rate", rate)
 		// Shorter drain than the default: saturated runs never drain.
 		clampDrain(&c, probeDrainFactor)
-		st, err := RunConfig(c)
+		st, err := runShaped(sh, c)
 		res.SimCycles += st.Cycles
 		res.SimFlitHops += st.FlitHops
 		res.Probes++
@@ -226,21 +254,32 @@ func finishSearch(res *SaturationResult, lo, hi float64) {
 // DeliveredFraction. Points share the saturation search's drain
 // clamp mechanism (at the curve's historical factor), so sweep
 // points above saturation do not pay the full drain budget.
+//
+// The whole ladder runs as one Batch: the topology is built once and
+// the points step as interleaved replicas, with results bit-identical
+// to the historical point-at-a-time sweep.
 func LoadLatencyCurve(cfg Config, rates []float64) ([]Stats, error) {
 	cfg.Defaults()
-	out := make([]Stats, 0, len(rates))
-	for _, r := range rates {
+	if len(rates) == 0 {
+		return nil, nil
+	}
+	reps := make([]Replica, len(rates))
+	spans := make([]*obs.Span, len(rates))
+	for i, r := range rates {
 		c := cfg
 		c.InjectionRate = r
-		c.Span = cfg.Span.Child("point")
-		c.Span.SetAttr("rate", r)
 		clampDrain(&c, curveDrainFactor)
-		st, err := RunConfig(c)
-		c.Span.End()
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, st)
+		spans[i] = cfg.Span.Child("point")
+		spans[i].SetAttr("rate", r)
+		reps[i] = Replica{InjectionRate: r, Drain: c.Drain, Span: spans[i]}
+	}
+	b, err := NewBatch(cfg, reps)
+	if err != nil {
+		return nil, err
+	}
+	out := b.Run()
+	for _, sp := range spans {
+		sp.End()
 	}
 	return out, nil
 }

@@ -146,7 +146,14 @@ func (p Neighbor) Name() string { return "neighbor" }
 // Dest implements Pattern.
 func (p Neighbor) Dest(src int, _ *rand.Rand) int {
 	r, c := src/p.Cols, src%p.Cols
-	return r*p.Cols + (c+1)%p.Cols
+	d := r*p.Cols + (c+1)%p.Cols
+	if d == src {
+		// Single-column grids have no eastern neighbor; skip rather
+		// than self-send (the engine drops self-sends anyway, so this
+		// only makes the no-destination case explicit).
+		return -1
+	}
+	return d
 }
 
 // PatternFactory constructs a pattern instance for an R x C grid.

@@ -1,0 +1,48 @@
+package spec
+
+// Fuzz coverage for the spec decoder: ParseReader and Validate accept
+// arbitrary bytes off the service's HTTP boundary, so neither may
+// panic, and a successful parse must always yield a non-nil spec that
+// Validate can walk.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseSpec feeds arbitrary bytes through the same parse+validate
+// sequence the campaign service applies to request bodies, seeded
+// with the shipped example specs.
+func FuzzParseSpec(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "specs", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","sweeps":[]}`))
+	f.Add([]byte(`{"name":"x","sweeps":[{"label":"l","mode":"cost","arch":{"scenario":"a"},"topologies":[{"kind":"mesh"}]}]}`))
+	f.Add([]byte(`{"sweeps":[{"mode":"load","arch":{"scenario":"q"},"topologies":[{"kind":"sparse-hamming","sr":[2],"sc":[2]}],"loads":[0.1,0.2]}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseReader(bytes.NewReader(data))
+		if err != nil {
+			if s != nil {
+				t.Fatalf("ParseReader returned both a spec and error %v", err)
+			}
+			return
+		}
+		if s == nil {
+			t.Fatal("ParseReader returned nil spec without error")
+		}
+		_ = s.Validate() // must not panic on any parsed spec
+	})
+}
