@@ -27,6 +27,8 @@ import (
 	"os"
 	"testing"
 
+	"sparsehamming/internal/dse"
+	"sparsehamming/internal/exp"
 	"sparsehamming/internal/noc"
 	"sparsehamming/internal/perf"
 	"sparsehamming/internal/phys"
@@ -353,6 +355,54 @@ func BenchmarkAblationBuffers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDSESurrogate runs the two-stage surrogate-guided
+// exploration of the 6x6 sparse Hamming space (256 configurations)
+// with exhaustive validation: every configuration is simulated for
+// ground truth, so the trajectory records both the savings factor the
+// band selection earns in production (dse_sims_saved_x, configurations
+// per band member) and the price of those savings (frontier_recall,
+// which the perf floor pins at 1.0 — the band must never lose a
+// ground-truth frontier point). Simulations run 3 seed replicates and
+// frontiers are compared at the saturation search's measurement
+// resolution, so the recall the floor pins is against design signal,
+// not the per-seed quantization of the bisection search; the 0.5%
+// band slack absorbs the surrogate's worst observed misranking.
+func BenchmarkDSESurrogate(b *testing.B) {
+	arch := tech.Scenario(tech.ScenarioA)
+	arch.Rows, arch.Cols = 6, 6
+	runner := noc.NewRunner(0, exp.NewCache())
+	meter := perf.StartMeter()
+	metrics := map[string]float64{}
+	for i := 0; i < b.N; i++ {
+		ex, err := dse.ExploreSurrogate(arch, dse.Options{
+			MaxConfigs: 1 << 10,
+			SlackPct:   0.5,
+			Replicates: 3,
+			Validate:   true,
+		}, runner)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i != 0 {
+			continue
+		}
+		f := ex.Fidelity
+		fmt.Printf("\nSurrogate DSE (scenario a, 6x6): %d configs, band %d (slack %.1f%%, %d replicates), "+
+			"%.1fx sims saved, frontier recall %.0f%%, rank corr %.3f\n",
+			f.Configs, f.Band, ex.SlackPct, ex.Replicates, f.SimsSavedX, 100*f.FrontierRecall, f.RankCorr)
+		b.ReportMetric(f.SimsSavedX, "saved_x")
+		b.ReportMetric(100*f.FrontierRecall, "recall_%")
+		metrics["dse_sims_saved_x"] = f.SimsSavedX
+		metrics["frontier_recall"] = f.FrontierRecall
+		metrics["dse_band"] = float64(f.Band)
+		metrics["dse_rank_corr"] = f.RankCorr
+		metrics["dse_wall_ms"] = float64(ex.Report.Wall.Milliseconds())
+	}
+	entry := meter.Done("DSESurrogate", b.N)
+	entry.Metrics = metrics
+	benchRec.Set(entry)
 }
 
 // BenchmarkPhysEvaluate measures the cost model's speed — the paper's

@@ -8,11 +8,25 @@
 // optional on-disk result cache (-cache) so a repeated exploration of
 // the same grid recomputes nothing.
 //
+// With -simulate the exploration is two-stage and surrogate-guided:
+// stage 1 scores the full space with the closed-form surrogate
+// (cost model + analytic zero-load latency and saturation bound),
+// stage 2 cycle-accurately simulates only the surrogate-predicted
+// Pareto band (-band percent of slack around the frontier) and prints
+// the simulation-validated frontier plus a fidelity report.
+// -replicates averages each simulated configuration over several
+// seeds, washing out the per-seed quantization of the saturation
+// search. -validate additionally simulates every configuration
+// (affordable only on small grids) and reports the band's frontier
+// recall against that exhaustive ground truth.
+//
 // Examples:
 //
 //	shdse -rows 6 -cols 6
 //	shdse -rows 5 -cols 8 -budget 30 -jobs 8
 //	shdse -rows 6 -cols 6 -cache dse.json -csv > points.csv
+//	shdse -rows 6 -cols 6 -simulate -band 10 -cache dse.json
+//	shdse -rows 4 -cols 4 -simulate -validate -replicates 3
 package main
 
 import (
@@ -22,23 +36,34 @@ import (
 
 	"sparsehamming/internal/cli"
 	"sparsehamming/internal/dse"
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/noc"
 	"sparsehamming/internal/tech"
 )
 
 func main() {
 	var (
-		rows   = flag.Int("rows", 6, "tile grid rows")
-		cols   = flag.Int("cols", 6, "tile grid columns")
-		budget = flag.Float64("budget", 40, "area-overhead budget in percent for the -best report")
-		csv    = flag.Bool("csv", false, "emit all points as CSV")
-		limit  = flag.Int("limit", 1<<16, "maximum number of configurations to enumerate")
-		jobs   = flag.Int("jobs", 0, "parallel evaluation workers (0 = all cores)")
-		cacheP = flag.String("cache", "", "JSON file memoizing results across invocations")
+		rows     = flag.Int("rows", 6, "tile grid rows")
+		cols     = flag.Int("cols", 6, "tile grid columns")
+		budget   = flag.Float64("budget", 40, "area-overhead budget in percent for the -best report")
+		csv      = flag.Bool("csv", false, "emit all points as CSV")
+		limit    = flag.Int("limit", 1<<16, "maximum number of configurations to enumerate")
+		jobs     = flag.Int("jobs", 0, "parallel evaluation workers (0 = all cores)")
+		cacheP   = flag.String("cache", "", "JSON file memoizing results across invocations")
+		simulate = flag.Bool("simulate", false, "surrogate-guided two-stage exploration: simulate the surrogate Pareto band")
+		band     = flag.Float64("band", dse.DefaultSlackPct, "Pareto-band slack margin in percent for -simulate (0 = frontier only)")
+		validate = flag.Bool("validate", false, "simulate every configuration for ground truth and report the band's frontier recall (implies -simulate)")
+		reps     = flag.Int("replicates", 1, "simulation seeds averaged per simulated configuration")
 	)
 	flag.Parse()
 
 	arch := tech.Scenario(tech.ScenarioA)
 	arch.Rows, arch.Cols = *rows, *cols
+
+	if *simulate || *validate {
+		exploreSurrogate(arch, *limit, *band, *reps, *jobs, *cacheP, *csv, *validate)
+		return
+	}
 
 	runner := dse.NewRunner(*jobs, nil)
 	camp := cli.StartCampaign("shdse", *cacheP, runner, false)
@@ -64,5 +89,43 @@ func main() {
 			*budget, best.Params.String(), best.AreaOverheadPct, best.AvgHops)
 	} else {
 		fmt.Printf("\nno configuration within %.0f%%\n", *budget)
+	}
+}
+
+// exploreSurrogate runs the two-stage surrogate-guided exploration on
+// the full prediction toolchain's runner (stage 2 needs the
+// simulator).
+func exploreSurrogate(arch *tech.Arch, limit int, band float64, reps, jobs int, cacheP string, csv, validate bool) {
+	runner := noc.NewRunner(jobs, nil)
+	camp := cli.StartCampaign("shdse", cacheP, runner, false)
+
+	ex, err := dse.ExploreSurrogate(arch, dse.Options{
+		MaxConfigs: limit,
+		SlackPct:   band,
+		Replicates: reps,
+		Simulate:   true,
+		Validate:   validate,
+	}, runner)
+	camp.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shdse:", err)
+		os.Exit(1)
+	}
+	if csv {
+		fmt.Print(dse.SurrogateCSV(ex.Points))
+		return
+	}
+	f := ex.Fidelity
+	fmt.Printf("%d configurations on %dx%d; band %d (slack %.0f%%), %.1fx simulations saved\n\n",
+		f.Configs, ex.Rows, ex.Cols, f.Band, ex.SlackPct, f.SimsSavedX)
+	fmt.Println("simulation-validated frontier:")
+	for _, p := range ex.SimFrontier() {
+		fmt.Printf("  %-28s overhead %5.1f%%  saturation %s%%  zero-load %.1f\n",
+			p.Params.String(), p.AreaOverheadPct,
+			exp.FormatSaturation(p.SimSaturationPct, p.SimLowerBound), p.SimZeroLoad)
+	}
+	fmt.Printf("\nfidelity: rank correlation %.3f over %d simulated band points\n", f.RankCorr, f.Simulated)
+	if f.Validated {
+		fmt.Printf("frontier recall vs exhaustive simulation: %.0f%%\n", 100*f.FrontierRecall)
 	}
 }

@@ -10,6 +10,11 @@
 // the smoke run just refreshed are compared; stale pairs recorded in
 // other sessions never warn on unrelated runs).
 //
+// -check also verifies the repository's standing metric floors
+// (perf.BuiltinFloors) against each floored benchmark's newest entry
+// — e.g. the surrogate DSE's simulations-saved factor and frontier
+// recall — and warns on any metric below its floor.
+//
 // Examples:
 //
 //	shperf -check
@@ -59,5 +64,13 @@ func main() {
 	}
 	if len(regs) == 0 {
 		fmt.Printf("%s: no ns/op regressions beyond %.0f%%\n", *file, *threshold)
+	}
+	viol := perf.FloorViolations(entries, perf.BuiltinFloors(), cutoff)
+	for _, v := range viol {
+		fmt.Printf("::warning ::bench %s metric %s = %g below floor %g\n",
+			v.Bench, v.Metric, v.Got, v.Min)
+	}
+	if len(viol) == 0 {
+		fmt.Printf("%s: no metric-floor violations\n", *file)
 	}
 }

@@ -17,6 +17,8 @@ import (
 // docCheckedPackages lists the directories whose exported APIs must
 // be fully documented.
 var docCheckedPackages = []string{
+	"internal/analytic",
+	"internal/dse",
 	"internal/sim",
 	"internal/exp",
 	"internal/noc",

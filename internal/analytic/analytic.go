@@ -132,6 +132,86 @@ func (m *Model) ChannelLoads() (map[[2]int]float64, error) {
 	return loads, nil
 }
 
+// Estimate is the combined output of one surrogate evaluation: both
+// closed-form performance estimates, computed in a single pass.
+type Estimate struct {
+	// ZeroLoadLatency is the closed-form average packet latency at
+	// zero load in cycles (identical to Model.ZeroLoadLatency).
+	ZeroLoadLatency float64
+	// SaturationBound is the channel-load upper bound on saturation
+	// throughput in flits/node/cycle (identical to
+	// Model.SaturationBound).
+	SaturationBound float64
+	// MaxChannelLoad is the highest directed-channel load at unit
+	// injection rate — the bottleneck behind SaturationBound.
+	MaxChannelLoad float64
+	// AvgChannelLoad is the mean load over all directed channels at
+	// unit injection rate. The gap between it and MaxChannelLoad
+	// measures how unevenly the routing spreads traffic: two
+	// configurations with the same bottleneck load but different
+	// averages congest differently below saturation, which is why the
+	// design-space surrogate ranks with a mix of both.
+	AvgChannelLoad float64
+}
+
+// Estimate computes the zero-load latency and the channel-load
+// saturation bound together in one sweep over the n^2 routed paths.
+// ZeroLoadLatency and SaturationBound each walk every (src, dst) path
+// on their own; when a caller needs both — the design-space surrogate
+// scores every configuration on exactly this pair — the combined
+// sweep halves the dominant cost. Results are identical to the
+// separate methods (same paths, same arithmetic, only the iteration
+// is shared).
+func (m *Model) Estimate() (Estimate, error) {
+	if err := m.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	lat := m.linkLatencyOf()
+	n := m.Topo.NumTiles()
+	loads := make(map[[2]int]float64)
+	per := 1.0 / float64(n-1)
+	var sum float64
+	var pairs int
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			p := m.Routing.Path(s, d)
+			cycles := (p.Hops() + 1) * m.RouterDelay
+			for i := 0; i+1 < len(p.Tiles); i++ {
+				a, b := int(p.Tiles[i]), int(p.Tiles[i+1])
+				loads[[2]int{a, b}] += per
+				if a > b {
+					a, b = b, a
+				}
+				cycles += lat[[2]int{a, b}]
+			}
+			cycles += m.PacketLen - 1
+			sum += float64(cycles)
+			pairs++
+		}
+	}
+	est := Estimate{ZeroLoadLatency: sum / float64(pairs)}
+	var loadSum float64
+	for _, v := range loads {
+		loadSum += v
+		if v > est.MaxChannelLoad {
+			est.MaxChannelLoad = v
+		}
+	}
+	if nc := 2 * m.Topo.NumLinks(); nc > 0 {
+		// Every link is one directed channel per direction; channels
+		// no path uses still count toward the mean.
+		est.AvgChannelLoad = loadSum / float64(nc)
+	}
+	est.SaturationBound = 1
+	if est.MaxChannelLoad > 0 && 1/est.MaxChannelLoad < 1 {
+		est.SaturationBound = 1 / est.MaxChannelLoad
+	}
+	return est, nil
+}
+
 // SaturationBound returns the channel-load upper bound on saturation
 // throughput under uniform random traffic: the injection rate (flits
 // per node per cycle) at which the most loaded directed channel

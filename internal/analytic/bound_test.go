@@ -1,0 +1,95 @@
+package analytic
+
+// Property test for the surrogate's safety guarantee: the analytic
+// channel-load saturation bound is an *upper* bound — measured
+// saturation throughput never exceeds it — across every registered
+// topology family and both the co-designed default routing and the
+// generic hop-minimal tables, with the physical model's heterogeneous
+// link latencies in the loop (they change zero-load latency, and
+// through the latency-blowup criterion, the measured saturation).
+
+import (
+	"testing"
+
+	"sparsehamming/internal/phys"
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/sim"
+	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
+)
+
+func TestSaturationBoundHoldsAcrossRegistry(t *testing.T) {
+	const rows, cols = 4, 4
+	arch := tech.Scenario(tech.ScenarioA)
+	arch.Rows, arch.Cols = rows, cols
+	arch.Proto.NumVCs = 8 // hosts every registered routing's VC classes
+
+	routings := []string{"", "hop-minimal"}
+	if testing.Short() {
+		routings = []string{""}
+	}
+
+	for _, name := range topo.Names() {
+		fam, ok := topo.FamilyByName(name)
+		if !ok {
+			t.Fatalf("family %q vanished", name)
+		}
+		if err := fam.Applicable(rows, cols); err != nil {
+			t.Logf("skipping %s on %dx%d: %v", name, rows, cols, err)
+			continue
+		}
+		// Give parameterized families real parameters, so the sparse
+		// Hamming express links (and their longer physical latencies)
+		// are actually in the picture.
+		var sr, sc []int
+		switch name {
+		case "sparse-hamming":
+			sr, sc = []int{2}, []int{2}
+		case "ruche":
+			sr = []int{2}
+		}
+		tp, err := topo.ByName(name, rows, cols, sr, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		cost, err := phys.Evaluate(arch, tp)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, rn := range routings {
+			rt, err := route.ForName(tp, rn)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, rn, err)
+			}
+			m := &Model{
+				Topo: tp, Routing: rt, LinkLatency: cost.LinkLatencies,
+				RouterDelay: tech.RouterDelay, PacketLen: arch.PacketLenFlits(),
+			}
+			est, err := m.Estimate()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, rt.Name, err)
+			}
+			res, err := sim.SaturationThroughput(sim.Config{
+				Topo: tp, Routing: rt,
+				NumVCs: arch.Proto.NumVCs, BufDepth: arch.Proto.BufDepthFlits,
+				LinkLatency: cost.LinkLatencies, RouterDelay: tech.RouterDelay,
+				PacketLen: arch.PacketLenFlits(), Seed: 7,
+				Warmup: 500, Measure: 1500,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, rt.Name, err)
+			}
+			if res.LowerBound {
+				// The search bottomed out; its value is a resolution, not
+				// a measurement, so it cannot witness a bound violation.
+				t.Logf("%s/%s: saturation search bottomed out", name, rt.Name)
+				continue
+			}
+			// Tiny epsilon for the bisection's finite resolution.
+			if res.SaturationRate > est.SaturationBound+0.01 {
+				t.Errorf("%s/%s: measured saturation %.3f exceeds analytic bound %.3f",
+					name, rt.Name, res.SaturationRate, est.SaturationBound)
+			}
+		}
+	}
+}

@@ -113,34 +113,13 @@ func ExploreWith(arch *tech.Arch, maxConfigs int, r *exp.Runner) ([]Point, error
 
 // enumerate lists every sparse Hamming configuration of the grid —
 // all subsets of {2..C-1} x {2..R-1} — refusing grids beyond
-// maxConfigs.
+// maxConfigs. The enumeration itself lives in the topo package
+// (topo.HammingSpace) so the spec layer's hamming_space axis expands
+// the identical configuration list in the identical order.
 func enumerate(arch *tech.Arch, maxConfigs int) ([]topo.HammingParams, error) {
-	nr := arch.Cols - 2 // candidate row offsets 2..C-1
-	nc := arch.Rows - 2
-	if nr < 0 {
-		nr = 0
-	}
-	if nc < 0 {
-		nc = 0
-	}
-	total := 1 << (nr + nc)
-	if total > maxConfigs {
-		return nil, fmt.Errorf("dse: %d configurations exceed limit %d", total, maxConfigs)
-	}
-	params := make([]topo.HammingParams, 0, total)
-	for mask := 0; mask < total; mask++ {
-		var p topo.HammingParams
-		for i := 0; i < nr; i++ {
-			if mask&(1<<i) != 0 {
-				p.SR = append(p.SR, i+2)
-			}
-		}
-		for i := 0; i < nc; i++ {
-			if mask&(1<<(nr+i)) != 0 {
-				p.SC = append(p.SC, i+2)
-			}
-		}
-		params = append(params, p)
+	params, err := topo.HammingSpace(arch.Rows, arch.Cols, maxConfigs)
+	if err != nil {
+		return nil, fmt.Errorf("dse: %w", err)
 	}
 	return params, nil
 }
@@ -204,15 +183,20 @@ func NewRunner(workers int, cache *exp.Cache) *exp.Runner {
 	return &exp.Runner{Eval: EvalJob, Workers: workers, Cache: cache}
 }
 
-// EvalJob evaluates one cost-model job. Package dse deliberately
-// stays independent of the full toolchain in package noc, so its
-// evaluator accepts only ModeCost jobs on the sparse Hamming family —
-// the design space this package explores. For those jobs it produces
-// results identical to noc's evaluator (pinned by a test over there),
-// so the two toolchains can safely share one cache file.
+// EvalJob evaluates one cost-model or surrogate job. Package dse
+// deliberately stays independent of the full toolchain in package
+// noc, so its evaluator accepts only the simulation-free modes
+// (ModeCost, ModeSurrogate) on the sparse Hamming family — the design
+// space this package explores. For those jobs it produces results
+// identical to noc's evaluator (pinned by a test over there), so the
+// two toolchains can safely share one cache file.
 func EvalJob(j exp.Job) (*exp.Result, error) {
+	if j.Mode == exp.ModeSurrogate {
+		return EvalSurrogateJob(j)
+	}
 	if j.Mode != exp.ModeCost {
-		return nil, fmt.Errorf("dse: evaluator supports mode %q only, got %q", exp.ModeCost, j.Mode)
+		return nil, fmt.Errorf("dse: evaluator supports modes %q and %q only, got %q",
+			exp.ModeCost, exp.ModeSurrogate, j.Mode)
 	}
 	if j.Topo != "sparse-hamming" {
 		return nil, fmt.Errorf("dse: evaluator explores the sparse-hamming family only, got %q", j.Topo)

@@ -1,0 +1,193 @@
+package dse_test
+
+// External test package: the fidelity regression needs the full noc
+// toolchain runner for stage 2 (noc imports dse, so the in-package
+// test cannot).
+
+import (
+	"strings"
+	"testing"
+
+	"sparsehamming/internal/dse"
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/tech"
+)
+
+func arch4x4() *tech.Arch {
+	a := tech.Scenario(tech.ScenarioA)
+	a.Rows, a.Cols = 4, 4
+	return a
+}
+
+// TestSurrogateSweepMarksBand checks the surrogate-only stage: full
+// enumeration, a non-empty frontier inside a non-empty band, and band
+// membership monotone in slack.
+func TestSurrogateSweepMarksBand(t *testing.T) {
+	ex, err := dse.ExploreSurrogate(arch4x4(), dse.Options{MaxConfigs: 1 << 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Points) != 16 {
+		t.Fatalf("enumerated %d configurations, want 2^(4+4-4) = 16", len(ex.Points))
+	}
+	if ex.Fidelity.Configs != 16 || ex.Fidelity.Band == 0 {
+		t.Fatalf("fidelity counters %+v", ex.Fidelity)
+	}
+	frontier := ex.SurrogateFrontier()
+	if len(frontier) == 0 {
+		t.Fatal("empty surrogate frontier")
+	}
+	for _, p := range frontier {
+		if !p.InBand {
+			t.Errorf("frontier point %s not in band", p.Params.String())
+		}
+	}
+	if band := ex.Band(); len(band) < len(frontier) {
+		t.Errorf("band (%d) smaller than frontier (%d)", len(band), len(frontier))
+	}
+
+	wide, err := dse.ExploreSurrogate(arch4x4(), dse.Options{MaxConfigs: 1 << 10, SlackPct: 50}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Fidelity.Band < ex.Fidelity.Band {
+		t.Errorf("slack 50%% band (%d) smaller than slack 0%% band (%d)",
+			wide.Fidelity.Band, ex.Fidelity.Band)
+	}
+}
+
+// TestSurrogateFidelityRegression is the pin on DefaultSlackPct: on a
+// grid small enough to simulate exhaustively, the surrogate band at
+// the default slack must recall 100% of the exhaustive simulated
+// frontier while still skipping a real fraction of the simulations.
+func TestSurrogateFidelityRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive band simulation in short mode")
+	}
+	runner := noc.NewRunner(0, nil)
+	ex, err := dse.ExploreSurrogate(arch4x4(), dse.Options{
+		MaxConfigs: 1 << 10,
+		SlackPct:   dse.DefaultSlackPct,
+		Validate:   true,
+	}, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := ex.Fidelity
+	if f.Configs != 16 || f.Simulated != 16 {
+		t.Fatalf("validate run must simulate all 16 configs, got %+v", f)
+	}
+	if !f.Validated {
+		t.Fatal("Validated not set")
+	}
+	if f.FrontierRecall != 1.0 {
+		t.Errorf("frontier recall %.2f at default slack %.0f%%, want 1.0 (the band is missing "+
+			"ground-truth frontier points; widen DefaultSlackPct or fix the surrogate)",
+			f.FrontierRecall, dse.DefaultSlackPct)
+	}
+	if f.Band >= f.Configs {
+		t.Errorf("band %d of %d configs saves nothing", f.Band, f.Configs)
+	}
+	if f.SimsSavedX <= 1 {
+		t.Errorf("sims saved %.2fx, want > 1", f.SimsSavedX)
+	}
+	if f.RankCorr < -1 || f.RankCorr > 1 {
+		t.Errorf("rank correlation %.3f outside [-1, 1]", f.RankCorr)
+	}
+	if len(ex.SimFrontier()) == 0 {
+		t.Error("empty simulation-validated frontier")
+	}
+	for _, p := range ex.SimFrontier() {
+		if !p.Simulated || !p.InBand {
+			t.Errorf("sim-frontier point %s not a simulated band member", p.Params.String())
+		}
+	}
+}
+
+// TestExploreSurrogateCaches runs the same exploration twice on one
+// cache-backed runner: the repeat must answer entirely from cache.
+func TestExploreSurrogateCaches(t *testing.T) {
+	runner := dse.NewRunner(0, exp.NewCache())
+	first, err := dse.ExploreSurrogate(arch4x4(), dse.Options{MaxConfigs: 1 << 10}, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Report.Computed == 0 {
+		t.Fatal("cold run computed nothing")
+	}
+	again, err := dse.ExploreSurrogate(arch4x4(), dse.Options{MaxConfigs: 1 << 10}, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Report.Computed != 0 {
+		t.Errorf("repeat computed %d jobs, want 0 (all cache hits)", again.Report.Computed)
+	}
+	if again.Report.CacheHits != again.Report.Jobs {
+		t.Errorf("repeat: %d cache hits over %d jobs", again.Report.CacheHits, again.Report.Jobs)
+	}
+}
+
+// TestEvalSurrogateJobRejectsOtherModes pins the evaluator's mode
+// check.
+func TestEvalSurrogateJobRejectsOtherModes(t *testing.T) {
+	_, err := dse.EvalSurrogateJob(exp.Job{Mode: exp.ModePredict, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh"})
+	if err == nil || !strings.Contains(err.Error(), "mode") {
+		t.Fatalf("want mode error, got %v", err)
+	}
+}
+
+// TestSurrogateCSVHeader keeps the plotting CSV stable.
+func TestSurrogateCSVHeader(t *testing.T) {
+	csv := dse.SurrogateCSV(nil)
+	if !strings.HasPrefix(csv, "params,") || !strings.Contains(csv, "sim_frontier") {
+		t.Fatalf("unexpected CSV header %q", csv)
+	}
+}
+
+// TestSurrogateReplicates pins the replicated stage 2: each band
+// configuration runs Replicates jobs (distinct seeds, all cached
+// individually), the recorded saturation is the replicate average,
+// and the measurement resolution survives into the points.
+func TestSurrogateReplicates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replicated band simulation in -short mode")
+	}
+	cache := exp.NewCache()
+	runner := noc.NewRunner(0, cache)
+	one, err := dse.ExploreSurrogate(arch4x4(), dse.Options{
+		MaxConfigs: 1 << 10, SlackPct: 0, Simulate: true,
+	}, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := dse.ExploreSurrogate(arch4x4(), dse.Options{
+		MaxConfigs: 1 << 10, SlackPct: 0, Simulate: true, Replicates: 3,
+	}, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Replicates != 3 || one.Replicates != 1 {
+		t.Fatalf("replicates recorded as %d / %d, want 3 / 1", rep.Replicates, one.Replicates)
+	}
+	band := one.Fidelity.Band
+	if got, want := rep.Report.Jobs, 16+3*band; got != want {
+		t.Errorf("replicated exploration ran %d jobs, want %d (16 surrogate + 3x%d band)", got, want, band)
+	}
+	// Replicate 0 shares the single-run seed, so its jobs were cached.
+	if rep.Report.Computed != 2*band {
+		t.Errorf("replicated exploration computed %d jobs, want %d new (replicates 1 and 2)", rep.Report.Computed, 2*band)
+	}
+	for i := range rep.Points {
+		r := &rep.Points[i]
+		if !r.Simulated {
+			continue
+		}
+		if r.SimResolutionPct <= 0 {
+			t.Errorf("%s: no measurement resolution on replicated point", r.Params.String())
+		}
+		if r.SimSaturationPct <= 0 {
+			t.Errorf("%s: replicated saturation not recorded", r.Params.String())
+		}
+	}
+}

@@ -11,8 +11,12 @@ import (
 
 // cacheVersion tags the on-disk format; files with a different
 // version are treated like corrupted ones (fresh cache, load error
-// reported).
-const cacheVersion = 1
+// reported). Version 2: Result gained the surrogate ranking input
+// AnalyticAvgChannelLoad and the measurement resolution
+// SaturationResolutionPct — version-1 entries would deserialize with
+// those fields silently zero, degrading the surrogate band selection
+// and the validated-frontier tolerance, so they must not be reused.
+const cacheVersion = 2
 
 // Cache memoizes job results under their content keys. It is safe
 // for concurrent use. A cache is in-memory by default; OpenCache

@@ -35,17 +35,22 @@ type Mode string
 
 // Available modes. ModePredict runs the full toolchain (physical
 // model, saturation search, analytic model); ModeCost runs only the
-// physical model; ModeLoad simulates a single offered-load point.
+// physical model; ModeLoad simulates a single offered-load point;
+// ModeSurrogate runs the physical model plus the closed-form analytic
+// performance estimates — cost-model speed per point, never a
+// simulation — the first stage of surrogate-guided design-space
+// exploration.
 const (
-	ModePredict Mode = "predict"
-	ModeCost    Mode = "cost"
-	ModeLoad    Mode = "load"
+	ModePredict   Mode = "predict"
+	ModeCost      Mode = "cost"
+	ModeLoad      Mode = "load"
+	ModeSurrogate Mode = "surrogate"
 )
 
 // ModeNames lists the job modes in declaration order — the catalog
 // the spec layer validates against and the campaign service exports.
 func ModeNames() []string {
-	return []string{string(ModePredict), string(ModeCost), string(ModeLoad)}
+	return []string{string(ModePredict), string(ModeCost), string(ModeLoad), string(ModeSurrogate)}
 }
 
 // Job is one serializable experiment point: everything needed to

@@ -339,7 +339,7 @@ func TestCacheSaveRoundTrip(t *testing.T) {
 // must not silently tighten a shared cache file's mode.
 func TestCacheSavePreservesPermissions(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "cache.json")
-	if err := os.WriteFile(path, []byte(`{"version":1,"entries":{}}`), 0o664); err != nil {
+	if err := os.WriteFile(path, []byte(fmt.Sprintf(`{"version":%d,"entries":{}}`, cacheVersion)), 0o664); err != nil {
 		t.Fatal(err)
 	}
 	if err := os.Chmod(path, 0o664); err != nil { // WriteFile's mode is masked by umask

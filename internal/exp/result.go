@@ -3,10 +3,11 @@ package exp
 import "fmt"
 
 // Result is the serializable outcome of one job: the union of the
-// metrics the three modes produce. ModeCost fills the topology and
-// cost sections; ModePredict additionally fills the performance and
-// analytic sections; ModeLoad fills the topology section and the
-// load-point section.
+// metrics the modes produce. ModeCost fills the topology and cost
+// sections; ModePredict additionally fills the performance and
+// analytic sections; ModeSurrogate fills the topology, cost, and
+// analytic sections (no simulation); ModeLoad fills the topology
+// section and the load-point section.
 //
 // Results flow through the cache and are shared between duplicate
 // jobs in a batch; treat them as read-only.
@@ -30,13 +31,24 @@ type Result struct {
 	MaxLinkLatency     int     `json:"max_link_latency,omitempty"`
 
 	// Performance (cycle-accurate simulation, ModePredict).
-	ZeroLoadLatency float64 `json:"zero_load_latency,omitempty"`
-	SaturationPct   float64 `json:"saturation_pct,omitempty"`
-	RoutingName     string  `json:"routing_name,omitempty"`
+	// SaturationResolutionPct is the saturation search's measurement
+	// resolution: the width of the final bisection bracket in percent
+	// of injection capacity. Two saturation values closer than either
+	// one's resolution are indistinguishable to the search.
+	ZeroLoadLatency         float64 `json:"zero_load_latency,omitempty"`
+	SaturationPct           float64 `json:"saturation_pct,omitempty"`
+	SaturationResolutionPct float64 `json:"saturation_resolution_pct,omitempty"`
+	RoutingName             string  `json:"routing_name,omitempty"`
 
-	// High-level-model estimates (ModePredict).
-	AnalyticZeroLoad float64 `json:"analytic_zero_load,omitempty"`
-	AnalyticBoundPct float64 `json:"analytic_bound_pct,omitempty"`
+	// High-level-model estimates (ModePredict and ModeSurrogate).
+	// AnalyticMaxChannelLoad and AnalyticAvgChannelLoad are the raw
+	// channel loads behind the capped bound — the surrogate stage's
+	// uncapped ranking inputs (only ModeSurrogate fills them, keeping
+	// predict results bit-identical to earlier releases).
+	AnalyticZeroLoad       float64 `json:"analytic_zero_load,omitempty"`
+	AnalyticBoundPct       float64 `json:"analytic_bound_pct,omitempty"`
+	AnalyticMaxChannelLoad float64 `json:"analytic_max_channel_load,omitempty"`
+	AnalyticAvgChannelLoad float64 `json:"analytic_avg_channel_load,omitempty"`
 
 	// Simulation work behind the result (ModePredict and ModeLoad):
 	// total simulated router-cycles and flit movements. Campaign

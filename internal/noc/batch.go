@@ -12,6 +12,10 @@ package noc
 // — same Stats, same SimCycles, same cache keys — because batch
 // replicas share no mutable state (enforced by the sim package's
 // differential harness, and by TestGroupedLoadEvalMatchesPerJob here).
+//
+// PredictGroupKey/evalPredictGroup apply the same idea to ModePredict
+// jobs: jobs differing only in quality tier, pattern, or seed share
+// one topology build across all their saturation searches.
 
 import (
 	"fmt"
@@ -25,25 +29,52 @@ import (
 	"sparsehamming/internal/topo"
 )
 
-// LoadGroupKey is the exp.Runner.GroupKey for toolchain campaigns: it
+// LoadGroupKey is an exp.Runner.GroupKey for toolchain campaigns: it
 // groups ModeLoad jobs that resolve to the same architecture,
 // topology instance, and routing — exactly the inputs of a simulator
-// Shape — so the runner dispatches them as one batch. Predict and
-// cost jobs are never grouped (each already amortizes its probes over
-// one shared Shape inside the saturation search).
+// Shape — so the runner dispatches them as one batch. Cost and
+// surrogate jobs are never grouped (they do not simulate at all).
 func LoadGroupKey(j exp.Job) (string, bool) {
 	if j.Mode != exp.ModeLoad {
 		return "", false
 	}
+	return groupKeyFields("loadgrp-v1", j), true
+}
+
+// PredictGroupKey is LoadGroupKey's sibling for ModePredict jobs: it
+// groups predict jobs that share a topology instance — the same
+// architecture, grid, offsets, and routing across different quality
+// tiers, patterns, or seeds — so their saturation searches share one
+// simulator Shape instead of each paying a full topology build.
+func PredictGroupKey(j exp.Job) (string, bool) {
+	if j.Mode != exp.ModePredict {
+		return "", false
+	}
+	return groupKeyFields("predgrp-v1", j), true
+}
+
+// CampaignGroupKey is the exp.Runner.GroupKey the observed runner
+// installs: the union of LoadGroupKey and PredictGroupKey (the two
+// mode groups never collide — the version tags differ).
+func CampaignGroupKey(j exp.Job) (string, bool) {
+	if key, ok := LoadGroupKey(j); ok {
+		return key, true
+	}
+	return PredictGroupKey(j)
+}
+
+// groupKeyFields renders the Shape-determining job fields under a
+// versioned tag.
+func groupKeyFields(tag string, j exp.Job) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "loadgrp-v1|scenario=%s|rows=%d|cols=%d|topo=%s|sr=%v|sc=%v|routing=%s",
-		j.Scenario, j.Rows, j.Cols, j.Topo, j.SR, j.SC, j.Routing)
+	fmt.Fprintf(&b, "%s|scenario=%s|rows=%d|cols=%d|topo=%s|sr=%v|sc=%v|routing=%s",
+		tag, j.Scenario, j.Rows, j.Cols, j.Topo, j.SR, j.SC, j.Routing)
 	if o := j.Arch; !o.IsZero() {
 		fmt.Fprintf(&b, "|arch=ge:%g,cores:%d,freq:%g,bw:%g,vcs:%d,buf:%d,aspect:%g",
 			o.EndpointGE, o.CoresPerTile, o.FreqHz, o.LinkBWBits,
 			o.NumVCs, o.BufDepthFlits, o.TileAspect)
 	}
-	return b.String(), true
+	return b.String()
 }
 
 // evalLoadGroup evaluates a group of ModeLoad jobs sharing one
@@ -151,4 +182,67 @@ func clampCurveDrain(c *sim.Config) {
 	if c.Drain > sim.CurveDrainFactor*c.Measure {
 		c.Drain = sim.CurveDrainFactor * c.Measure
 	}
+}
+
+// evalPredictGroup evaluates a group of ModePredict jobs sharing one
+// PredictGroupKey — the same topology instance and routing — through
+// one simulator Shape: the architecture, cost model, and routing
+// resolve once, and every job's saturation search instantiates its
+// probes from the shared build. Per-job results are bit-identical to
+// the per-job predictSeeded path (pinned by
+// TestGroupedPredictEvalMatchesPerJob). Any resolution error fails the
+// whole group; the runner then falls back to per-job Eval calls,
+// preserving single-job failure semantics.
+func evalPredictGroup(jobs []exp.Job, sched sim.ProbeScheduler, spans []*obs.Span) ([]*exp.Result, error) {
+	j0 := jobs[0]
+	arch, err := ArchForJob(j0)
+	if err != nil {
+		return nil, err
+	}
+	t, err := topo.ByName(j0.Topo, arch.Rows, arch.Cols, j0.SR, j0.SC)
+	if err != nil {
+		return nil, err
+	}
+	cost, err := phys.Evaluate(arch, t)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := route.ForName(t, j0.Routing)
+	if err != nil {
+		return nil, err
+	}
+	if arch.Proto.NumVCs < rt.NumClasses {
+		return nil, fmt.Errorf("noc: %d VCs cannot host the %d VC classes of %s",
+			arch.Proto.NumVCs, rt.NumClasses, rt.Name)
+	}
+
+	base := sim.Config{
+		Topo: t, Routing: rt,
+		NumVCs: arch.Proto.NumVCs, BufDepth: arch.Proto.BufDepthFlits,
+		LinkLatency: cost.LinkLatencies, RouterDelay: RouterDelay,
+		PacketLen: packetLen(arch),
+	}
+	base.Defaults()
+	sh, err := sim.NewShape(base)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]*exp.Result, len(jobs))
+	for i, j := range jobs {
+		quality, err := QualityByName(j.Quality)
+		if err != nil {
+			return nil, err
+		}
+		var span *obs.Span
+		if spans != nil {
+			span = spans[i]
+		}
+		pred, err := predictShaped(sh, arch, t, cost, rt, j.Pattern, quality, j.EffectiveSeed(), sched, span)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = resultFromPrediction(pred, j)
+	}
+	return out, nil
 }

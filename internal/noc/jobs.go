@@ -9,6 +9,7 @@ package noc
 import (
 	"fmt"
 
+	"sparsehamming/internal/dse"
 	"sparsehamming/internal/exp"
 	"sparsehamming/internal/obs"
 	"sparsehamming/internal/phys"
@@ -95,6 +96,16 @@ func EvalJob(j exp.Job) (*exp.Result, error) {
 // Neither changes results — only wall-clock and observability — so
 // all entry points produce identical, cache-sound outputs.
 func evalJobSched(j exp.Job, sched sim.ProbeScheduler, span *obs.Span) (*exp.Result, error) {
+	if j.Mode == exp.ModeSurrogate {
+		// The surrogate evaluator is simulation-free and shared with the
+		// design-space explorer (package dse owns it); delegating keeps
+		// the two toolchains' surrogate results trivially identical, so
+		// they can share one cache file.
+		cs := span.Child("cost")
+		res, err := dse.EvalSurrogateJob(j)
+		cs.End()
+		return res, err
+	}
 	arch, err := ArchForJob(j)
 	if err != nil {
 		return nil, err
@@ -193,28 +204,29 @@ func resultFromPrediction(p *Prediction, j exp.Job) *exp.Result {
 		params = paramsString(j)
 	}
 	return &exp.Result{
-		Topology:             p.Topology,
-		Params:               params,
-		RouterRadix:          p.RouterRadix,
-		Diameter:             p.Diameter,
-		AvgHops:              p.AvgHops,
-		NumLinks:             p.NumLinks,
-		TotalAreaMm2:         p.TotalAreaMm2,
-		AreaOverheadPct:      p.AreaOverheadPct,
-		TotalPowerW:          p.TotalPowerW,
-		NoCPowerW:            p.NoCPowerW,
-		ChannelUtilization:   p.ChannelUtilization,
-		MaxLinkLatency:       p.MaxLinkLatency,
-		ZeroLoadLatency:      p.ZeroLoadLatency,
-		SaturationPct:        p.SaturationPct,
-		RoutingName:          p.RoutingName,
-		AnalyticZeroLoad:     p.AnalyticZeroLoad,
-		AnalyticBoundPct:     p.AnalyticBoundPct,
-		SimCycles:            p.SimCycles,
-		SimFlitHops:          p.SimFlitHops,
-		SimProbes:            p.Probes,
-		SimCyclesSaved:       p.CyclesSaved,
-		SaturationLowerBound: p.SatLowerBound,
+		Topology:                p.Topology,
+		Params:                  params,
+		RouterRadix:             p.RouterRadix,
+		Diameter:                p.Diameter,
+		AvgHops:                 p.AvgHops,
+		NumLinks:                p.NumLinks,
+		TotalAreaMm2:            p.TotalAreaMm2,
+		AreaOverheadPct:         p.AreaOverheadPct,
+		TotalPowerW:             p.TotalPowerW,
+		NoCPowerW:               p.NoCPowerW,
+		ChannelUtilization:      p.ChannelUtilization,
+		MaxLinkLatency:          p.MaxLinkLatency,
+		ZeroLoadLatency:         p.ZeroLoadLatency,
+		SaturationPct:           p.SaturationPct,
+		SaturationResolutionPct: p.SatResolutionPct,
+		RoutingName:             p.RoutingName,
+		AnalyticZeroLoad:        p.AnalyticZeroLoad,
+		AnalyticBoundPct:        p.AnalyticBoundPct,
+		SimCycles:               p.SimCycles,
+		SimFlitHops:             p.SimFlitHops,
+		SimProbes:               p.Probes,
+		SimCyclesSaved:          p.CyclesSaved,
+		SaturationLowerBound:    p.SatLowerBound,
 	}
 }
 
@@ -236,6 +248,7 @@ func PredictionFromResult(r *exp.Result) *Prediction {
 		MaxLinkLatency:     r.MaxLinkLatency,
 		ZeroLoadLatency:    r.ZeroLoadLatency,
 		SaturationPct:      r.SaturationPct,
+		SatResolutionPct:   r.SaturationResolutionPct,
 		RoutingName:        r.RoutingName,
 		AnalyticZeroLoad:   r.AnalyticZeroLoad,
 		AnalyticBoundPct:   r.AnalyticBoundPct,

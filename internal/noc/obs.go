@@ -40,14 +40,20 @@ var phaseNames = map[string]bool{
 func NewObservedRunner(workers int, cache *exp.Cache, hub *obs.Hub) *exp.Runner {
 	r := &exp.Runner{Workers: workers, Cache: cache}
 	sched := runnerSched{r: r}
-	// Load-sweep jobs sharing one topology build are dispatched as a
-	// group and evaluated through one sim.Batch (see batch.go) —
-	// instrumented or not, since grouping changes scheduling only,
-	// never results.
-	r.GroupKey = LoadGroupKey
+	// Jobs sharing one topology build are dispatched as a group: load
+	// sweeps run through one sim.Batch, predict jobs through one shared
+	// Shape (see batch.go) — instrumented or not, since grouping
+	// changes scheduling only, never results.
+	r.GroupKey = CampaignGroupKey
+	evalGroup := func(jobs []exp.Job, spans []*obs.Span) ([]*exp.Result, error) {
+		if jobs[0].Mode == exp.ModePredict {
+			return evalPredictGroup(jobs, sched, spans)
+		}
+		return evalLoadGroup(jobs, spans)
+	}
 	if hub == nil {
 		r.Eval = func(j exp.Job) (*exp.Result, error) { return evalJobSched(j, sched, nil) }
-		r.EvalGroup = func(jobs []exp.Job) ([]*exp.Result, error) { return evalLoadGroup(jobs, nil) }
+		r.EvalGroup = func(jobs []exp.Job) ([]*exp.Result, error) { return evalGroup(jobs, nil) }
 		return r
 	}
 	r.Log = hub.Logger()
@@ -70,7 +76,7 @@ func NewObservedRunner(workers int, cache *exp.Cache, hub *obs.Hub) *exp.Runner 
 		for i, j := range jobs {
 			spans[i] = ob.begin(j)
 		}
-		res, err := evalLoadGroup(jobs, spans)
+		res, err := evalGroup(jobs, spans)
 		for i, j := range jobs {
 			ob.finish(j, spans[i], err)
 		}

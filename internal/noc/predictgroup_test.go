@@ -1,0 +1,105 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+
+	"sparsehamming/internal/exp"
+)
+
+// predictLadder is a set of predict jobs sharing one topology
+// instance — one group under PredictGroupKey, with quality tier,
+// pattern, and seed varying per job.
+func predictLadder() []exp.Job {
+	return []exp.Job{
+		{Mode: exp.ModePredict, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh", Seed: 1},
+		{Mode: exp.ModePredict, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh", Seed: 2, Pattern: "transpose"},
+		{Mode: exp.ModePredict, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh", Seed: 3, Quality: "adaptive"},
+	}
+}
+
+// TestGroupedPredictEvalMatchesPerJob is the predict-side parity
+// contract: jobs evaluated through one shared Shape produce
+// bit-identical results — SimCycles included — to the per-job
+// predictSeeded path.
+func TestGroupedPredictEvalMatchesPerJob(t *testing.T) {
+	jobs := predictLadder()
+
+	want := make([]*exp.Result, len(jobs))
+	for i, j := range jobs {
+		res, err := EvalJob(j)
+		if err != nil {
+			t.Fatalf("EvalJob(%v): %v", j, err)
+		}
+		want[i] = res
+	}
+
+	got, err := evalPredictGroup(jobs, nil, nil)
+	if err != nil {
+		t.Fatalf("evalPredictGroup: %v", err)
+	}
+	for i := range jobs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("job %v:\ngrouped %+v\nper-job %+v", jobs[i], got[i], want[i])
+		}
+	}
+}
+
+// TestPredictGroupKey pins the predict group key's equivalence
+// classes, and that CampaignGroupKey unions the load and predict
+// groupings without ever colliding them.
+func TestPredictGroupKey(t *testing.T) {
+	jobs := predictLadder()
+	k0, ok := PredictGroupKey(jobs[0])
+	if !ok {
+		t.Fatal("predict job not groupable")
+	}
+	for _, j := range jobs[1:] {
+		k, ok := PredictGroupKey(j)
+		if !ok || k != k0 {
+			t.Errorf("ladder job %v got key %q, want %q", j, k, k0)
+		}
+	}
+
+	for _, mode := range []exp.Mode{exp.ModeCost, exp.ModeSurrogate, exp.ModeLoad} {
+		if _, ok := PredictGroupKey(exp.Job{Mode: mode, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh"}); ok {
+			t.Errorf("%s job was predict-groupable", mode)
+		}
+	}
+
+	j := jobs[0]
+	j.Topo = "torus"
+	if k, _ := PredictGroupKey(j); k == k0 {
+		t.Error("different topology shares a group key")
+	}
+	j = jobs[0]
+	j.Routing = "hop-minimal"
+	if k, _ := PredictGroupKey(j); k == k0 {
+		t.Error("different routing shares a group key")
+	}
+	j = jobs[0]
+	j.Arch = &exp.ArchOverride{NumVCs: 8}
+	if k, _ := PredictGroupKey(j); k == k0 {
+		t.Error("different architecture override shares a group key")
+	}
+
+	// The union: predict and load jobs both group, under distinct keys.
+	pk, ok := CampaignGroupKey(jobs[0])
+	if !ok || pk != k0 {
+		t.Errorf("CampaignGroupKey(predict) = %q, %v; want %q", pk, ok, k0)
+	}
+	lj := exp.Job{Mode: exp.ModeLoad, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh", Load: 0.1}
+	lk, ok := CampaignGroupKey(lj)
+	if !ok {
+		t.Fatal("load job not groupable through CampaignGroupKey")
+	}
+	if wantLK, _ := LoadGroupKey(lj); lk != wantLK {
+		t.Errorf("CampaignGroupKey(load) = %q, want %q", lk, wantLK)
+	}
+	if lk == k0 {
+		t.Error("load and predict groups collide")
+	}
+	if _, ok := CampaignGroupKey(exp.Job{Mode: exp.ModeSurrogate, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh"}); ok {
+		t.Error("surrogate job was groupable")
+	}
+}

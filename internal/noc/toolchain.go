@@ -87,10 +87,14 @@ type Prediction struct {
 	ChannelUtilization float64
 	MaxLinkLatency     int
 
-	// Performance (package sim).
-	ZeroLoadLatency float64 // cycles
-	SaturationPct   float64 // percent of injection capacity
-	RoutingName     string
+	// Performance (package sim). SatResolutionPct is the saturation
+	// search's measurement resolution — the width of the final
+	// bisection bracket in percent of injection capacity; differences
+	// between predictions smaller than it are not measured.
+	ZeroLoadLatency  float64 // cycles
+	SaturationPct    float64 // percent of injection capacity
+	SatResolutionPct float64 // percent of injection capacity
+	RoutingName      string
 
 	// High-level-model estimates (package analytic), reported
 	// alongside the simulated values to expose the accuracy gap the
@@ -124,7 +128,9 @@ type Prediction struct {
 // traversal). The paper's correction discussion for MemPool implies
 // their model charges a minimum of one cycle per router stage; three
 // cycles is representative for an input-queued AXI router at 1+ GHz.
-const RouterDelay = 3
+// The value itself lives in package tech so the design-space
+// surrogate (package dse) shares it without importing the toolchain.
+const RouterDelay = tech.RouterDelay
 
 // Predict runs the full toolchain for one topology.
 func Predict(arch *tech.Arch, t *topo.Topology, quality Quality) (*Prediction, error) {
@@ -161,6 +167,16 @@ func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, q
 		return nil, fmt.Errorf("noc: %d VCs cannot host the %d VC classes of %s",
 			arch.Proto.NumVCs, r.NumClasses, r.Name)
 	}
+	return predictShaped(nil, arch, t, cost, r, pattern, quality, seed, sched, span)
+}
+
+// predictShaped is the simulation half of predictSeeded, with the
+// cost model and routing already resolved and an optional pre-built
+// simulator Shape. The grouped predict evaluator resolves those once
+// per topology and calls this per quality tier/seed, sharing the one
+// Shape across all of them; a nil sh falls back to the per-call build
+// inside the saturation search. Results are bit-identical either way.
+func predictShaped(sh *sim.Shape, arch *tech.Arch, t *topo.Topology, cost *phys.Result, r *route.Routing, pattern string, quality Quality, seed int64, sched sim.ProbeScheduler, span *obs.Span) (*Prediction, error) {
 	pat, err := sim.PatternByName(pattern, t.Rows, t.Cols)
 	if err != nil {
 		return nil, err
@@ -184,7 +200,12 @@ func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, q
 		Sched:       sched,
 		Span:        satSpan,
 	}
-	sat, err := sim.SaturationThroughput(base)
+	var sat sim.SaturationResult
+	if sh != nil {
+		sat, err = sim.SaturationThroughputShaped(sh, base)
+	} else {
+		sat, err = sim.SaturationThroughput(base)
+	}
 	satSpan.SetAttr("probes", sat.Probes)
 	satSpan.End()
 	if err != nil {
@@ -227,6 +248,7 @@ func predictSeeded(arch *tech.Arch, t *topo.Topology, routing, pattern string, q
 		MaxLinkLatency:     maxLat,
 		ZeroLoadLatency:    sat.ZeroLoadLatency,
 		SaturationPct:      100 * sat.SaturationRate,
+		SatResolutionPct:   100 * sat.Resolution,
 		RoutingName:        r.Name,
 		AnalyticZeroLoad:   azl,
 		AnalyticBoundPct:   100 * abound,
@@ -261,13 +283,8 @@ func PredictCostOnly(arch *tech.Arch, t *topo.Topology) (*Prediction, *phys.Resu
 	return p, cost, nil
 }
 
-// packetLen returns the simulated packet length in flits: the number
-// of flits needed to move one cache-line-sized payload (4 flits for
-// the 512-bit KNC scenarios) with a floor of one flit for wide links
-// relative to the request size (MemPool's single-word accesses).
+// packetLen returns the simulated packet length in flits (see
+// tech.Arch.PacketLenFlits, shared with the design-space surrogate).
 func packetLen(arch *tech.Arch) int {
-	if arch.Name == "mempool" {
-		return 1
-	}
-	return 4
+	return arch.PacketLenFlits()
 }

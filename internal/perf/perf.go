@@ -257,6 +257,68 @@ func FreshRegressions(entries []Entry, pct float64, cutoff time.Time) []Delta {
 	return out
 }
 
+// Floor is a minimum requirement on a benchmark metric: the newest
+// trajectory entry of Bench must record Metric at Min or above.
+type Floor struct {
+	Bench  string
+	Metric string
+	Min    float64
+}
+
+// BuiltinFloors returns the repository's standing metric floors —
+// quality guarantees benchmarks must keep, as opposed to the advisory
+// ns/op history. The surrogate DSE floors pin the two-stage
+// explorer's contract: the band must save at least 5x the simulations
+// of an exhaustive sweep while recalling the entire validated
+// frontier.
+func BuiltinFloors() []Floor {
+	return []Floor{
+		{Bench: "DSESurrogate", Metric: "dse_sims_saved_x", Min: 5},
+		{Bench: "DSESurrogate", Metric: "frontier_recall", Min: 1},
+	}
+}
+
+// FloorViolation is one floored metric found below its minimum.
+type FloorViolation struct {
+	Floor
+	// Got is the metric's value in the newest entry.
+	Got float64
+}
+
+// FloorViolations checks the newest entry of each floored benchmark
+// against the floors. Benchmarks absent from the trajectory, entries
+// without the floored metric, and — under a non-zero cutoff, as in
+// FreshRegressions — entries older than the cutoff are skipped: the
+// floors guard runs that actually measured the metric, they do not
+// demand every run measure it.
+func FloorViolations(entries []Entry, floors []Floor, cutoff time.Time) []FloorViolation {
+	newest := map[string]*Entry{}
+	for i := range entries {
+		newest[entries[i].Bench] = &entries[i]
+	}
+	var out []FloorViolation
+	for _, f := range floors {
+		e, ok := newest[f.Bench]
+		if !ok {
+			continue
+		}
+		if !cutoff.IsZero() {
+			ts, err := time.Parse(time.RFC3339, e.When)
+			if err != nil || ts.Before(cutoff) {
+				continue
+			}
+		}
+		got, ok := e.Metrics[f.Metric]
+		if !ok {
+			continue
+		}
+		if got < f.Min {
+			out = append(out, FloorViolation{Floor: f, Got: got})
+		}
+	}
+	return out
+}
+
 // Append loads the trajectory at path, appends the entries, and
 // writes it back atomically (write to a temporary file, then rename).
 func Append(path string, entries ...Entry) error {

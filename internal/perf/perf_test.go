@@ -170,3 +170,50 @@ func TestFreshRegressions(t *testing.T) {
 		t.Errorf("unfiltered regressions = %+v, want all three", regs)
 	}
 }
+
+func TestFloorViolations(t *testing.T) {
+	floors := []Floor{
+		{Bench: "DSE", Metric: "saved_x", Min: 5},
+		{Bench: "DSE", Metric: "recall", Min: 1},
+		{Bench: "Absent", Metric: "x", Min: 1},
+	}
+	now := time.Now().UTC().Format(time.RFC3339)
+	entries := []Entry{
+		// Older entry violates, but only the newest counts.
+		{Bench: "DSE", When: now, Metrics: map[string]float64{"saved_x": 2, "recall": 1}},
+		{Bench: "DSE", When: now, Metrics: map[string]float64{"saved_x": 6.5, "recall": 0.9}},
+	}
+	viol := FloorViolations(entries, floors, time.Time{})
+	if len(viol) != 1 || viol[0].Metric != "recall" || viol[0].Got != 0.9 {
+		t.Fatalf("violations = %+v, want only recall 0.9", viol)
+	}
+	// A metric absent from the newest entry is skipped, not violated.
+	entries[1].Metrics = map[string]float64{"saved_x": 6.5}
+	if viol := FloorViolations(entries, floors, time.Time{}); len(viol) != 0 {
+		t.Errorf("missing metric flagged: %+v", viol)
+	}
+	// Stale entries are skipped under a cutoff.
+	entries[1].Metrics = map[string]float64{"saved_x": 2}
+	entries[1].When = "2020-01-01T00:00:00Z"
+	if viol := FloorViolations(entries, floors, time.Now().Add(-time.Hour)); len(viol) != 0 {
+		t.Errorf("stale entry flagged: %+v", viol)
+	}
+}
+
+func TestBuiltinFloorsCoverDSE(t *testing.T) {
+	var saved, recall bool
+	for _, f := range BuiltinFloors() {
+		if f.Bench != "DSESurrogate" {
+			continue
+		}
+		switch f.Metric {
+		case "dse_sims_saved_x":
+			saved = f.Min >= 5
+		case "frontier_recall":
+			recall = f.Min >= 1
+		}
+	}
+	if !saved || !recall {
+		t.Fatalf("builtin floors missing the DSE contract: %+v", BuiltinFloors())
+	}
+}

@@ -101,6 +101,17 @@ func WriteSweepTable(w io.Writer, s *spec.Spec, pi int, jobs []exp.Job, results 
 				r.Topology, r.Params, r.RouterRadix, r.Diameter, r.AvgHops,
 				r.AreaOverheadPct, r.NoCPowerW)
 		}
+	case exp.ModeSurrogate:
+		fmt.Fprintf(&b, "| topology | params | routing | area ovh %% | NoC power W | analytic zero-load | analytic bound %% |\n")
+		fmt.Fprintf(&b, "|---|---|---|---:|---:|---:|---:|\n")
+		for _, r := range results {
+			if r == nil {
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %.1f | %.2f | %.1f | %.1f |\n",
+				r.Topology, r.Params, r.RoutingName,
+				r.AreaOverheadPct, r.NoCPowerW, r.AnalyticZeroLoad, r.AnalyticBoundPct)
+		}
 	default: // predict
 		fmt.Fprintf(&b, "| topology | params | routing | area ovh %% | NoC power W | zero-load lat | saturation %% |\n")
 		fmt.Fprintf(&b, "|---|---|---|---:|---:|---:|---:|\n")

@@ -1,0 +1,137 @@
+package serve
+
+// POST /v1/frontier: the surrogate-guided design-space exploration as
+// a service call. The handler runs both stages of dse.ExploreSurrogate
+// synchronously on the server's shared runner, so every surrogate
+// score and every band simulation is an ordinary cached campaign job —
+// a repeated query (or one overlapping a prior campaign's jobs)
+// answers entirely from the cache with zero newly-simulated jobs,
+// which TestFrontierRepeatAnswersFromCache pins.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"sparsehamming/internal/dse"
+	"sparsehamming/internal/spec"
+)
+
+// FrontierRequest is the POST /v1/frontier request body.
+type FrontierRequest struct {
+	// Arch selects the architecture whose sparse Hamming space to
+	// explore (same shape as a campaign sweep's arch).
+	Arch spec.ArchSpec `json:"arch"`
+
+	// SlackPct is the Pareto-band slack margin in percent; absent
+	// means dse.DefaultSlackPct, 0 means frontier-only.
+	SlackPct *float64 `json:"slack_pct,omitempty"`
+
+	// MaxConfigs caps the enumeration (0 means 65536, the declarative
+	// default); grids whose space exceeds it are rejected.
+	MaxConfigs int `json:"max_configs,omitempty"`
+
+	// Quality and Seed parameterize the band simulations ("" means
+	// quick, 0 derives deterministic per-job seeds). Replicates is the
+	// number of simulation seeds averaged per simulated configuration
+	// (0 or 1 means one; capped at 10 — each replicate multiplies the
+	// band's simulation work).
+	Quality    string `json:"quality,omitempty"`
+	Seed       int64  `json:"seed,omitempty"`
+	Replicates int    `json:"replicates,omitempty"`
+
+	// Simulate runs stage 2 (cycle-accurate simulation of the band);
+	// Validate additionally simulates every configuration and fills
+	// the fidelity report's frontier recall. Both off returns the
+	// surrogate-only exploration.
+	Simulate bool `json:"simulate,omitempty"`
+	Validate bool `json:"validate,omitempty"`
+}
+
+// FrontierJSON is the POST /v1/frontier response body. Band holds the
+// surrogate-selected Pareto band sorted by area overhead (the full
+// enumeration is deliberately not returned — it can be tens of
+// thousands of points); the frontier is the subset with
+// surrogate_frontier (or, after simulation, sim_frontier) set.
+type FrontierJSON struct {
+	Scenario   string  `json:"scenario"`
+	Rows       int     `json:"rows"`
+	Cols       int     `json:"cols"`
+	SlackPct   float64 `json:"slack_pct"`
+	Replicates int     `json:"replicates"`
+
+	Band     []dse.SurrogatePoint `json:"band"`
+	Fidelity dse.Fidelity         `json:"fidelity"`
+	Report   ReportJSON           `json:"report"`
+}
+
+// handleFrontier implements POST /v1/frontier.
+func (s *Server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	if s.ctx.Err() != nil {
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxSpecBytes))
+	dec.DisallowUnknownFields()
+	var req FrontierRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if dec.More() {
+		writeError(w, http.StatusBadRequest, "trailing data after request object")
+		return
+	}
+	arch, err := spec.ArchForJob(req.Arch.Job())
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if req.Replicates < 0 || req.Replicates > 10 {
+		writeError(w, http.StatusUnprocessableEntity, "replicates %d outside [0, 10]", req.Replicates)
+		return
+	}
+	opts := dse.Options{
+		MaxConfigs: req.MaxConfigs,
+		SlackPct:   dse.DefaultSlackPct,
+		Quality:    req.Quality,
+		Seed:       req.Seed,
+		Replicates: req.Replicates,
+		Simulate:   req.Simulate,
+		Validate:   req.Validate,
+	}
+	if opts.MaxConfigs <= 0 {
+		opts.MaxConfigs = 1 << 16
+	}
+	if req.SlackPct != nil {
+		opts.SlackPct = *req.SlackPct
+	}
+	ex, err := dse.ExploreSurrogate(arch, opts, s.cfg.Runner)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	s.log.Info("frontier explored",
+		"scenario", ex.Scenario, "grid", fmt.Sprintf("%dx%d", ex.Rows, ex.Cols),
+		"configs", ex.Fidelity.Configs, "band", ex.Fidelity.Band,
+		"computed", ex.Report.Computed, "cached", ex.Report.CacheHits,
+		"wall", ex.Report.Wall.Round(time.Millisecond))
+	writeJSON(w, http.StatusOK, FrontierJSON{
+		Scenario:   ex.Scenario,
+		Rows:       ex.Rows,
+		Cols:       ex.Cols,
+		SlackPct:   ex.SlackPct,
+		Replicates: ex.Replicates,
+		Band:       ex.Band(),
+		Fidelity:   ex.Fidelity,
+		Report: ReportJSON{
+			Jobs: ex.Report.Jobs, Unique: ex.Report.Unique,
+			CacheHits: ex.Report.CacheHits, Shared: ex.Report.Shared,
+			Computed: ex.Report.Computed, Failed: ex.Report.Failed,
+			WallMs:    float64(ex.Report.Wall) / float64(time.Millisecond),
+			ComputeMs: float64(ex.Report.Compute) / float64(time.Millisecond),
+			Summary:   ex.Report.String(),
+		},
+	})
+}

@@ -1,0 +1,143 @@
+package serve_test
+
+// POST /v1/frontier coverage: a real two-stage exploration over the
+// noc toolchain runner, and the caching guarantee that makes the
+// endpoint cheap to re-query.
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/noc"
+	"sparsehamming/internal/serve"
+)
+
+// newFrontierServer wires the service around the real prediction
+// toolchain with a shared in-memory cache — the production shape.
+func newFrontierServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := serve.New(serve.Config{Runner: noc.NewRunner(2, exp.NewCache())})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// postFrontier POSTs a frontier request and decodes the response.
+func postFrontier(t *testing.T, ts *httptest.Server, body string) serve.FrontierJSON {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/frontier", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("frontier: %s: %s", resp.Status, b)
+	}
+	var out serve.FrontierJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestFrontierRepeatAnswersFromCache is the endpoint's acceptance
+// pin: an identical repeated query — both surrogate scores and band
+// simulations — answers entirely from the shared cache, computing
+// zero new jobs.
+func TestFrontierRepeatAnswersFromCache(t *testing.T) {
+	ts := newFrontierServer(t)
+	const req = `{"arch": {"scenario": "a", "rows": 4, "cols": 4}, "simulate": true}`
+
+	first := postFrontier(t, ts, req)
+	if first.Scenario != "a" || first.Rows != 4 || first.Cols != 4 {
+		t.Fatalf("grid = %s %dx%d", first.Scenario, first.Rows, first.Cols)
+	}
+	if first.Fidelity.Configs != 16 {
+		t.Fatalf("configs = %d, want 16", first.Fidelity.Configs)
+	}
+	if len(first.Band) == 0 || first.Fidelity.Simulated != len(first.Band) {
+		t.Fatalf("band %d, simulated %d", len(first.Band), first.Fidelity.Simulated)
+	}
+	if first.Report.Computed == 0 {
+		t.Fatal("cold query computed nothing")
+	}
+	for _, p := range first.Band {
+		if !p.InBand || !p.Simulated {
+			t.Fatalf("band point %s: in_band=%v simulated=%v", p.Params.String(), p.InBand, p.Simulated)
+		}
+	}
+
+	again := postFrontier(t, ts, req)
+	if again.Report.Computed != 0 {
+		t.Errorf("repeat computed %d jobs, want 0 (all cache hits)", again.Report.Computed)
+	}
+	if again.Report.CacheHits != again.Report.Jobs {
+		t.Errorf("repeat: %d cache hits over %d jobs", again.Report.CacheHits, again.Report.Jobs)
+	}
+	if len(again.Band) != len(first.Band) {
+		t.Errorf("repeat band %d points, first %d", len(again.Band), len(first.Band))
+	}
+}
+
+// TestFrontierSurrogateOnly: without simulate, the endpoint returns
+// the surrogate band with no simulated values.
+func TestFrontierSurrogateOnly(t *testing.T) {
+	ts := newFrontierServer(t)
+	out := postFrontier(t, ts, `{"arch": {"scenario": "a", "rows": 4, "cols": 4}, "slack_pct": 0}`)
+	if out.SlackPct != 0 {
+		t.Errorf("slack = %g, want 0", out.SlackPct)
+	}
+	if len(out.Band) == 0 {
+		t.Fatal("empty band")
+	}
+	frontier := 0
+	for _, p := range out.Band {
+		if p.Simulated {
+			t.Fatalf("surrogate-only band point %s is marked simulated", p.Params.String())
+		}
+		if p.SurrogateFrontier {
+			frontier++
+		}
+	}
+	// Slack 0 admits frontier points plus exact score ties (symmetric
+	// configurations), never worse points.
+	if frontier == 0 {
+		t.Error("no surrogate-frontier point in the slack-0 band")
+	}
+	if out.Fidelity.Band != len(out.Band) {
+		t.Errorf("fidelity band %d, response band %d", out.Fidelity.Band, len(out.Band))
+	}
+}
+
+// TestFrontierRejects covers the request-validation error paths.
+func TestFrontierRejects(t *testing.T) {
+	ts := newFrontierServer(t)
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"malformed JSON", `{"arch": `, http.StatusBadRequest},
+		{"unknown field", `{"arch": {"scenario": "a"}, "bogus": 1}`, http.StatusBadRequest},
+		{"trailing data", `{"arch": {"scenario": "a"}} {}`, http.StatusBadRequest},
+		{"unknown scenario", `{"arch": {"scenario": "z", "rows": 4, "cols": 4}}`, http.StatusUnprocessableEntity},
+		{"slack out of range", `{"arch": {"scenario": "a", "rows": 4, "cols": 4}, "slack_pct": 100}`, http.StatusUnprocessableEntity},
+		{"space over cap", `{"arch": {"scenario": "a", "rows": 4, "cols": 4}, "max_configs": 2}`, http.StatusUnprocessableEntity},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(ts.URL+"/v1/frontier", "application/json", strings.NewReader(c.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.status {
+			t.Errorf("%s: status %d, want %d", c.name, resp.StatusCode, c.status)
+		}
+	}
+}

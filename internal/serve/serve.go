@@ -195,6 +195,7 @@ func (s *Server) Routes() []Route {
 		{"GET", "/v1/campaigns/{id}/events", "live progress stream (Server-Sent Events)", s.handleEvents},
 		{"GET", "/v1/campaigns/{id}/results", "results of a finished campaign (JSON, or ?format=csv)", s.handleResults},
 		{"DELETE", "/v1/campaigns/{id}", "cancel a queued or running campaign", s.handleCancel},
+		{"POST", "/v1/frontier", "surrogate-guided sparse Hamming design-space exploration (synchronous)", s.handleFrontier},
 		{"GET", "/v1/registry", "registered topologies, routings, patterns, scenarios", s.handleRegistry},
 		{"GET", "/healthz", "liveness probe with build, queue, runner, and cache statistics", s.handleHealthz},
 		{"GET", "/metrics", "Prometheus text exposition of simulator, runner, cache, and HTTP series", s.handleMetrics},

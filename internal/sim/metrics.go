@@ -166,6 +166,17 @@ func SaturationThroughput(cfg Config) (SaturationResult, error) {
 	if err != nil {
 		return SaturationResult{}, err
 	}
+	return SaturationThroughputShaped(sh, cfg)
+}
+
+// SaturationThroughputShaped is SaturationThroughput against a
+// pre-built Shape, letting callers that search many configurations of
+// the same topology (the grouped predict evaluator) share one build
+// across all of them. The shape must have been built for the config's
+// topology, routing, and link latencies; results are bit-identical to
+// SaturationThroughput.
+func SaturationThroughputShaped(sh *Shape, cfg Config) (SaturationResult, error) {
+	cfg.Defaults()
 	if cfg.Control != nil {
 		return adaptiveSaturation(sh, cfg)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"sparsehamming/internal/exp"
 	"sparsehamming/internal/tech"
+	"sparsehamming/internal/topo"
 )
 
 // ArchForJob resolves a job's architecture: the preset named by
@@ -79,15 +80,24 @@ func (a *ArchSpec) override() *exp.ArchOverride {
 	return &o
 }
 
+// Job returns the architecture-only job the spec stands for — the
+// shared currency for resolving an ArchSpec into a tech.Arch
+// (ArchForJob) or stamping its scenario/grid/override onto campaign
+// jobs. The campaign service's frontier endpoint resolves request
+// architectures through it.
+func (a *ArchSpec) Job() exp.Job {
+	return exp.Job{
+		Scenario: a.Scenario,
+		Rows:     a.Rows,
+		Cols:     a.Cols,
+		Arch:     a.override(),
+	}
+}
+
 // probeJob builds the architecture-only job used to resolve and
 // validate the sweep's arch.
 func (sw *Sweep) probeJob() exp.Job {
-	return exp.Job{
-		Scenario: sw.Arch.Scenario,
-		Rows:     sw.Arch.Rows,
-		Cols:     sw.Arch.Cols,
-		Arch:     sw.Arch.override(),
-	}
+	return sw.Arch.Job()
 }
 
 // axis returns values, or the single default when empty.
@@ -156,8 +166,24 @@ func (sw *Sweep) jobs() ([]exp.Job, error) {
 	}
 	ov := sw.Arch.override()
 
+	topos := sw.Topologies
+	if sw.HammingSpace {
+		arch, err := ArchForJob(sw.probeJob())
+		if err != nil {
+			return nil, err
+		}
+		params, err := topo.HammingSpace(arch.Rows, arch.Cols, sw.maxConfigs())
+		if err != nil {
+			return nil, err
+		}
+		topos = make([]TopologySpec, len(params))
+		for i, p := range params {
+			topos[i] = TopologySpec{Kind: "sparse-hamming", SR: p.SR, SC: p.SC}
+		}
+	}
+
 	var jobs []exp.Job
-	for _, ts := range sw.Topologies {
+	for _, ts := range topos {
 		rlist := routings
 		if ts.Routing != "" {
 			rlist = []string{ts.Routing}

@@ -1,0 +1,130 @@
+package spec
+
+import (
+	"reflect"
+	"testing"
+
+	"sparsehamming/internal/exp"
+	"sparsehamming/internal/topo"
+)
+
+// hammingSweepSpec is a surrogate-mode sweep whose topology axis is
+// the generated sparse Hamming space.
+func hammingSweepSpec() *Spec {
+	return &Spec{
+		Name: "dse",
+		Sweeps: []Sweep{{
+			Label:        "space",
+			Mode:         "surrogate",
+			Arch:         ArchSpec{Scenario: "a", Rows: 4, Cols: 4},
+			HammingSpace: true,
+		}},
+	}
+}
+
+// TestHammingSpaceExpansion checks that the generated topology axis
+// is exactly topo.HammingSpace's canonical enumeration — the same
+// order dse.ExploreSurrogate sweeps, so spec-driven campaigns share
+// cache entries with CLI explorations.
+func TestHammingSpaceExpansion(t *testing.T) {
+	s := hammingSweepSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := topo.HammingSpace(4, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(params) {
+		t.Fatalf("%d jobs, want %d (one per configuration)", len(jobs), len(params))
+	}
+	for i, j := range jobs {
+		if j.Mode != exp.ModeSurrogate || j.Topo != "sparse-hamming" {
+			t.Fatalf("job %d = %+v, want surrogate sparse-hamming", i, j)
+		}
+		if !reflect.DeepEqual([]int(j.SR), params[i].SR) || !reflect.DeepEqual([]int(j.SC), params[i].SC) {
+			t.Fatalf("job %d offsets SR=%v SC=%v, want canonical SR=%v SC=%v",
+				i, j.SR, j.SC, params[i].SR, params[i].SC)
+		}
+	}
+}
+
+// TestHammingSpaceMaxConfigs pins the cap's safety-valve semantics:
+// like the dse limit, it rejects a space larger than the cap at
+// validation time rather than silently truncating the sweep.
+func TestHammingSpaceMaxConfigs(t *testing.T) {
+	s := hammingSweepSpec()
+	s.Sweeps[0].MaxConfigs = 16
+	if err := s.Validate(); err != nil {
+		t.Fatalf("cap equal to the space size must pass: %v", err)
+	}
+	if jobs, err := s.Expand(); err != nil || len(jobs) != 16 {
+		t.Fatalf("%d jobs, err %v; want 16", len(jobs), err)
+	}
+	s.Sweeps[0].MaxConfigs = 4
+	if err := s.Validate(); err == nil {
+		t.Fatal("cap below the space size must fail validation")
+	}
+}
+
+// TestHammingSpaceValidation covers the new sweep-level rules.
+func TestHammingSpaceValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"topologies alongside hamming_space", func(s *Spec) {
+			s.Sweeps[0].Topologies = []TopologySpec{{Kind: "mesh"}}
+		}},
+		{"negative max_configs", func(s *Spec) { s.Sweeps[0].MaxConfigs = -1 }},
+		{"max_configs without hamming_space", func(s *Spec) {
+			s.Sweeps[0].HammingSpace = false
+			s.Sweeps[0].Topologies = []TopologySpec{{Kind: "mesh"}}
+			s.Sweeps[0].MaxConfigs = 8
+		}},
+		{"surrogate with loads", func(s *Spec) { s.Sweeps[0].Loads = []float64{0.1} }},
+		{"surrogate with patterns", func(s *Spec) { s.Sweeps[0].Patterns = []string{"transpose"} }},
+		{"surrogate with qualities", func(s *Spec) { s.Sweeps[0].Qualities = []string{"full"} }},
+	}
+	for _, c := range cases {
+		s := hammingSweepSpec()
+		c.mutate(s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s: Validate() passed, want error", c.name)
+		}
+	}
+	// Routing stays a legal axis: it changes the analytic estimates.
+	s := hammingSweepSpec()
+	s.Sweeps[0].Routings = []string{"auto", "hop-minimal"}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("surrogate with routings: %v", err)
+	}
+	jobs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2*16 {
+		t.Fatalf("%d jobs, want 32 (16 configs x 2 routings)", len(jobs))
+	}
+}
+
+// TestHammingSpacePredictMode: the generated axis is not
+// surrogate-only — a predict sweep over the space is legal too.
+func TestHammingSpacePredictMode(t *testing.T) {
+	s := hammingSweepSpec()
+	s.Sweeps[0].Mode = ""
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 16 || jobs[0].Mode != exp.ModePredict {
+		t.Fatalf("%d jobs, first mode %q", len(jobs), jobs[0].Mode)
+	}
+}

@@ -58,15 +58,28 @@ type Sweep struct {
 	Label string `json:"label,omitempty"`
 
 	// Mode selects what each job evaluates: "predict" (default, the
-	// full toolchain), "cost" (physical model only), or "load" (one
-	// simulated offered-load point per entry of Loads).
+	// full toolchain), "cost" (physical model only), "load" (one
+	// simulated offered-load point per entry of Loads), or "surrogate"
+	// (physical model plus closed-form analytic performance estimates,
+	// never a simulation — the first stage of surrogate-guided
+	// design-space exploration).
 	Mode string `json:"mode,omitempty"`
 
 	// Arch is the architecture every job of the sweep runs on.
 	Arch ArchSpec `json:"arch"`
 
-	// Topologies lists the topology instances to evaluate.
-	Topologies []TopologySpec `json:"topologies"`
+	// Topologies lists the topology instances to evaluate. Leave it
+	// empty when HammingSpace generates the axis instead.
+	Topologies []TopologySpec `json:"topologies,omitempty"`
+
+	// HammingSpace replaces the Topologies axis with the full sparse
+	// Hamming configuration enumeration of the sweep's grid — every
+	// subset of {2..C-1} x {2..R-1}, in the canonical order the dse
+	// explorer uses — turning a design-space sweep into a data-file
+	// change. MaxConfigs caps the enumeration (0 means 65536); the
+	// sweep is rejected when the grid's space exceeds the cap.
+	HammingSpace bool `json:"hamming_space,omitempty"`
+	MaxConfigs   int  `json:"max_configs,omitempty"`
 
 	// Routings names the routing algorithms to cross with (route
 	// registry names, or "auto" for each topology's co-designed
@@ -245,7 +258,27 @@ func (sw *Sweep) validate() error {
 	if err != nil {
 		return err
 	}
-	if len(sw.Topologies) == 0 {
+	if sw.MaxConfigs < 0 {
+		return fmt.Errorf("negative max_configs %d", sw.MaxConfigs)
+	}
+	if sw.MaxConfigs > 0 && !sw.HammingSpace {
+		return fmt.Errorf("max_configs applies to hamming_space sweeps only")
+	}
+	if sw.HammingSpace {
+		if len(sw.Topologies) > 0 {
+			return fmt.Errorf("hamming_space generates the topology axis; leave topologies empty")
+		}
+		fam, ok := topo.FamilyByName("sparse-hamming")
+		if !ok {
+			return fmt.Errorf("sparse-hamming family not registered")
+		}
+		if err := fam.Applicable(arch.Rows, arch.Cols); err != nil {
+			return err
+		}
+		if _, err := topo.HammingSpace(arch.Rows, arch.Cols, sw.maxConfigs()); err != nil {
+			return err
+		}
+	} else if len(sw.Topologies) == 0 {
 		return fmt.Errorf("no topologies")
 	}
 	for _, ts := range sw.Topologies {
@@ -305,6 +338,13 @@ func (sw *Sweep) validate() error {
 				return fmt.Errorf("cost mode ignores routing; drop the pin on topology %q", ts.Kind)
 			}
 		}
+	case exp.ModeSurrogate:
+		// Routing legitimately changes the analytic estimates, so the
+		// routing axis (and pins) stay available; the simulation axes
+		// would only fragment cache keys.
+		if len(sw.Loads) > 0 || len(sw.Patterns) > 0 || len(sw.Qualities) > 0 {
+			return fmt.Errorf("surrogate mode ignores patterns/loads/qualities; leave them empty")
+		}
 	default: // predict
 		if len(sw.Loads) > 0 {
 			return fmt.Errorf("loads require mode \"load\"")
@@ -322,9 +362,21 @@ func (sw *Sweep) mode() (exp.Mode, error) {
 		return exp.ModeCost, nil
 	case string(exp.ModeLoad):
 		return exp.ModeLoad, nil
+	case string(exp.ModeSurrogate):
+		return exp.ModeSurrogate, nil
 	default:
-		return "", fmt.Errorf("unknown mode %q (want predict, cost, or load)", sw.Mode)
+		return "", fmt.Errorf("unknown mode %q (want %s)", sw.Mode, strings.Join(exp.ModeNames(), ", "))
 	}
+}
+
+// maxConfigs returns the sweep's enumeration cap (0 means 65536 —
+// conservative for a declarative file, unlike the explorer's
+// programmatic default).
+func (sw *Sweep) maxConfigs() int {
+	if sw.MaxConfigs > 0 {
+		return sw.MaxConfigs
+	}
+	return 1 << 16
 }
 
 // label returns the sweep's report label, defaulting to

@@ -201,6 +201,28 @@ type Arch struct {
 // NumTiles returns N_T.
 func (a *Arch) NumTiles() int { return a.Rows * a.Cols }
 
+// RouterDelay is the router pipeline depth in cycles the toolchain
+// assumes (route computation, VC allocation, switch allocation,
+// traversal) — three cycles is representative for an input-queued AXI
+// router at 1+ GHz. It lives here, at the bottom of the dependency
+// graph, so the cycle-accurate simulator (package noc) and the
+// closed-form design-space surrogate (package dse) charge the same
+// per-hop cost.
+const RouterDelay = 3
+
+// PacketLenFlits returns the simulated packet length in flits: the
+// number of flits needed to move one cache-line-sized payload (4
+// flits for the 512-bit KNC scenarios) with a floor of one flit for
+// wide links relative to the request size (MemPool's single-word
+// accesses). Shared by the simulator configs and the analytic
+// surrogate so their serialization terms agree.
+func (a *Arch) PacketLenFlits() int {
+	if a.Name == "mempool" {
+		return 1
+	}
+	return 4
+}
+
 // Validate checks the architecture description.
 func (a *Arch) Validate() error {
 	if a.Rows < 1 || a.Cols < 1 {

@@ -88,6 +88,51 @@ func (p HammingParams) RowOffsets() []int { return append([]int{1}, normalizeOff
 // column, i.e. {1} union SC, sorted.
 func (p HammingParams) ColOffsets() []int { return append([]int{1}, normalizeOffsets(p.SC)...) }
 
+// HammingSpace enumerates every sparse Hamming configuration of an
+// R x C grid — all subsets of the candidate row offsets {2..C-1}
+// crossed with all subsets of the candidate column offsets {2..R-1},
+// 2^(R+C-4) configurations in total. The order is deterministic: the
+// mask over (row offsets, then column offsets) counts up from the
+// mesh (empty sets) to the flattened butterfly (all offsets), so
+// enumeration index i always names the same configuration — the
+// property design-space campaigns rely on for stable job lists.
+// Grids whose space exceeds maxConfigs are refused (pass 0 for the
+// practical default of 2^20).
+func HammingSpace(rows, cols int, maxConfigs int) ([]HammingParams, error) {
+	if maxConfigs <= 0 {
+		maxConfigs = 1 << 20
+	}
+	nr := cols - 2 // candidate row offsets 2..C-1
+	nc := rows - 2 // candidate column offsets 2..R-1
+	if nr < 0 {
+		nr = 0
+	}
+	if nc < 0 {
+		nc = 0
+	}
+	if nr+nc >= 63 || 1<<(nr+nc) > maxConfigs {
+		return nil, fmt.Errorf("topo: %.0f sparse Hamming configurations on %dx%d exceed limit %d",
+			NumConfigurations(rows, cols), rows, cols, maxConfigs)
+	}
+	total := 1 << (nr + nc)
+	params := make([]HammingParams, 0, total)
+	for mask := 0; mask < total; mask++ {
+		var p HammingParams
+		for i := 0; i < nr; i++ {
+			if mask&(1<<i) != 0 {
+				p.SR = append(p.SR, i+2)
+			}
+		}
+		for i := 0; i < nc; i++ {
+			if mask&(1<<(nr+i)) != 0 {
+				p.SC = append(p.SC, i+2)
+			}
+		}
+		params = append(params, p)
+	}
+	return params, nil
+}
+
 // NumConfigurations returns the number of distinct sparse Hamming
 // graph configurations for a given grid, 2^(R+C-4) (Table I), as a
 // float64 to avoid overflow for large grids.
