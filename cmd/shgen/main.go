@@ -1,6 +1,10 @@
 // Command shgen builds a NoC topology and prints its properties, an
 // ASCII drawing, a Graphviz export, or the design-principle
-// compliance table (Table I of the paper).
+// compliance table (Table I of the paper) — and doubles as the
+// workload-trace tool: it generates application-shaped traces
+// (-gen), captures traces from any registered synthetic traffic
+// pattern (-capture), and validates trace files (-check-trace). See
+// docs/TRACES.md for the format.
 //
 // Examples:
 //
@@ -8,6 +12,9 @@
 //	shgen -topo mesh -rows 8 -cols 8 -draw
 //	shgen -rows 8 -cols 8 -table1
 //	shgen -topo slimnoc -rows 8 -cols 16 -dot > slimnoc.dot
+//	shgen -gen bursty -rows 4 -cols 4 -cycles 2500 -o bursty-4x4.trace
+//	shgen -capture transpose -topo mesh -rows 4 -cols 4 -rate 0.2 -o transpose.trace
+//	shgen -check-trace examples/traces/*.trace
 package main
 
 import (
@@ -17,7 +24,10 @@ import (
 
 	"sparsehamming/internal/cli"
 	"sparsehamming/internal/noc"
+	"sparsehamming/internal/route"
+	"sparsehamming/internal/sim"
 	"sparsehamming/internal/tech"
+	"sparsehamming/internal/trace"
 	"sparsehamming/internal/viz"
 )
 
@@ -31,8 +41,39 @@ func main() {
 		draw   = flag.Bool("draw", false, "print an ASCII drawing (Figure 1/2 style)")
 		dot    = flag.Bool("dot", false, "print Graphviz DOT")
 		table1 = flag.Bool("table1", false, "print the Table I compliance table for the grid")
+
+		gen     = flag.String("gen", "", "generate an application-shaped trace: "+genNames())
+		capture = flag.String("capture", "", "capture a trace from a synthetic pattern (e.g. uniform, transpose)")
+		check   = flag.Bool("check-trace", false, "parse and validate the trace files given as arguments")
+		out     = flag.String("o", "", "trace output path (default stdout)")
+		cycles  = flag.Int64("cycles", 3000, "trace horizon in cycles (-gen) / injection cycles (-capture)")
+		seed    = flag.Int64("seed", 1, "generator or capture-simulation seed")
+		rate    = flag.Float64("rate", 0.2, "target offered load in flits/node/cycle")
+		plen    = flag.Int("plen", 4, "packet length in flits")
 	)
 	flag.Parse()
+
+	switch {
+	case *check:
+		checkTraces(flag.Args())
+		return
+	case *gen != "":
+		tr, err := trace.Generate(*gen, trace.GenConfig{
+			Rows: *rows, Cols: *cols, Cycles: *cycles, Seed: *seed, Rate: *rate, PacketLen: *plen,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		emitTrace(tr, *out)
+		return
+	case *capture != "":
+		tr, err := captureTrace(*capture, *kind, *rows, *cols, *sr, *sc, *cycles, *seed, *rate, *plen)
+		if err != nil {
+			fatal(err)
+		}
+		emitTrace(tr, *out)
+		return
+	}
 
 	if *table1 {
 		arch := tech.Scenario(tech.ScenarioA)
@@ -65,6 +106,82 @@ func main() {
 		fmt.Printf("aligned links:   %s\n", sc.AlignedLinks)
 		fmt.Printf("minimal paths:   present=%v usable=%v\n", sc.MinimalPathsPresent, sc.MinimalPathsUsable)
 		fmt.Printf("bisection links: %d\n", t.BisectionLinks())
+	}
+}
+
+// genNames renders the generator catalog for the flag help text.
+func genNames() string {
+	names := trace.GeneratorNames()
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += "|"
+		}
+		s += n
+	}
+	return s
+}
+
+// captureTrace runs the named synthetic pattern on the requested
+// topology and records its injection schedule (sim.CaptureTrace). The
+// -cycles flag is the injection span: the capture simulation warms up
+// briefly and then injects for the remaining cycles.
+func captureTrace(pattern, kind string, rows, cols int, sr, sc string, cycles, seed int64, rate float64, plen int) (*trace.Trace, error) {
+	t, err := cli.BuildTopology(kind, rows, cols, sr, sc)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := route.ForName(t, "")
+	if err != nil {
+		return nil, err
+	}
+	pat, err := sim.PatternByName(pattern, rows, cols)
+	if err != nil {
+		return nil, err
+	}
+	if cycles < 2 {
+		return nil, fmt.Errorf("capture needs -cycles >= 2, got %d", cycles)
+	}
+	tr, _, err := sim.CaptureTrace(sim.Config{
+		Topo: t, Routing: rt,
+		PacketLen:     plen,
+		InjectionRate: rate,
+		Pattern:       pat,
+		Seed:          seed,
+		Warmup:        1,
+		Measure:       int(cycles) - 1,
+	})
+	return tr, err
+}
+
+// emitTrace writes the trace to the -o path, or stdout when unset.
+func emitTrace(tr *trace.Trace, out string) {
+	if out == "" {
+		if err := trace.Write(os.Stdout, tr); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if err := trace.WriteFile(out, tr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "shgen: wrote %d records to %s\n", len(tr.Records), out)
+}
+
+// checkTraces validates every trace file argument, reporting a
+// one-line summary per file and exiting non-zero on the first
+// failure.
+func checkTraces(paths []string) {
+	if len(paths) == 0 {
+		fatal(fmt.Errorf("-check-trace needs trace file arguments"))
+	}
+	for _, path := range paths {
+		tr, err := trace.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: ok (%dx%d grid, %d records, horizon %d)\n",
+			path, tr.Meta.Rows, tr.Meta.Cols, len(tr.Records), tr.EffectiveHorizon())
 	}
 }
 

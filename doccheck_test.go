@@ -26,6 +26,7 @@ var docCheckedPackages = []string{
 	"internal/perf",
 	"internal/spec",
 	"internal/topo",
+	"internal/trace",
 	"internal/route",
 	"internal/serve",
 	"internal/report",

@@ -86,8 +86,10 @@ type Job struct {
 	// co-designed default).
 	Routing string `json:"routing,omitempty"`
 
-	// Pattern is the synthetic traffic pattern for ModeLoad ("" means
-	// uniform random); Load is the offered load in flits/node/cycle.
+	// Pattern is the traffic pattern for ModeLoad ("" means uniform
+	// random; "trace:<path>" replays a workload trace file); Load is
+	// the offered load in flits/node/cycle, or — for trace replays —
+	// the replay's time-dilation scale.
 	Pattern string  `json:"pattern,omitempty"`
 	Load    float64 `json:"load,omitempty"`
 

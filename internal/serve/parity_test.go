@@ -102,6 +102,86 @@ func TestFigure6ServiceMatchesShrun(t *testing.T) {
 	}
 }
 
+// TestTracesServiceMatchesShrun is the trace-replay twin of the
+// Figure 6 parity gate: the checked-in traces-app spec (three
+// application-shaped traces over three topology families) submitted
+// over HTTP must produce the same CSV bytes as a local shrun-style
+// run, with the follow-up local run answering entirely from the
+// service's cache. The campaign is small enough to run in -short.
+func TestTracesServiceMatchesShrun(t *testing.T) {
+	// Trace paths inside the spec resolve against the working
+	// directory, exactly as they do under shrun from the repo root.
+	t.Chdir("../..")
+	specBytes, err := os.ReadFile("examples/specs/traces-app.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := exp.NewCache()
+	srv := serve.New(serve.Config{Runner: noc.NewRunner(0, cache), Executors: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(string(specBytes)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap serve.CampaignJSON
+	mustDecode(t, resp, http.StatusAccepted, &snap)
+	c, ok := srv.Store().Get(snap.ID)
+	if !ok {
+		t.Fatal("campaign missing from store")
+	}
+	select {
+	case <-c.Done():
+	case <-time.After(5 * time.Minute):
+		t.Fatalf("campaign did not finish: %+v", c.Snapshot())
+	}
+	final := c.Snapshot()
+	if final.Status != serve.StatusDone {
+		t.Fatalf("campaign %s: %s", final.Status, final.Error)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/campaigns/" + snap.ID + "/results?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	serviceCSV, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sp, err := spec.Parse(specBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	groups, err := sp.ExpandSweeps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []exp.Job
+	for _, g := range groups {
+		all = append(all, g...)
+	}
+	results, rep, err := noc.NewRunner(0, cache).Run(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Computed != 0 {
+		t.Errorf("local run computed %d jobs against the service's cache, want 0 (cache keys differ)", rep.Computed)
+	}
+	var localCSV strings.Builder
+	report.WriteCSV(&localCSV, sp, groups, results)
+	if string(serviceCSV) != localCSV.String() {
+		t.Errorf("service CSV differs from shrun CSV:\n--- service\n%s--- shrun\n%s", serviceCSV, localCSV.String())
+	}
+}
+
 // mustDecode asserts the response status and decodes its JSON body.
 func mustDecode(t *testing.T, resp *http.Response, want int, v any) {
 	t.Helper()

@@ -14,6 +14,7 @@ import (
 	"sparsehamming/internal/spec"
 	"sparsehamming/internal/tech"
 	"sparsehamming/internal/topo"
+	"sparsehamming/internal/trace"
 )
 
 // topologyJSON describes one registered topology family.
@@ -37,18 +38,26 @@ type registryJSON struct {
 	Topologies []topologyJSON `json:"topologies"`
 	Routings   []string       `json:"routings"`
 	Patterns   []string       `json:"patterns"`
-	Scenarios  []scenarioJSON `json:"scenarios"`
-	Modes      []string       `json:"modes"`
-	Qualities  []string       `json:"qualities"`
+	// PatternSchemes lists the registered parameterized pattern schemes
+	// ("trace" resolves "trace:<path>" names to replay patterns).
+	PatternSchemes []string `json:"pattern_schemes"`
+	// TraceGenerators lists the application-shaped workload generators
+	// shgen -gen accepts for producing replayable trace files.
+	TraceGenerators []string       `json:"trace_generators"`
+	Scenarios       []scenarioJSON `json:"scenarios"`
+	Modes           []string       `json:"modes"`
+	Qualities       []string       `json:"qualities"`
 }
 
 // handleRegistry implements GET /v1/registry.
 func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
 	out := registryJSON{
-		Routings:  route.Names(),
-		Patterns:  sim.PatternNames(),
-		Modes:     exp.ModeNames(),
-		Qualities: spec.QualityNames(),
+		Routings:        route.Names(),
+		Patterns:        sim.PatternNames(),
+		PatternSchemes:  sim.PatternSchemeNames(),
+		TraceGenerators: trace.GeneratorNames(),
+		Modes:           exp.ModeNames(),
+		Qualities:       spec.QualityNames(),
 	}
 	for _, kind := range topo.Names() {
 		f, _ := topo.FamilyByName(kind)

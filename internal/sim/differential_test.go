@@ -15,6 +15,7 @@ import (
 
 	"sparsehamming/internal/route"
 	"sparsehamming/internal/topo"
+	"sparsehamming/internal/trace"
 )
 
 // diffFamily is one topology family instance the generator draws
@@ -190,6 +191,108 @@ func TestBatchedMatchesSequentialDifferential(t *testing.T) {
 		}
 	}
 	t.Logf("verified %d configurations across %d families", total, len(covered))
+}
+
+// TestBatchedMatchesSequentialReplayDifferential extends the harness
+// to trace-driven injection: for every 4x4 family, replicas replaying
+// generated application traces — mixed generators, load scales, and
+// control modes within one batch — must match their sequential runs
+// bit for bit. This is the guarantee that lets the load-sweep ladder
+// (LoadLatencyCurve and the spec "load" mode) batch trace jobs.
+func TestBatchedMatchesSequentialReplayDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x7EACE))
+	generators := trace.GeneratorNames()
+	scales := []float64{0.25, 0.5, 1.0}
+
+	// Pre-generate one trace per generator; replicas draw from these.
+	traces := make([]*Replay, len(generators))
+	for i, g := range generators {
+		tr, err := trace.Generate(g, trace.GenConfig{
+			Rows: 4, Cols: 4, Cycles: 1200, Seed: int64(100 + i), Rate: 0.3,
+		})
+		if err != nil {
+			t.Fatalf("generate %s: %v", g, err)
+		}
+		if traces[i], err = NewReplay(g, tr); err != nil {
+			t.Fatalf("replay %s: %v", g, err)
+		}
+	}
+
+	total := 0
+	for _, fam := range diffFamilies {
+		if fam.rows != 4 || fam.cols != 4 {
+			continue // the generated traces are 4x4
+		}
+		tp, err := topo.ByName(fam.kind, fam.rows, fam.cols, fam.sr, fam.sc)
+		if err != nil {
+			t.Fatalf("topology %s: %v", fam.kind, err)
+		}
+		rt, err := route.ForName(tp, "")
+		if err != nil {
+			t.Fatalf("routing on %s: %v", fam.kind, err)
+		}
+
+		const replicasPerBatch = 3
+		configs := make([]Config, replicasPerBatch)
+		for i := range configs {
+			cfg := Config{
+				Topo: tp, Routing: rt,
+				NumVCs: 4, BufDepth: 8,
+				RouterDelay: 2, PacketLen: 4,
+				InjectionRate: scales[rng.Intn(len(scales))],
+				Pattern:       traces[rng.Intn(len(traces))],
+				Seed:          rng.Int63n(1 << 32),
+				Warmup:        200, Measure: 500, Drain: 1500,
+			}
+			if rt.NumClasses > cfg.NumVCs {
+				cfg.NumVCs = rt.NumClasses
+			}
+			if rng.Intn(2) == 1 {
+				cfg.Control = &Control{Window: 50, RelHalfWidth: 0.05}
+			}
+			configs[i] = cfg
+		}
+
+		want := make([]Stats, len(configs))
+		for i, cfg := range configs {
+			st, err := RunConfig(cfg)
+			if err != nil {
+				t.Fatalf("sequential %s replica %d: %v", fam.kind, i, err)
+			}
+			want[i] = st
+		}
+
+		base := configs[0]
+		base.Control = nil
+		reps := make([]Replica, len(configs))
+		for i, cfg := range configs {
+			reps[i] = Replica{
+				InjectionRate: cfg.InjectionRate,
+				Seed:          cfg.Seed,
+				Pattern:       cfg.Pattern,
+				Warmup:        cfg.Warmup,
+				Measure:       cfg.Measure,
+				Drain:         cfg.Drain,
+				Control:       cfg.Control,
+			}
+		}
+		batch, err := NewBatch(base, reps)
+		if err != nil {
+			t.Fatalf("NewBatch %s: %v", fam.kind, err)
+		}
+		got := batch.Run()
+		for i := range configs {
+			total++
+			if got[i] != want[i] {
+				t.Errorf("%s replay %s scale=%g:\nbatched    %+v\nsequential %+v",
+					fam.kind, configs[i].Pattern.Name(), configs[i].InjectionRate, got[i], want[i])
+			}
+		}
+	}
+	if total < 15 {
+		t.Fatalf("replay harness covered %d configurations, want >= 15", total)
+	}
+	t.Logf("verified %d trace-driven configurations", total)
 }
 
 // TestShapeRejectsForeignConfig pins the Shape compatibility checks:

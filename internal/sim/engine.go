@@ -30,6 +30,10 @@ type packet struct {
 	// next; it verifies in-order, loss-free, duplication-free
 	// delivery (wormhole flow control guarantees all three).
 	nextSeq int16
+	// plen is this packet's length in flits. Bernoulli traffic always
+	// uses Config.PacketLen; trace replay carries per-record sizes
+	// (bounded by trace.MaxPacketLen, so 16 bits suffice).
+	plen int16
 }
 
 // Stats summarizes one simulation run.
@@ -139,6 +143,14 @@ type Simulator struct {
 	// fixed-budget runs, whose hot path never touches it.
 	ctl *ctlState
 
+	// replaySched is the scaled injection schedule when the replica's
+	// pattern is a trace Replay (nil for Bernoulli traffic): the
+	// trace's records with cycles divided by the load scale, sorted by
+	// effective cycle. replayIdx is the cursor of the next record to
+	// inject. See replay.go.
+	replaySched []replayEvent
+	replayIdx   int
+
 	measureStart, measureEnd int64
 	winFlits                 int64
 	measInjected             int64
@@ -224,6 +236,10 @@ func (sh *Shape) instantiate(cfg *Config) *Simulator {
 		s.routers[id] = r
 	}
 
+	if rp, ok := cfg.Pattern.(*Replay); ok {
+		s.replaySched = rp.schedule(cfg.InjectionRate)
+	}
+
 	s.chans = make([]*dchan, len(sh.chans))
 	for i := range sh.chans {
 		cs := &sh.chans[i]
@@ -284,6 +300,11 @@ func (s *Simulator) startRun() {
 	if s.latencies == nil {
 		expect := int(cfg.InjectionRate / float64(cfg.PacketLen) *
 			float64(cfg.Topo.NumTiles()) * float64(cfg.Measure))
+		if s.replaySched != nil {
+			// Replay knows its packet count exactly; the measured subset
+			// can only be smaller.
+			expect = len(s.replaySched)
+		}
 		s.latencies = make([]int64, 0, expect+expect/4+64)
 	}
 
@@ -484,10 +505,15 @@ func (s *Simulator) deliver(t int64) {
 }
 
 // generate draws new packets for every node (Bernoulli process with
-// rate InjectionRate/PacketLen packets per node per cycle). Packet
+// rate InjectionRate/PacketLen packets per node per cycle), or drains
+// the replay schedule when the pattern is a trace Replay. Packet
 // slots come from the free list when one is available, so the packet
 // array stops growing once the network reaches steady state.
 func (s *Simulator) generate(t int64) {
+	if s.replaySched != nil {
+		s.generateReplay(t)
+		return
+	}
 	pPkt := s.cfg.InjectionRate / float64(s.cfg.PacketLen)
 	measured := t >= s.measureStart && t < s.measureEnd
 	for id := range s.routers {
@@ -498,28 +524,51 @@ func (s *Simulator) generate(t int64) {
 		if dst < 0 || dst == id {
 			continue
 		}
-		pk := packet{
-			src:      int32(id),
-			dst:      int32(dst),
-			inject:   t,
-			measured: measured,
-			path:     s.cfg.Routing.Path(id, dst),
-			ports:    s.pathPorts[id][dst],
-		}
-		if measured {
-			s.measInjected++
-		}
-		var pid int32
-		if n := len(s.freePkts); n > 0 {
-			pid = s.freePkts[n-1]
-			s.freePkts = s.freePkts[:n-1]
-			s.packets[pid] = pk
-		} else {
-			s.packets = append(s.packets, pk)
-			pid = int32(len(s.packets) - 1)
-		}
-		s.routers[id].srcQ.push(pid)
+		s.pushPacket(int32(id), int32(dst), t, int16(s.cfg.PacketLen), measured)
 	}
+}
+
+// generateReplay hands every replay record whose scaled cycle has
+// arrived to its source's injection queue, in schedule order. Unlike
+// the Bernoulli path it draws nothing from the RNG, so replayed
+// results are independent of Config.Seed.
+func (s *Simulator) generateReplay(t int64) {
+	measured := t >= s.measureStart && t < s.measureEnd
+	for s.replayIdx < len(s.replaySched) {
+		ev := &s.replaySched[s.replayIdx]
+		if ev.cycle > t {
+			return
+		}
+		s.replayIdx++
+		s.pushPacket(ev.src, ev.dst, t, ev.plen, measured)
+	}
+}
+
+// pushPacket allocates a packet slot (recycling from the free list
+// when possible) and queues it at its source router.
+func (s *Simulator) pushPacket(src, dst int32, t int64, plen int16, measured bool) {
+	pk := packet{
+		src:      src,
+		dst:      dst,
+		inject:   t,
+		measured: measured,
+		path:     s.cfg.Routing.Path(int(src), int(dst)),
+		ports:    s.pathPorts[src][dst],
+		plen:     plen,
+	}
+	if measured {
+		s.measInjected++
+	}
+	var pid int32
+	if n := len(s.freePkts); n > 0 {
+		pid = s.freePkts[n-1]
+		s.freePkts = s.freePkts[:n-1]
+		s.packets[pid] = pk
+	} else {
+		s.packets = append(s.packets, pk)
+		pid = int32(len(s.packets) - 1)
+	}
+	s.routers[src].srcQ.push(pid)
 }
 
 // injectFlits moves at most one flit per cycle from the source queue
@@ -563,11 +612,15 @@ func (s *Simulator) injectFlits(r *router, t int64) {
 		r.needRoute++
 	}
 	s.flitsInFlight++
+	// A flit entering the network is forward progress: without this the
+	// watchdog would mistake a long injection silence (bursty traces;
+	// never Bernoulli traffic) followed by one injection for a deadlock.
+	s.lastProgress = t
 	if s.cfg.Tracer != nil {
-		s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvInject, Pkt: pid, Seq: r.injSeq, Node: r.id, Peer: -1, VC: r.injVC})
+		s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvInject, Pkt: pid, Seq: r.injSeq, Node: r.id, Peer: s.packets[pid].dst, VC: r.injVC})
 	}
 	r.injSeq++
-	if int(r.injSeq) == s.cfg.PacketLen {
+	if int(r.injSeq) == int(s.packets[pid].plen) {
 		r.srcQ.pop()
 		r.injVC = -1
 	}
@@ -700,12 +753,12 @@ func (s *Simulator) traverse(r *router, ip, v, op int, t int64) {
 	f := vc.buf.pop()
 	r.bufFlits--
 	s.flitHops++
-	isTail := int(f.seq) == s.cfg.PacketLen-1
+	pk := &s.packets[f.pkt]
+	isTail := int(f.seq) == int(pk.plen)-1
 
 	if op == r.ejPort() {
 		s.flitsInFlight--
 		s.lastProgress = t
-		pk := &s.packets[f.pkt]
 		if f.seq != pk.nextSeq {
 			s.orderViolations++
 		}
@@ -744,7 +797,7 @@ func (s *Simulator) traverse(r *router, ip, v, op int, t int64) {
 		c := s.chans[ci]
 		if f.seq == 0 {
 			// The head flit advances to the next router on its path.
-			s.packets[f.pkt].hop++
+			pk.hop++
 		}
 		c.flits.push(timedFlit{pkt: f.pkt, seq: f.seq, vc: vc.outVC, arrive: t + c.latency})
 		if s.cfg.Tracer != nil {

@@ -20,7 +20,11 @@ package sim
 // SimCycles accounting — is deterministic whether or not any
 // speculation happened.
 
-import "sparsehamming/internal/obs"
+import (
+	"fmt"
+
+	"sparsehamming/internal/obs"
+)
 
 // ZeroLoadLatency measures the average packet latency at a very low
 // injection rate (0.5% of capacity), where queueing is negligible and
@@ -177,6 +181,14 @@ func SaturationThroughput(cfg Config) (SaturationResult, error) {
 // SaturationThroughput.
 func SaturationThroughputShaped(sh *Shape, cfg Config) (SaturationResult, error) {
 	cfg.Defaults()
+	if _, ok := cfg.Pattern.(*Replay); ok {
+		// The search probes by varying the Bernoulli injection rate,
+		// which a recorded workload has no analogue of; for replays the
+		// rate is a time-dilation scale swept via LoadLatencyCurve.
+		return SaturationResult{}, fmt.Errorf(
+			"sim: saturation search is undefined for trace replay pattern %q (sweep it with LoadLatencyCurve / mode \"load\")",
+			cfg.Pattern.Name())
+	}
 	if cfg.Control != nil {
 		return adaptiveSaturation(sh, cfg)
 	}

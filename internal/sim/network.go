@@ -33,9 +33,15 @@ type Config struct {
 	PacketLen int
 
 	// InjectionRate is the offered load in flits per node per cycle
-	// (so InjectionRate/PacketLen packets per node per cycle).
+	// (so InjectionRate/PacketLen packets per node per cycle). When
+	// Pattern is a trace Replay it is instead the replay's load scale:
+	// 1 (or the 0 default) replays the trace at its recorded
+	// intensity, smaller values time-dilate it proportionally (see
+	// replay.go).
 	InjectionRate float64
 
+	// Pattern generates destinations for synthetic traffic, or — when
+	// it is a *Replay — switches the engine to trace-driven injection.
 	Pattern Pattern
 	Seed    int64
 
@@ -121,6 +127,13 @@ func (c *Config) Validate() error {
 	}
 	if c.PacketLen < 1 {
 		return fmt.Errorf("sim: packet length %d < 1", c.PacketLen)
+	}
+	if rp, ok := c.Pattern.(*Replay); ok {
+		rows, cols := rp.Grid()
+		if rows != c.Topo.Rows || cols != c.Topo.Cols {
+			return fmt.Errorf("sim: replay trace grid %dx%d does not match the %dx%d topology",
+				rows, cols, c.Topo.Rows, c.Topo.Cols)
+		}
 	}
 	return nil
 }

@@ -120,6 +120,39 @@ func TestConservationNoLoss(t *testing.T) {
 	}
 }
 
+// TestWindowAccountingWhenInjectionRunsDry pins the schedule
+// accounting when injection stops mid-window — the gap trace replay
+// exposed: a run whose source goes silent must still account the full
+// measurement window (rate statistics normalize over MeasuredCycles),
+// must not be declared deadlocked, and must exit as soon as the
+// network drains instead of burning the whole drain budget. The
+// zero-rate Bernoulli run is the degenerate case: nothing is ever
+// injected, yet the windows and the early exit behave identically.
+func TestWindowAccountingWhenInjectionRunsDry(t *testing.T) {
+	cfg := testConfig(t, 0)(topo.NewMesh(4, 4))
+	st, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Deadlocked {
+		t.Error("idle network declared deadlocked")
+	}
+	if st.MeasuredInjected != 0 || st.MeasuredEjected != 0 {
+		t.Errorf("zero rate injected %d / ejected %d packets", st.MeasuredInjected, st.MeasuredEjected)
+	}
+	if st.MeasuredCycles != int64(cfg.Measure) {
+		t.Errorf("MeasuredCycles = %d, want the full %d window", st.MeasuredCycles, cfg.Measure)
+	}
+	// Drained exit: nothing in flight past the measurement window, so
+	// the drain budget must not be consumed.
+	if full := int64(cfg.Warmup + cfg.Measure + cfg.Drain); st.Cycles >= full {
+		t.Errorf("idle run consumed the full %d-cycle budget (Cycles=%d)", full, st.Cycles)
+	}
+	if st.OfferedRate != 0 || st.AcceptedRate != 0 {
+		t.Errorf("rates = %g/%g, want 0/0", st.OfferedRate, st.AcceptedRate)
+	}
+}
+
 func TestDeterminism(t *testing.T) {
 	cfg := testConfig(t, 0.2)(topo.NewMesh(4, 4))
 	a, err := RunConfig(cfg)

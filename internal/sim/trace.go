@@ -11,7 +11,9 @@ type EventKind int
 // Flit lifecycle events.
 const (
 	// EvInject: a flit entered the network at its source router's
-	// injection port.
+	// injection port (Node is the source, Peer the packet's
+	// destination — which is what lets capture mode reconstruct a
+	// trace from the event stream alone).
 	EvInject EventKind = iota
 	// EvTraverse: a flit won switch allocation and was sent onto a
 	// link (Node is the sender, Peer the receiver).
@@ -41,7 +43,7 @@ type Event struct {
 	Pkt   int32
 	Seq   int16
 	Node  int32 // where the event happened
-	Peer  int32 // traversal target, -1 otherwise
+	Peer  int32 // traversal target / injected packet's destination, -1 otherwise
 	VC    int16 // VC used (downstream VC for traversals)
 }
 

@@ -18,6 +18,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"strings"
 )
 
@@ -159,10 +160,50 @@ func (p Neighbor) Dest(src int, _ *rand.Rand) int {
 // PatternFactory constructs a pattern instance for an R x C grid.
 type PatternFactory func(rows, cols int) (Pattern, error)
 
+// PatternSchemeFactory constructs a pattern from a scheme-qualified
+// name of the form "<scheme>:<arg>" — name is the full qualified
+// name (the pattern's identity in job specs and cache keys) and arg
+// the part after the colon. The trace subsystem registers the
+// "trace" scheme, resolving "trace:<path>" to a Replay of the trace
+// file at path (see replay.go).
+type PatternSchemeFactory func(name, arg string, rows, cols int) (Pattern, error)
+
 var (
-	patternOrder  []string
-	patternByName = map[string]PatternFactory{}
+	patternOrder   []string
+	patternByName  = map[string]PatternFactory{}
+	patternSchemes = map[string]PatternSchemeFactory{}
 )
+
+// RegisterPatternScheme adds a pattern-name scheme: every name of the
+// form "<scheme>:<arg>" resolves through its factory. Like
+// RegisterPattern it panics on an empty or duplicate scheme, and on a
+// scheme containing the ':' separator.
+func RegisterPatternScheme(scheme string, f PatternSchemeFactory) {
+	if scheme == "" {
+		panic("sim: RegisterPatternScheme with empty scheme")
+	}
+	if strings.ContainsRune(scheme, ':') {
+		panic(fmt.Sprintf("sim: RegisterPatternScheme(%q) with ':' in the scheme", scheme))
+	}
+	if f == nil {
+		panic(fmt.Sprintf("sim: RegisterPatternScheme(%q) with nil factory", scheme))
+	}
+	if _, dup := patternSchemes[scheme]; dup {
+		panic(fmt.Sprintf("sim: RegisterPatternScheme(%q) twice", scheme))
+	}
+	patternSchemes[scheme] = f
+}
+
+// PatternSchemeNames lists the registered pattern-name schemes
+// (sorted; scheme registration order is not meaningful).
+func PatternSchemeNames() []string {
+	names := make([]string, 0, len(patternSchemes))
+	for s := range patternSchemes {
+		names = append(names, s)
+	}
+	slices.Sort(names)
+	return names
+}
 
 // RegisterPattern adds a traffic pattern under a name. It panics on
 // an empty or duplicate name — registration happens at init time, so
@@ -188,10 +229,17 @@ func PatternNames() []string {
 }
 
 // PatternRegistered reports whether name selects a pattern: a
-// registered one, or the empty string for the uniform default.
+// registered one, the empty string for the uniform default, or a
+// scheme-qualified name whose scheme is registered (the scheme's
+// argument — e.g. a trace path — is only checked when the pattern is
+// actually constructed with PatternByName).
 func PatternRegistered(name string) bool {
 	if name == "" {
 		return true
+	}
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		_, ok := patternSchemes[name[:i]]
+		return ok
 	}
 	_, ok := patternByName[name]
 	return ok
@@ -199,10 +247,20 @@ func PatternRegistered(name string) bool {
 
 // PatternByName constructs a pattern for an R x C grid by name; the
 // empty string selects uniform random, the pattern used throughout
-// the paper's evaluation. Unknown names report the registered ones.
+// the paper's evaluation, and names of the form "<scheme>:<arg>"
+// resolve through the registered schemes (e.g. "trace:<path>").
+// Unknown names report the registered ones.
 func PatternByName(name string, rows, cols int) (Pattern, error) {
 	if name == "" {
 		name = "uniform"
+	}
+	if i := strings.IndexByte(name, ':'); i >= 0 {
+		f, ok := patternSchemes[name[:i]]
+		if !ok {
+			return nil, fmt.Errorf("sim: unknown traffic pattern scheme %q in %q (want one of %s)",
+				name[:i], name, strings.Join(PatternSchemeNames(), "|"))
+		}
+		return f(name, name[i+1:], rows, cols)
 	}
 	f, ok := patternByName[name]
 	if !ok {

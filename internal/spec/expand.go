@@ -155,6 +155,16 @@ func (sw *Sweep) jobs() ([]exp.Job, error) {
 	}
 	routings := axis(sw.Routings, "")
 	patterns := axis(sw.Patterns, "")
+	if len(sw.Traces) > 0 {
+		// Trace entries join the pattern axis as "trace:<path>" names;
+		// the "" uniform default applies only when both lists are empty.
+		merged := make([]string, 0, len(sw.Patterns)+len(sw.Traces))
+		merged = append(merged, sw.Patterns...)
+		for _, path := range sw.Traces {
+			merged = append(merged, "trace:"+path)
+		}
+		patterns = merged
+	}
 	qualities := axis(sw.Qualities, "")
 	loads := sw.Loads
 	if mode != exp.ModeLoad {

@@ -93,8 +93,19 @@ type Sweep struct {
 	// cost-mode sweeps must leave it empty.
 	Patterns []string `json:"patterns,omitempty"`
 
+	// Traces lists workload trace files to replay (paths resolved
+	// against the process working directory, the same way shrun
+	// resolves the spec path's siblings). Each entry expands to the
+	// pattern name "trace:<path>" and merges after Patterns on the
+	// pattern axis. Only "load" mode accepts traces: the Loads axis
+	// becomes the replay's time-dilation scale (1.0 replays the trace
+	// at recorded intensity), and the saturation searches of the other
+	// simulating modes are undefined for recorded workloads.
+	Traces []string `json:"traces,omitempty"`
+
 	// Loads lists offered injection rates in flits/node/cycle for
-	// "load" mode (required there, rejected elsewhere).
+	// "load" mode (required there, rejected elsewhere). For trace
+	// entries the load is the replay time-dilation scale instead.
 	Loads []float64 `json:"loads,omitempty"`
 
 	// Qualities lists simulation quality tiers: "quick", "full", or
@@ -310,6 +321,22 @@ func (sw *Sweep) validate() error {
 	}
 	for _, name := range sw.Patterns {
 		if _, err := sim.PatternByName(name, arch.Rows, arch.Cols); err != nil {
+			return err
+		}
+		if mode != exp.ModeLoad && strings.Contains(name, ":") {
+			return fmt.Errorf("trace pattern %q requires mode \"load\" (saturation search is undefined for replays)", name)
+		}
+	}
+	if len(sw.Traces) > 0 && mode != exp.ModeLoad {
+		return fmt.Errorf("traces require mode \"load\" (saturation search is undefined for replays)")
+	}
+	for _, path := range sw.Traces {
+		if path == "" {
+			return fmt.Errorf("empty trace path")
+		}
+		// Resolves through the pattern registry's "trace" scheme, which
+		// parses, validates, and grid-checks the file.
+		if _, err := sim.PatternByName("trace:"+path, arch.Rows, arch.Cols); err != nil {
 			return err
 		}
 	}

@@ -134,6 +134,30 @@ func TestValidateRejects(t *testing.T) {
 			s.Sweeps[0].Topologies[0].Routing = "monotone-dor"
 		}},
 		{"invalid arch override", func(s *Spec) { s.Sweeps[0].Arch.TileAspect = -1 }},
+		{"traces in predict mode", func(s *Spec) {
+			s.Sweeps[0].Traces = []string{"../../examples/traces/bursty-4x4.trace"}
+		}},
+		{"trace pattern in predict mode", func(s *Spec) {
+			s.Sweeps[0].Arch.Rows, s.Sweeps[0].Arch.Cols = 4, 4
+			s.Sweeps[0].Patterns = []string{"trace:../../examples/traces/bursty-4x4.trace"}
+		}},
+		{"empty trace path", func(s *Spec) {
+			s.Sweeps[0].Mode = "load"
+			s.Sweeps[0].Loads = []float64{0.5}
+			s.Sweeps[0].Traces = []string{""}
+		}},
+		{"missing trace file", func(s *Spec) {
+			s.Sweeps[0].Mode = "load"
+			s.Sweeps[0].Loads = []float64{0.5}
+			s.Sweeps[0].Traces = []string{"no-such-file.trace"}
+		}},
+		{"trace grid mismatch", func(s *Spec) {
+			// The checked-in traces are 4x4; the base sweep's scenario-a
+			// grid is 8x8.
+			s.Sweeps[0].Mode = "load"
+			s.Sweeps[0].Loads = []float64{0.5}
+			s.Sweeps[0].Traces = []string{"../../examples/traces/bursty-4x4.trace"}
+		}},
 	}
 	for _, c := range cases {
 		s := base()
@@ -197,7 +221,10 @@ func TestParseRejectsUnknownFields(t *testing.T) {
 // must parse, validate, and expand — the same invariant CI enforces
 // via shrun -validate.
 func TestExampleSpecsValid(t *testing.T) {
-	dir := filepath.Join("..", "..", "examples", "specs")
+	// Trace paths in spec files resolve against the working directory
+	// (shrun and CI run from the repo root), so validate from there.
+	t.Chdir(filepath.Join("..", ".."))
+	dir := filepath.Join("examples", "specs")
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatal(err)
@@ -229,6 +256,54 @@ func TestExampleSpecsValid(t *testing.T) {
 	}
 	if found < 4 {
 		t.Fatalf("only %d spec files under %s, expected the checked-in presets", found, dir)
+	}
+}
+
+// TestTracesAxis pins the traces sweep axis: entries validate through
+// the pattern registry's "trace" scheme, merge after Patterns on the
+// pattern axis as "trace:<path>" names, and the uniform default
+// applies only when both lists are empty.
+func TestTracesAxis(t *testing.T) {
+	const trPath = "../../examples/traces/bursty-4x4.trace"
+	s := &Spec{
+		Name: "traces",
+		Sweeps: []Sweep{{
+			Mode:       "load",
+			Arch:       ArchSpec{Scenario: "a", Rows: 4, Cols: 4},
+			Topologies: []TopologySpec{{Kind: "mesh"}},
+			Patterns:   []string{"transpose"},
+			Traces:     []string{trPath},
+			Loads:      []float64{0.5, 1.0},
+			Seeds:      []int64{1},
+		}},
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 topology x 1 routing x (1 pattern + 1 trace) x 2 loads x 1
+	// quality x 1 seed.
+	if len(jobs) != 4 {
+		t.Fatalf("%d jobs, want 4", len(jobs))
+	}
+	if jobs[0].Pattern != "transpose" || jobs[2].Pattern != "trace:"+trPath {
+		t.Errorf("pattern axis order: %q then %q", jobs[0].Pattern, jobs[2].Pattern)
+	}
+	if jobs[2].Load != 0.5 || jobs[3].Load != 1.0 {
+		t.Errorf("trace loads = %g, %g", jobs[2].Load, jobs[3].Load)
+	}
+
+	// Traces alone leave no uniform default behind.
+	s.Sweeps[0].Patterns = nil
+	jobs, err = s.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 || jobs[0].Pattern != "trace:"+trPath {
+		t.Fatalf("traces-only expansion = %+v", jobs)
 	}
 }
 

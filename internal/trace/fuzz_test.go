@@ -1,0 +1,47 @@
+package trace
+
+// FuzzParseTrace is the format's robustness contract: arbitrary bytes
+// through Parse must never panic, and anything Parse accepts must
+// survive a Write/Parse round trip unchanged (the canonical-header
+// property documented on Write). The seed corpus under testdata/fuzz
+// covers the header grammar, comment tolerance, and boundary values.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func FuzzParseTrace(f *testing.F) {
+	seeds := []string{
+		"",
+		"#shtrace v1\n",
+		"#shtrace v1\n#grid 2 2\n",
+		"#shtrace v1\n#grid 4 4\n#horizon 100\n#generator bursty seed=1\n0 0 1 4\n0 1 0 1\n99 15 0 4\n",
+		"#shtrace v1\n# comment\n\n#grid 2 2\n  1 0 1 4  \n#horizon 10\n2 1 0 1\n",
+		"#shtrace v1\n#grid -3 7\n-5 9 9 0\n",
+		"#shtrace v1\n#grid 2 2\n#unknown directive\n0 0 1 99999999999999999999\n",
+		"#shtrace v2\n#grid 2 2\n",
+		"#shtrace v1\n#grid 2 2\n#grid 2 2\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write failed on a parsed trace: %v", err)
+		}
+		again, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("Parse rejected its own Write output: %v\n%s", err, buf.Bytes())
+		}
+		if !reflect.DeepEqual(tr, again) {
+			t.Fatalf("round trip mismatch:\nfirst  %+v\nsecond %+v\nencoded:\n%s", tr, again, buf.Bytes())
+		}
+	})
+}

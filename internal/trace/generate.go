@@ -1,0 +1,291 @@
+package trace
+
+// Application-shaped trace generators: the workload library behind
+// `shgen -gen` and the checked-in examples/traces/ artifacts. Every
+// generator is a deterministic function of its GenConfig (seeded
+// math/rand, no wall clock), emits records globally sorted by cycle,
+// and produces traces that pass Validate on any grid with at least
+// two tiles.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// GenConfig parameterizes the trace generators. The zero value of
+// every field but the grid selects a sensible default (see the field
+// comments); Rows and Cols are mandatory.
+type GenConfig struct {
+	Rows, Cols int
+
+	// Cycles is the trace horizon; records span [0, Cycles). 0 means
+	// 3000.
+	Cycles int64
+
+	// Seed seeds the generator's private math/rand stream; equal
+	// configurations produce byte-identical traces.
+	Seed int64
+
+	// Rate is the target offered load in flits per node per cycle
+	// (averaged over the trace's active phases the way each workload
+	// shapes them). 0 means 0.2.
+	Rate float64
+
+	// PacketLen is the packet size in flits for data packets
+	// (mempool requests stay single-flit). 0 means 4.
+	PacketLen int
+}
+
+// withDefaults returns cfg with zero fields replaced by defaults.
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Cycles == 0 {
+		c.Cycles = 3000
+	}
+	if c.Rate == 0 {
+		c.Rate = 0.2
+	}
+	if c.PacketLen == 0 {
+		c.PacketLen = 4
+	}
+	return c
+}
+
+// validate rejects configurations no generator can honor.
+func (c GenConfig) validate() error {
+	if c.Rows < 1 || c.Cols < 1 || c.Rows*c.Cols < 2 {
+		return fmt.Errorf("trace: generator needs a grid with >= 2 tiles, got %dx%d", c.Rows, c.Cols)
+	}
+	if c.Cycles < 1 {
+		return fmt.Errorf("trace: generator needs a positive cycle horizon, got %d", c.Cycles)
+	}
+	if c.Rate <= 0 || c.Rate > 1 {
+		return fmt.Errorf("trace: generator rate %g outside (0, 1]", c.Rate)
+	}
+	if c.PacketLen < 1 || c.PacketLen > MaxPacketLen {
+		return fmt.Errorf("trace: generator packet length %d outside [1, %d]", c.PacketLen, MaxPacketLen)
+	}
+	return nil
+}
+
+// generator produces the records of one workload shape.
+type generator func(cfg GenConfig, rng *rand.Rand) []Record
+
+var (
+	generatorOrder  []string
+	generatorByName = map[string]generator{}
+)
+
+// registerGenerator adds a workload generator at init time.
+func registerGenerator(name string, g generator) {
+	if _, dup := generatorByName[name]; dup {
+		panic(fmt.Sprintf("trace: registerGenerator(%q) twice", name))
+	}
+	generatorByName[name] = g
+	generatorOrder = append(generatorOrder, name)
+}
+
+// GeneratorNames lists the application-shaped workload generators in
+// registration order.
+func GeneratorNames() []string {
+	return append([]string(nil), generatorOrder...)
+}
+
+// Generate runs the named workload generator and returns a validated
+// trace with full provenance in its metadata. Unknown names report
+// the registered ones.
+func Generate(name string, cfg GenConfig) (*Trace, error) {
+	g, ok := generatorByName[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown generator %q (want one of %s)",
+			name, strings.Join(GeneratorNames(), "|"))
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	recs := g(cfg, rand.New(rand.NewSource(cfg.Seed)))
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Cycle < recs[j].Cycle })
+	t := &Trace{
+		Meta: Meta{
+			Rows:    cfg.Rows,
+			Cols:    cfg.Cols,
+			Horizon: cfg.Cycles,
+			Generator: fmt.Sprintf("%s grid=%dx%d cycles=%d seed=%d rate=%g plen=%d",
+				name, cfg.Rows, cfg.Cols, cfg.Cycles, cfg.Seed, cfg.Rate, cfg.PacketLen),
+		},
+		Records: recs,
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: generator %q produced an invalid trace: %w", name, unprefix(err))
+	}
+	return t, nil
+}
+
+// uniformDest draws a destination uniformly from the other tiles.
+func uniformDest(n, src int, rng *rand.Rand) int32 {
+	d := rng.Intn(n - 1)
+	if d >= src {
+		d++
+	}
+	return int32(d)
+}
+
+// genBursty is a Markov-modulated ON/OFF process per source: each
+// tile flips between a silent OFF state and an ON state injecting at
+// three times the average packet rate, with transition probabilities
+// tuned for a one-third duty cycle — so the long-run load matches
+// cfg.Rate while individual sources burst.
+func genBursty(cfg GenConfig, rng *rand.Rand) []Record {
+	const (
+		pOnToOff = 0.02
+		pOffToOn = 0.01
+		duty     = pOffToOn / (pOffToOn + pOnToOff)
+	)
+	n := cfg.Rows * cfg.Cols
+	pBurst := cfg.Rate / duty / float64(cfg.PacketLen)
+	if pBurst > 1 {
+		pBurst = 1
+	}
+	on := make([]bool, n)
+	for i := range on {
+		on[i] = rng.Float64() < duty
+	}
+	var recs []Record
+	for t := int64(0); t < cfg.Cycles; t++ {
+		for src := 0; src < n; src++ {
+			if on[src] && rng.Float64() < pBurst {
+				recs = append(recs, Record{
+					Cycle: t, Src: int32(src), Dst: uniformDest(n, src, rng), Size: cfg.PacketLen,
+				})
+			}
+			if on[src] {
+				on[src] = rng.Float64() >= pOnToOff
+			} else {
+				on[src] = rng.Float64() < pOffToOn
+			}
+		}
+	}
+	return recs
+}
+
+// genHotspotRotate injects at the average rate but concentrates 30%
+// of the traffic on a hot tile that rotates across the grid once per
+// eighth of the horizon — a moving congestion spot no static hotspot
+// pattern reproduces.
+func genHotspotRotate(cfg GenConfig, rng *rand.Rand) []Record {
+	const hotFraction = 0.3
+	n := cfg.Rows * cfg.Cols
+	epoch := cfg.Cycles / 8
+	if epoch < 1 {
+		epoch = 1
+	}
+	pInject := cfg.Rate / float64(cfg.PacketLen)
+	var recs []Record
+	for t := int64(0); t < cfg.Cycles; t++ {
+		hot := int((t / epoch) % int64(n))
+		for src := 0; src < n; src++ {
+			if rng.Float64() >= pInject {
+				continue
+			}
+			dst := int32(hot)
+			if src == hot || rng.Float64() >= hotFraction {
+				dst = uniformDest(n, src, rng)
+			}
+			recs = append(recs, Record{Cycle: t, Src: int32(src), Dst: dst, Size: cfg.PacketLen})
+		}
+	}
+	return recs
+}
+
+// genAllreduce alternates compute phases (silence) with all-to-all
+// exchange phases: in exchange round k every tile sends one packet to
+// the tile k steps ahead, rounds spaced so the exchange-phase load
+// matches cfg.Rate (halved overall by the equal-length compute gap).
+// This is the bulk-synchronous allreduce shape — perfectly balanced
+// flows, extreme temporal burstiness.
+func genAllreduce(cfg GenConfig, rng *rand.Rand) []Record {
+	n := cfg.Rows * cfg.Cols
+	spacing := int64(float64(cfg.PacketLen)/cfg.Rate + 0.5)
+	if spacing < 1 {
+		spacing = 1
+	}
+	exchange := spacing * int64(n-1)
+	phase := 2 * exchange
+	var recs []Record
+	for t := int64(0); t < cfg.Cycles; t++ {
+		pos := t % phase
+		if pos < exchange || (pos-exchange)%spacing != 0 {
+			continue
+		}
+		k := int((pos-exchange)/spacing) + 1
+		for src := 0; src < n; src++ {
+			recs = append(recs, Record{
+				Cycle: t, Src: int32(src), Dst: int32((src + k) % n), Size: cfg.PacketLen,
+			})
+		}
+	}
+	return recs
+}
+
+// mempoolServiceLatency is the fixed bank service time, request
+// arrival to response injection, of the mempool generator.
+const mempoolServiceLatency = 10
+
+// genMempool models MemPool-style banked shared memory: every fourth
+// tile is a memory bank, the rest are cores issuing single-flit read
+// requests to uniformly chosen banks, and each request triggers a
+// full-packet response from the bank a fixed service latency later —
+// the request/response asymmetry and bank contention real many-core
+// traffic has.
+func genMempool(cfg GenConfig, rng *rand.Rand) []Record {
+	n := cfg.Rows * cfg.Cols
+	var banks []int32
+	for i := 0; i < n; i++ {
+		if i%4 == 3 {
+			banks = append(banks, int32(i))
+		}
+	}
+	if len(banks) == 0 {
+		banks = []int32{int32(n - 1)}
+	}
+	isBank := make([]bool, n)
+	for _, b := range banks {
+		isBank[b] = true
+	}
+	// A request costs one flit now and PacketLen response flits later.
+	pRequest := cfg.Rate / float64(1+cfg.PacketLen)
+	type response struct {
+		due        int64
+		bank, core int32
+	}
+	var pending []response
+	var recs []Record
+	for t := int64(0); t < cfg.Cycles; t++ {
+		for len(pending) > 0 && pending[0].due <= t {
+			rsp := pending[0]
+			pending = pending[1:]
+			recs = append(recs, Record{Cycle: t, Src: rsp.bank, Dst: rsp.core, Size: cfg.PacketLen})
+		}
+		for core := 0; core < n; core++ {
+			if isBank[core] || rng.Float64() >= pRequest {
+				continue
+			}
+			bank := banks[rng.Intn(len(banks))]
+			recs = append(recs, Record{Cycle: t, Src: int32(core), Dst: bank, Size: 1})
+			if due := t + mempoolServiceLatency; due < cfg.Cycles {
+				pending = append(pending, response{due: due, bank: bank, core: int32(core)})
+			}
+		}
+	}
+	return recs
+}
+
+// init registers the application workload library.
+func init() {
+	registerGenerator("bursty", genBursty)
+	registerGenerator("hotspot-rotate", genHotspotRotate)
+	registerGenerator("allreduce", genAllreduce)
+	registerGenerator("mempool", genMempool)
+}

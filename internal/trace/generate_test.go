@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sparsehamming/internal/topo"
+)
+
+// familyGrids maps every registered topology family to a minimal grid
+// satisfying its constraint (the differential harness's corpus).
+var familyGrids = map[string][2]int{
+	"ring":                {2, 4},
+	"mesh":                {4, 4},
+	"torus":               {4, 4},
+	"folded-torus":        {4, 4},
+	"hypercube":           {4, 4},
+	"slimnoc":             {2, 4},
+	"flattened-butterfly": {4, 4},
+	"sparse-hamming":      {4, 4},
+	"ruche":               {4, 4},
+}
+
+// TestGeneratorsValidOnAllFamilyGrids is the workload-library
+// property test: every generator produces a Validate-clean trace on
+// the grid shape of each registered topology family.
+func TestGeneratorsValidOnAllFamilyGrids(t *testing.T) {
+	names := topo.Names()
+	if len(names) != len(familyGrids) {
+		t.Fatalf("family grid table covers %d families, registry has %d (%v) — extend familyGrids",
+			len(familyGrids), len(names), names)
+	}
+	for _, fam := range names {
+		grid, ok := familyGrids[fam]
+		if !ok {
+			t.Fatalf("no grid shape for registered family %q", fam)
+		}
+		for _, gen := range GeneratorNames() {
+			tr, err := Generate(gen, GenConfig{Rows: grid[0], Cols: grid[1], Cycles: 600, Seed: 7, Rate: 0.25})
+			if err != nil {
+				t.Errorf("%s on %s grid %dx%d: %v", gen, fam, grid[0], grid[1], err)
+				continue
+			}
+			if err := tr.Validate(); err != nil {
+				t.Errorf("%s on %s grid %dx%d: %v", gen, fam, grid[0], grid[1], err)
+			}
+			if len(tr.Records) == 0 {
+				t.Errorf("%s on %s grid %dx%d: empty trace", gen, fam, grid[0], grid[1])
+			}
+			if tr.Meta.Rows != grid[0] || tr.Meta.Cols != grid[1] || tr.Meta.Horizon != 600 {
+				t.Errorf("%s on %s: bad metadata %+v", gen, fam, tr.Meta)
+			}
+		}
+	}
+}
+
+// TestGenerateDeterministic pins that equal configurations produce
+// byte-identical traces and that the seed actually matters.
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Rows: 4, Cols: 4, Cycles: 400, Seed: 3}
+	for _, gen := range GeneratorNames() {
+		a, err := Generate(gen, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		b, err := Generate(gen, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		var ab, bb bytes.Buffer
+		if err := Write(&ab, a); err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if err := Write(&bb, b); err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if !bytes.Equal(ab.Bytes(), bb.Bytes()) {
+			t.Errorf("%s: equal configs produced different bytes", gen)
+		}
+		if gen == "allreduce" {
+			continue // deterministic by construction, seed-free
+		}
+		other := cfg
+		other.Seed = 4
+		c, err := Generate(gen, other)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		if reflect.DeepEqual(a.Records, c.Records) {
+			t.Errorf("%s: seed change left the trace unchanged", gen)
+		}
+	}
+}
+
+// TestGeneratorLoadRoughlyMatchesRate sanity-checks the Rate knob:
+// the long-run offered load of each generator lands within a factor
+// of two of the requested value (the shapes trade exactness for
+// burstiness, so the bound is loose on purpose).
+func TestGeneratorLoadRoughlyMatchesRate(t *testing.T) {
+	cfg := GenConfig{Rows: 4, Cols: 4, Cycles: 20000, Seed: 11, Rate: 0.2}
+	for _, gen := range GeneratorNames() {
+		tr, err := Generate(gen, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", gen, err)
+		}
+		var flits int64
+		for i := range tr.Records {
+			flits += int64(tr.Records[i].Size)
+		}
+		load := float64(flits) / float64(cfg.Cycles) / float64(cfg.Rows*cfg.Cols)
+		lo, hi := cfg.Rate/2.5, cfg.Rate*1.2
+		if load < lo || load > hi {
+			t.Errorf("%s: long-run load %.3f outside [%.3f, %.3f] for rate %.2f", gen, load, lo, hi, cfg.Rate)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfigs(t *testing.T) {
+	cases := []GenConfig{
+		{Rows: 1, Cols: 1},
+		{Rows: 0, Cols: 4},
+		{Rows: 4, Cols: 4, Cycles: -5},
+		{Rows: 4, Cols: 4, Rate: 1.5},
+		{Rows: 4, Cols: 4, Rate: -0.1},
+		{Rows: 4, Cols: 4, PacketLen: MaxPacketLen + 1},
+		{Rows: 4, Cols: 4, PacketLen: -1},
+	}
+	for _, cfg := range cases {
+		if _, err := Generate("bursty", cfg); err == nil {
+			t.Errorf("Generate accepted %+v", cfg)
+		}
+	}
+	if _, err := Generate("no-such-workload", GenConfig{Rows: 4, Cols: 4}); err == nil {
+		t.Errorf("Generate accepted an unknown generator name")
+	}
+}

@@ -1,0 +1,185 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sample returns a small valid trace exercising every header field.
+func sample() *Trace {
+	return &Trace{
+		Meta: Meta{Rows: 2, Cols: 2, Horizon: 100, Generator: "test seed=1"},
+		Records: []Record{
+			{Cycle: 0, Src: 0, Dst: 3, Size: 4},
+			{Cycle: 0, Src: 1, Dst: 2, Size: 1},
+			{Cycle: 5, Src: 0, Dst: 1, Size: 4},
+			{Cycle: 7, Src: 3, Dst: 0, Size: 2},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestParseTolerance(t *testing.T) {
+	// Comments, blank lines, directive order, and surrounding
+	// whitespace are all tolerated.
+	in := "#shtrace v1\n" +
+		"# produced by a hypothetical external tool\n" +
+		"\n" +
+		"#generator   ext v2  \n" +
+		"#grid 2 2\n" +
+		"  1 0 1 4  \n" +
+		"#horizon 10\n" +
+		"2 1 0 1\n"
+	tr, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := &Trace{
+		Meta: Meta{Rows: 2, Cols: 2, Horizon: 10, Generator: "ext v2"},
+		Records: []Record{
+			{Cycle: 1, Src: 0, Dst: 1, Size: 4},
+			{Cycle: 2, Src: 1, Dst: 0, Size: 1},
+		},
+	}
+	if !reflect.DeepEqual(tr, want) {
+		t.Fatalf("got %+v want %+v", tr, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, in string }{
+		{"empty", ""},
+		{"bad magic", "#shtrace v2\n"},
+		{"record before grid", "#shtrace v1\n1 0 1 4\n"},
+		{"missing grid", "#shtrace v1\n#horizon 5\n"},
+		{"duplicate grid", "#shtrace v1\n#grid 2 2\n#grid 2 2\n"},
+		{"grid arity", "#shtrace v1\n#grid 2\n"},
+		{"grid non-numeric", "#shtrace v1\n#grid two 2\n"},
+		{"horizon arity", "#shtrace v1\n#grid 2 2\n#horizon\n"},
+		{"horizon negative", "#shtrace v1\n#grid 2 2\n#horizon -1\n"},
+		{"record arity", "#shtrace v1\n#grid 2 2\n1 0 1\n"},
+		{"record non-numeric", "#shtrace v1\n#grid 2 2\n1 0 one 4\n"},
+		{"record overflow", "#shtrace v1\n#grid 2 2\n1 0 99999999999 4\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: Parse accepted %q", c.name, c.in)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	mutate := func(f func(*Trace)) *Trace {
+		tr := sample()
+		f(tr)
+		return tr
+	}
+	cases := []struct {
+		name string
+		tr   *Trace
+	}{
+		{"zero grid", mutate(func(tr *Trace) { tr.Meta.Rows = 0 })},
+		{"negative horizon", mutate(func(tr *Trace) { tr.Meta.Horizon = -1 })},
+		{"multiline generator", mutate(func(tr *Trace) { tr.Meta.Generator = "a\nb" })},
+		{"padded generator", mutate(func(tr *Trace) { tr.Meta.Generator = " x" })},
+		{"negative cycle", mutate(func(tr *Trace) { tr.Records[0].Cycle = -1 })},
+		{"beyond horizon", mutate(func(tr *Trace) { tr.Records[3].Cycle = 100 })},
+		{"src out of range", mutate(func(tr *Trace) { tr.Records[0].Src = 4 })},
+		{"dst out of range", mutate(func(tr *Trace) { tr.Records[0].Dst = -1 })},
+		{"self traffic", mutate(func(tr *Trace) { tr.Records[0].Dst = 0 })},
+		{"zero size", mutate(func(tr *Trace) { tr.Records[0].Size = 0 })},
+		{"oversized", mutate(func(tr *Trace) { tr.Records[0].Size = MaxPacketLen + 1 })},
+		{"non-monotone source", mutate(func(tr *Trace) { tr.Records[2].Cycle = 0; tr.Records[0].Cycle = 3 })},
+	}
+	for _, c := range cases {
+		if err := c.tr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", c.name, c.tr)
+		}
+	}
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("sample must validate: %v", err)
+	}
+}
+
+func TestEffectiveHorizon(t *testing.T) {
+	tr := sample()
+	if got := tr.EffectiveHorizon(); got != 100 {
+		t.Fatalf("declared horizon: got %d want 100", got)
+	}
+	tr.Meta.Horizon = 0
+	if got := tr.EffectiveHorizon(); got != 8 {
+		t.Fatalf("inferred horizon: got %d want 8", got)
+	}
+	empty := &Trace{Meta: Meta{Rows: 2, Cols: 2}}
+	if got := empty.EffectiveHorizon(); got != 0 {
+		t.Fatalf("empty horizon: got %d want 0", got)
+	}
+}
+
+func TestFlitCounts(t *testing.T) {
+	counts := sample().FlitCounts()
+	want := map[[2]int32]int64{
+		{0, 3}: 4, {1, 2}: 1, {0, 1}: 4, {3, 0}: 2,
+	}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("got %v want %v", counts, want)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sample.trace")
+	tr := sample()
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatalf("file round trip mismatch")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "absent.trace")); err == nil {
+		t.Fatalf("ReadFile accepted a missing file")
+	}
+}
+
+// TestReadFileRejectsInvalid pins that ReadFile validates, not just
+// parses: a syntactically well-formed trace with self-traffic must
+// not load.
+func TestReadFileRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	bad := sample()
+	bad.Records[0].Dst = bad.Records[0].Src
+	var buf bytes.Buffer
+	if err := Write(&buf, bad); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Fatalf("ReadFile accepted self-traffic")
+	}
+}
