@@ -73,16 +73,22 @@ func BenchmarkTableI(b *testing.B) {
 }
 
 // tableIIIBench regenerates the MemPool validation at a quality tier
-// and records it under the given trajectory name.
+// and records it under the given trajectory name, including the
+// campaign's simulation speed (cycles per wall second, ns per flit)
+// so the TableIII entries carry the same speed history the Figure6
+// and SimCycles entries do.
 func tableIIIBench(b *testing.B, quality noc.Quality, bench string) {
 	b.Helper()
 	meter := perf.StartMeter()
 	entry := perf.Entry{Metrics: map[string]float64{}}
+	var simCycles, simFlitHops int64
 	for i := 0; i < b.N; i++ {
-		rows, _, err := noc.TableIII(quality)
+		rows, pred, err := noc.TableIII(quality)
 		if err != nil {
 			b.Fatal(err)
 		}
+		simCycles += pred.SimCycles
+		simFlitHops += pred.SimFlitHops
 		if i == 0 {
 			fmt.Printf("\nTable III (MemPool, %s):\n", noc.QualityName(quality))
 			fmt.Print(noc.FormatTableIII(rows))
@@ -92,8 +98,16 @@ func tableIIIBench(b *testing.B, quality noc.Quality, bench string) {
 			}
 		}
 	}
+	elapsed := meter.Elapsed()
 	done := meter.Done(bench, b.N)
 	done.Metrics = entry.Metrics
+	if simCycles > 0 {
+		done.CyclesPerSec = float64(simCycles) / elapsed.Seconds()
+		b.ReportMetric(done.CyclesPerSec/1e6, "Msimcy/s")
+	}
+	if simFlitHops > 0 {
+		done.NsPerFlit = float64(elapsed.Nanoseconds()) / float64(simFlitHops)
+	}
 	benchRec.Set(done)
 }
 

@@ -188,8 +188,11 @@ func clampCurveDrain(c *sim.Config) {
 // PredictGroupKey — the same topology instance and routing — through
 // one simulator Shape: the architecture, cost model, and routing
 // resolve once, and every job's saturation search instantiates its
-// probes from the shared build. Per-job results are bit-identical to
-// the per-job predictSeeded path (pinned by
+// probes from the shared build. Jobs that differ only in quality tier
+// additionally share their zero-load reference run through a
+// sim.ZeroLoadAnchor (the tiers' zero-load schedules coincide — see
+// sim.ZeroLoadScheduleKey). Per-job results are bit-identical to the
+// per-job predictSeeded path (pinned by
 // TestGroupedPredictEvalMatchesPerJob). Any resolution error fails the
 // whole group; the runner then falls back to per-job Eval calls,
 // preserving single-job failure semantics.
@@ -228,6 +231,17 @@ func evalPredictGroup(jobs []exp.Job, sched sim.ProbeScheduler, spans []*obs.Spa
 		return nil, err
 	}
 
+	// Jobs whose zero-load reference runs coincide — same pattern,
+	// seed, and effective zero-load schedule (quality tiers only differ
+	// in Measure, which the zero-load floor usually absorbs) — share
+	// one anchor: the first search simulates it, the rest reuse it.
+	type anchorKey struct {
+		pattern string
+		seed    int64
+		window  int
+	}
+	anchors := map[anchorKey]*sim.ZeroLoadAnchor{}
+
 	out := make([]*exp.Result, len(jobs))
 	for i, j := range jobs {
 		quality, err := QualityByName(j.Quality)
@@ -238,7 +252,14 @@ func evalPredictGroup(jobs []exp.Job, sched sim.ProbeScheduler, spans []*obs.Spa
 		if spans != nil {
 			span = spans[i]
 		}
-		pred, err := predictShaped(sh, arch, t, cost, rt, j.Pattern, quality, j.EffectiveSeed(), sched, span)
+		_, measure := quality.simWindows()
+		key := anchorKey{j.Pattern, j.EffectiveSeed(), sim.ZeroLoadScheduleKey(measure)}
+		anchor := anchors[key]
+		if anchor == nil {
+			anchor = &sim.ZeroLoadAnchor{}
+			anchors[key] = anchor
+		}
+		pred, err := predictShaped(sh, arch, t, cost, rt, j.Pattern, quality, j.EffectiveSeed(), anchor, sched, span)
 		if err != nil {
 			return nil, err
 		}

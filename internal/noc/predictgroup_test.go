@@ -1,10 +1,12 @@
 package noc
 
 import (
+	"path/filepath"
 	"reflect"
 	"testing"
 
 	"sparsehamming/internal/exp"
+	"sparsehamming/internal/sim"
 )
 
 // predictLadder is a set of predict jobs sharing one topology
@@ -42,6 +44,103 @@ func TestGroupedPredictEvalMatchesPerJob(t *testing.T) {
 		if !reflect.DeepEqual(got[i], want[i]) {
 			t.Errorf("job %v:\ngrouped %+v\nper-job %+v", jobs[i], got[i], want[i])
 		}
+	}
+}
+
+// mixedTierLadder is one topology predicted at every quality tier
+// with the same pattern and seed — the configuration whose zero-load
+// reference runs coincide, so the grouped evaluator shares one anchor
+// across the tiers.
+func mixedTierLadder() []exp.Job {
+	return []exp.Job{
+		{Mode: exp.ModePredict, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh", Seed: 1},
+		{Mode: exp.ModePredict, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh", Seed: 1, Quality: "full"},
+		{Mode: exp.ModePredict, Scenario: "a", Rows: 4, Cols: 4, Topo: "mesh", Seed: 1, Quality: "adaptive"},
+	}
+}
+
+// TestPredictGroupSharesZeroLoadAnchor pins the cross-tier anchor
+// contract: a mixed-tier group reproduces the per-tier schedules
+// exactly (bit-identical results) while simulating the shared
+// zero-load reference only once — the other tiers reuse the anchor,
+// visible as exactly two fewer simulation runs than the per-job path.
+func TestPredictGroupSharesZeroLoadAnchor(t *testing.T) {
+	jobs := mixedTierLadder()
+
+	before := sim.Counters()
+	want := make([]*exp.Result, len(jobs))
+	for i, j := range jobs {
+		res, err := EvalJob(j)
+		if err != nil {
+			t.Fatalf("EvalJob(%v): %v", j, err)
+		}
+		want[i] = res
+	}
+	mid := sim.Counters()
+
+	got, err := evalPredictGroup(jobs, nil, nil)
+	if err != nil {
+		t.Fatalf("evalPredictGroup: %v", err)
+	}
+	after := sim.Counters()
+
+	for i := range jobs {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("job %v:\ngrouped %+v\nper-job %+v", jobs[i], got[i], want[i])
+		}
+	}
+	if d := after.AnchorReuses - mid.AnchorReuses; d != int64(len(jobs)-1) {
+		t.Errorf("grouped evaluation reused the anchor %d times, want %d", d, len(jobs)-1)
+	}
+	perJob := mid.Runs - before.Runs
+	grouped := after.Runs - mid.Runs
+	if grouped != perJob-int64(len(jobs)-1) {
+		t.Errorf("grouped path ran %d simulations vs %d per-job, want exactly %d fewer",
+			grouped, perJob, len(jobs)-1)
+	}
+}
+
+// TestMixedTierRerunSimulatesNothing drives the mixed-tier ladder
+// through the campaign runner twice with a persistent cache: the
+// second run must hit the cache for every job and start zero
+// simulation runs.
+func TestMixedTierRerunSimulatesNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	jobs := mixedTierLadder()
+
+	cache, err := exp.OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, rep1, err := NewRunner(0, cache).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Computed != len(jobs) || rep1.CacheHits != 0 {
+		t.Errorf("first run report = %+v", rep1)
+	}
+	if err := cache.Save(); err != nil {
+		t.Fatal(err)
+	}
+
+	cache2, err := exp.OpenCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := sim.Counters()
+	second, rep2, err := NewRunner(0, cache2).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := sim.Counters()
+	if rep2.Computed != 0 || rep2.CacheHits != len(jobs) {
+		t.Errorf("second run report = %+v, want all cache hits", rep2)
+	}
+	if d := after.Runs - before.Runs; d != 0 {
+		t.Errorf("re-run started %d simulation runs, want 0", d)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached results differ from computed ones")
 	}
 }
 

@@ -270,11 +270,14 @@ type Floor struct {
 // ns/op history. The surrogate DSE floors pin the two-stage
 // explorer's contract: the band must save at least 5x the simulations
 // of an exhaustive sweep while recalling the entire validated
-// frontier.
+// frontier. The engine floor pins the structure-of-arrays core's
+// speed advantage over the retained array-of-structs reference engine
+// on the mixed zero-load-plus-probe workload real campaigns run.
 func BuiltinFloors() []Floor {
 	return []Floor{
 		{Bench: "DSESurrogate", Metric: "dse_sims_saved_x", Min: 5},
 		{Bench: "DSESurrogate", Metric: "frontier_recall", Min: 1},
+		{Bench: "EngineSoASpeedup", Metric: "soa_speedup_x", Min: 1.5},
 	}
 }
 

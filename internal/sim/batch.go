@@ -65,6 +65,17 @@ type Shape struct {
 	// routed path src->dst. Packets reference rows of this table
 	// directly; it is the dominant build cost a Shape amortizes.
 	pathPorts [][][]int16
+
+	// portBase is the structure-of-arrays engine's port-offset table:
+	// router id owns the global ports [portBase[id], portBase[id+1])
+	// — its degree link ports plus the injection/ejection port — so
+	// flat per-(port, vc) state arrays are indexed without any
+	// per-router indirection (see simState in soa.go). numPorts is
+	// portBase[n] and maxIn the widest router's port count (the switch
+	// allocator's scratch width).
+	portBase []int32
+	numPorts int
+	maxIn    int
 }
 
 // NewShape builds the shared state for the configuration's topology,
@@ -117,11 +128,17 @@ func newShape(cfg *Config) *Shape {
 		panic("sim: neighbor not found")
 	}
 
+	sh.portBase = make([]int32, n+1)
 	for id := 0; id < n; id++ {
 		deg := t.Degree(id)
 		sh.inChans[id] = make([]int32, deg)
 		sh.outChans[id] = make([]int32, deg)
+		sh.portBase[id+1] = sh.portBase[id] + int32(deg+1)
+		if deg+1 > sh.maxIn {
+			sh.maxIn = deg + 1
+		}
 	}
+	sh.numPorts = int(sh.portBase[n])
 
 	// Directed channels: one per (from, to) adjacency.
 	for id := 0; id < n; id++ {
@@ -309,7 +326,11 @@ func (b *Batch) Len() int { return len(b.sims) }
 // locality (a replica's VC rings and queues stay hot for the whole
 // chunk) against how promptly the pass retires finished replicas.
 // Per-cycle interleaving (chunk 1) measurably thrashes the cache once
-// the combined replica state outgrows it.
+// the combined replica state outgrows it. Re-measured after the
+// structure-of-arrays state refactor shrank the per-replica working
+// set: on the 8-replica load ladder, 256 and 4096 are a few percent
+// slower while 1024 and 2048 are equivalent within noise, so the
+// pre-refactor value stands.
 const batchChunk = 1024
 
 // Run steps every replica to completion in one interleaved pass —

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"sparsehamming/internal/perf"
 	"sparsehamming/internal/route"
@@ -46,9 +47,18 @@ func TestMain(m *testing.M) {
 }
 
 // benchSim builds an 8x8 mesh simulator warmed up to steady state at
-// the given injection rate.
-func benchSim(b *testing.B, rate float64) *Simulator {
+// the given injection rate. ref selects the retained array-of-structs
+// reference engine instead of the SoA default.
+func benchSim(b *testing.B, rate float64, ref bool) *Simulator {
 	b.Helper()
+	cfg := Config{
+		Topo: nil, Routing: nil, NumVCs: 8, BufDepth: 32,
+		RouterDelay: 3, PacketLen: 4, InjectionRate: rate,
+		Seed: 1,
+		// A far-off measurement window: the benchmarks run in the
+		// warmup regime so no measurement bookkeeping triggers.
+		Warmup: 1 << 30, Measure: 1, Drain: 1,
+	}
 	m, err := topo.NewMesh(8, 8)
 	if err != nil {
 		b.Fatal(err)
@@ -57,14 +67,9 @@ func benchSim(b *testing.B, rate float64) *Simulator {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := New(Config{
-		Topo: m, Routing: r, NumVCs: 8, BufDepth: 32,
-		RouterDelay: 3, PacketLen: 4, InjectionRate: rate,
-		Seed: 1,
-		// A far-off measurement window: the benchmarks run in the
-		// warmup regime so no measurement bookkeeping triggers.
-		Warmup: 1 << 30, Measure: 1, Drain: 1,
-	})
+	cfg.Topo, cfg.Routing = m, r
+	cfg.reference = ref
+	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -75,9 +80,9 @@ func benchSim(b *testing.B, rate float64) *Simulator {
 }
 
 // stepBench times full cycles at one injection rate.
-func stepBench(b *testing.B, rate float64) {
+func stepBench(b *testing.B, rate float64, ref bool) {
 	b.Helper()
-	s := benchSim(b, rate)
+	s := benchSim(b, rate, ref)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -87,33 +92,39 @@ func stepBench(b *testing.B, rate float64) {
 
 // BenchmarkStepIdle: cycle cost of an empty network (no injection) —
 // the floor every simulated cycle pays.
-func BenchmarkStepIdle(b *testing.B) { stepBench(b, 0) }
+func BenchmarkStepIdle(b *testing.B) { stepBench(b, 0, false) }
 
 // BenchmarkStepZeroLoad: the near-zero-load regime of the zero-load
 // latency reference runs (0.5% injection).
-func BenchmarkStepZeroLoad(b *testing.B) { stepBench(b, 0.005) }
+func BenchmarkStepZeroLoad(b *testing.B) { stepBench(b, 0.005, false) }
 
 // BenchmarkStepLoaded: a 30%-loaded network, representative of
 // mid-curve saturation probes.
-func BenchmarkStepLoaded(b *testing.B) { stepBench(b, 0.3) }
+func BenchmarkStepLoaded(b *testing.B) { stepBench(b, 0.3, false) }
 
 // BenchmarkStepSaturated: past saturation, every router busy — the
 // most expensive cycles of a saturation search.
-func BenchmarkStepSaturated(b *testing.B) { stepBench(b, 0.9) }
+func BenchmarkStepSaturated(b *testing.B) { stepBench(b, 0.9, false) }
+
+// Reference-engine counterparts of the step benchmarks: the same
+// regimes on the retained array-of-structs layout, so the SoA win is
+// visible per regime in one -bench=BenchmarkStep run.
+func BenchmarkStepIdleRef(b *testing.B)      { stepBench(b, 0, true) }
+func BenchmarkStepZeroLoadRef(b *testing.B)  { stepBench(b, 0.005, true) }
+func BenchmarkStepLoadedRef(b *testing.B)    { stepBench(b, 0.3, true) }
+func BenchmarkStepSaturatedRef(b *testing.B) { stepBench(b, 0.9, true) }
 
 // stageBench runs full cycles but times only the selected stage.
 func stageBench(b *testing.B, rate float64, stage func(s *Simulator, t int64)) {
 	b.Helper()
-	s := benchSim(b, rate)
+	s := benchSim(b, rate, false)
 	b.ResetTimer()
 	b.StopTimer()
 	for i := 0; i < b.N; i++ {
 		t := s.now
-		s.deliver(t)
+		s.deliverSoA(t)
 		s.generate(t)
-		for _, r := range s.routers {
-			s.injectFlits(r, t)
-		}
+		s.injectPhaseSoA(t)
 		b.StartTimer()
 		stage(s, t)
 		b.StopTimer()
@@ -121,85 +132,122 @@ func stageBench(b *testing.B, rate float64, stage func(s *Simulator, t int64)) {
 	}
 }
 
-// BenchmarkStageVCAlloc times the VC-allocation stage over all
-// routers of a loaded network; switch allocation still runs (off the
-// clock) so the network keeps moving.
+// BenchmarkStageVCAlloc times the VC-allocation kernel over the
+// occupied routers of a loaded network; switch allocation still runs
+// (off the clock) so the network keeps moving.
 func BenchmarkStageVCAlloc(b *testing.B) {
 	stageBench(b, 0.3, func(s *Simulator, t int64) {
-		for _, r := range s.routers {
-			s.vcAlloc(r, t)
-		}
+		s.vcAllocPhaseSoA(t)
 		b.StopTimer()
-		for _, r := range s.routers {
-			s.switchAllocTraverse(r, t)
-		}
+		s.switchPhaseSoA(t)
 	})
 }
 
-// BenchmarkStageSwitchAlloc times switch allocation and traversal
-// over all routers of a loaded network; VC allocation runs off the
-// clock first.
+// BenchmarkStageSwitchAlloc times the switch-allocation/traversal
+// kernel over the occupied routers of a loaded network; VC allocation
+// runs off the clock first.
 func BenchmarkStageSwitchAlloc(b *testing.B) {
 	stageBench(b, 0.3, func(s *Simulator, t int64) {
 		b.StopTimer()
-		for _, r := range s.routers {
-			s.vcAlloc(r, t)
-		}
+		s.vcAllocPhaseSoA(t)
 		b.StartTimer()
-		for _, r := range s.routers {
-			s.switchAllocTraverse(r, t)
-		}
+		s.switchPhaseSoA(t)
 	})
 }
 
-// BenchmarkStageDeliver times link flit/credit delivery. It inverts
-// stageBench's pattern: deliver is timed, the rest runs off-timer.
+// BenchmarkStageDeliver times link flit/credit delivery into the flat
+// VC lanes. It inverts stageBench's pattern: deliver is timed, the
+// rest runs off-timer.
 func BenchmarkStageDeliver(b *testing.B) {
-	s := benchSim(b, 0.3)
+	s := benchSim(b, 0.3, false)
 	b.ResetTimer()
 	b.StopTimer()
 	for i := 0; i < b.N; i++ {
 		t := s.now
 		b.StartTimer()
-		s.deliver(t)
+		s.deliverSoA(t)
 		b.StopTimer()
 		s.generate(t)
-		for _, r := range s.routers {
-			s.injectFlits(r, t)
-		}
-		for _, r := range s.routers {
-			s.vcAlloc(r, t)
-		}
-		for _, r := range s.routers {
-			s.switchAllocTraverse(r, t)
-		}
+		s.injectPhaseSoA(t)
+		s.vcAllocPhaseSoA(t)
+		s.switchPhaseSoA(t)
 		s.now++
 	}
 }
 
 // BenchmarkStageGenerate times traffic generation plus source-queue
-// injection (phase 2).
+// injection (phase 2, including the occupancy-bitmap inject scan).
 func BenchmarkStageGenerate(b *testing.B) {
-	s := benchSim(b, 0.3)
+	s := benchSim(b, 0.3, false)
 	b.ResetTimer()
 	b.StopTimer()
 	for i := 0; i < b.N; i++ {
 		t := s.now
-		s.deliver(t)
+		s.deliverSoA(t)
 		b.StartTimer()
 		s.generate(t)
-		for _, r := range s.routers {
-			s.injectFlits(r, t)
-		}
+		s.injectPhaseSoA(t)
 		b.StopTimer()
-		for _, r := range s.routers {
-			s.vcAlloc(r, t)
-		}
-		for _, r := range s.routers {
-			s.switchAllocTraverse(r, t)
-		}
+		s.vcAllocPhaseSoA(t)
+		s.switchPhaseSoA(t)
 		s.now++
 	}
+}
+
+// BenchmarkEngineSoASpeedup runs the workload shape of one saturation
+// search iteration — the near-idle zero-load reference run plus a
+// mid-curve 30%-load probe on the 8x8 mesh — on the SoA engine and on
+// the retained reference engine, verifies each leg's results are
+// bit-identical, and records the engines' time ratio as the
+// soa_speedup_x metric that `shperf -check` floors at 1.5. Both
+// regimes are weighted the way real campaigns pay for them: the
+// zero-load leg is long and mostly idle (where the occupancy bitmap
+// wins), the probe leg is short and busy (where the dense lanes and
+// bit-scan allocators win).
+func BenchmarkEngineSoASpeedup(b *testing.B) {
+	probe := benchLadderConfig(b)
+	probe.InjectionRate = 0.3
+	anchor := benchLadderConfig(b)
+	anchor.InjectionRate = 0.005
+	anchor.Warmup, anchor.Measure, anchor.Drain = 1000, 20000, 30000
+	legs := []Config{anchor, probe}
+
+	meter := perf.StartMeter()
+	var soaNs, refNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, leg := range legs {
+			leg.Seed = int64(i + 1)
+
+			leg.reference = false
+			soaStart := time.Now()
+			soa, err := New(leg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			soaStats := soa.Run()
+			soaNs += time.Since(soaStart).Nanoseconds()
+
+			leg.reference = true
+			refStart := time.Now()
+			ref, err := New(leg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			refStats := ref.Run()
+			refNs += time.Since(refStart).Nanoseconds()
+
+			if soaStats != refStats {
+				b.Fatalf("SoA and reference engines diverged at rate %v:\nsoa %+v\nref %+v",
+					leg.InjectionRate, soaStats, refStats)
+			}
+		}
+	}
+	speedup := float64(refNs) / float64(soaNs)
+	b.ReportMetric(speedup, "soa_speedup_x")
+	entry := meter.Done("EngineSoASpeedup", b.N)
+	entry.Metrics = map[string]float64{"soa_speedup_x": speedup}
+	benchRec.Set(entry)
 }
 
 // benchLadderConfig returns the 8x8-mesh base configuration the batch

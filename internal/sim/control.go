@@ -247,8 +247,14 @@ func newCtlState(c Control, measure int) *ctlState {
 // trails the offered rate is the saturation signature.
 func (s *Simulator) backlog() int64 {
 	queued := int64(0)
-	for _, r := range s.routers {
-		queued += int64(r.srcQ.len())
+	if st := s.soa; st != nil {
+		for i := range st.srcQ {
+			queued += int64(st.srcQ[i].len())
+		}
+	} else {
+		for _, r := range s.routers {
+			queued += int64(r.srcQ.len())
+		}
 	}
 	return s.flitsInFlight + queued*int64(s.cfg.PacketLen)
 }

@@ -26,6 +26,8 @@ var counters struct {
 	simBuilds     atomic.Int64
 	batches       atomic.Int64
 	batchReplicas atomic.Int64
+
+	anchorReuses atomic.Int64
 }
 
 // CounterSnapshot is a point-in-time copy of the process-wide
@@ -69,6 +71,11 @@ type CounterSnapshot struct {
 	// replicas they stepped.
 	Batches       int64
 	BatchReplicas int64
+
+	// AnchorReuses counts saturation searches that reused a shared
+	// zero-load reference run (see ZeroLoadAnchor) instead of
+	// simulating their own.
+	AnchorReuses int64
 }
 
 // Counters returns a snapshot of the process-wide simulation counters.
@@ -89,6 +96,7 @@ func Counters() CounterSnapshot {
 		SimBuilds:           counters.simBuilds.Load(),
 		Batches:             counters.batches.Load(),
 		BatchReplicas:       counters.batchReplicas.Load(),
+		AnchorReuses:        counters.anchorReuses.Load(),
 	}
 }
 

@@ -115,9 +115,19 @@ func (s Stats) DeliveredFraction() float64 {
 // source queues, the latency log) grow to the run's high-water mark
 // during warmup and are then reused.
 type Simulator struct {
-	cfg     Config
+	cfg Config
+
+	// soa holds the default structure-of-arrays engine state: flat
+	// per-(port, vc) lanes indexed through the shape's portBase table
+	// (see soa.go). routers holds the retained array-of-structs
+	// reference engine instead — non-nil only when cfg.reference is
+	// set, which in-package differential tests use as the oracle the
+	// SoA layout is verified bit-identical against (see reference.go).
+	soa     *simState
 	routers []*router
-	chans   []*dchan
+
+	n       int // router count
+	chans   []dchan
 	packets []packet
 	rng     *rand.Rand
 	now     int64
@@ -186,11 +196,12 @@ func New(cfg Config) (*Simulator, error) {
 	return newShape(&cfg).instantiate(&cfg), nil
 }
 
-// instantiate allocates the mutable per-replica state — routers with
-// their VC rings, credit counters, and arbiter pointers, plus the
-// directed-channel queues — over the shape's shared wiring and
-// output-port LUT. cfg must be defaulted, validated, and match the
-// shape (see Instantiate for the checked public entry point).
+// instantiate allocates the mutable per-replica state — the flat SoA
+// lanes (or, under cfg.reference, routers with their VC rings, credit
+// counters, and arbiter pointers), plus the directed-channel queues —
+// over the shape's shared wiring and output-port LUT. cfg must be
+// defaulted, validated, and match the shape (see Instantiate for the
+// checked public entry point).
 func (sh *Shape) instantiate(cfg *Config) *Simulator {
 	s := &Simulator{
 		cfg:        *cfg,
@@ -198,52 +209,26 @@ func (sh *Shape) instantiate(cfg *Config) *Simulator {
 		vcPerClass: cfg.NumVCs / cfg.Routing.NumClasses,
 		noPool:     cfg.Tracer != nil,
 		pathPorts:  sh.pathPorts,
+		n:          sh.topo.NumTiles(),
 	}
-	n := sh.topo.NumTiles()
-	s.routers = make([]*router, n)
-	for id := 0; id < n; id++ {
-		deg := len(sh.inChans[id])
-		r := &router{
-			id: int32(id),
-			// The channel wiring is read-only; share the shape's slices.
-			inChans:  sh.inChans[id],
-			outChans: sh.outChans[id],
-			injVC:    -1,
-		}
-		r.vcs = make([][]vcState, deg+1)
-		for p := range r.vcs {
-			r.vcs[p] = make([]vcState, s.cfg.NumVCs)
-			for v := range r.vcs[p] {
-				r.vcs[p][v].buf.init(s.cfg.BufDepth)
-				r.vcs[p][v].outPort = -1
-				r.vcs[p][v].outVC = -1
-			}
-		}
-		r.credits = make([][]int16, deg+1)
-		r.ovcOwner = make([][]int32, deg+1)
-		for o := range r.credits {
-			r.credits[o] = make([]int16, s.cfg.NumVCs)
-			r.ovcOwner[o] = make([]int32, s.cfg.NumVCs)
-			for v := range r.credits[o] {
-				r.credits[o][v] = int16(s.cfg.BufDepth)
-				r.ovcOwner[o][v] = -1
-			}
-		}
-		r.vaRR = make([]int, deg+1)
-		r.saInRR = make([]int, deg+1)
-		r.saOutRR = make([]int, deg+1)
-		r.saCand = make([]int16, deg+1)
-		s.routers[id] = r
+	// The SoA allocators pack one request bit per input port and one
+	// lane bit per VC into a word; routers wider than 64 ports or
+	// configs with more than 64 VCs (no shipped topology or config
+	// comes close) fall back to the reference layout.
+	if cfg.reference || sh.maxIn > 64 || cfg.NumVCs > 64 {
+		s.instantiateRef(sh)
+	} else {
+		s.instantiateSoA(sh)
 	}
 
 	if rp, ok := cfg.Pattern.(*Replay); ok {
 		s.replaySched = rp.schedule(cfg.InjectionRate)
 	}
 
-	s.chans = make([]*dchan, len(sh.chans))
+	s.chans = make([]dchan, len(sh.chans))
 	for i := range sh.chans {
 		cs := &sh.chans[i]
-		s.chans[i] = &dchan{
+		s.chans[i] = dchan{
 			from:    cs.from,
 			to:      cs.to,
 			outPort: cs.outPort,
@@ -453,55 +438,15 @@ func (p *phaseTrace) finish(t int64, st *Stats) {
 // step advances the network by one cycle. It runs the five-phase
 // router pipeline in a fixed order — link delivery, generation and
 // injection, VC allocation, switch allocation and traversal — and is
-// allocation-free in steady state (see the Simulator doc).
+// allocation-free in steady state (see the Simulator doc). The SoA
+// and reference engines execute the identical pipeline over their
+// respective layouts; the differential harness pins them bit-equal.
 func (s *Simulator) step(inject bool) {
-	t := s.now
-
-	// Phase 1: deliver flits and credits that arrive this cycle.
-	s.deliver(t)
-
-	// Phase 2: traffic generation and source injection.
-	if inject {
-		s.generate(t)
+	if s.soa != nil {
+		s.stepSoA(inject)
+		return
 	}
-	for _, r := range s.routers {
-		s.injectFlits(r, t)
-	}
-
-	// Phase 3: virtual-channel allocation.
-	for _, r := range s.routers {
-		s.vcAlloc(r, t)
-	}
-
-	// Phase 4+5: switch allocation and traversal.
-	for _, r := range s.routers {
-		s.switchAllocTraverse(r, t)
-	}
-
-	s.now++
-}
-
-// deliver moves flits and credits whose link latency has elapsed into
-// the downstream (respectively upstream) router.
-func (s *Simulator) deliver(t int64) {
-	for _, c := range s.chans {
-		if c.flits.len() > 0 && c.flits.front().arrive <= t {
-			rt := s.routers[c.to]
-			for c.flits.len() > 0 && c.flits.front().arrive <= t {
-				f := c.flits.pop()
-				vc := &rt.vcs[c.inPort][f.vc]
-				vc.buf.push(flitRef{pkt: f.pkt, seq: f.seq, ready: t + int64(s.cfg.RouterDelay)})
-				rt.bufFlits++
-				if f.seq == 0 {
-					rt.needRoute++
-				}
-			}
-		}
-		for c.credits.len() > 0 && c.credits.front().arrive <= t {
-			cr := c.credits.pop()
-			s.routers[c.from].credits[c.outPort][cr.vc]++
-		}
-	}
+	s.stepRef(inject)
 }
 
 // generate draws new packets for every node (Bernoulli process with
@@ -516,7 +461,7 @@ func (s *Simulator) generate(t int64) {
 	}
 	pPkt := s.cfg.InjectionRate / float64(s.cfg.PacketLen)
 	measured := t >= s.measureStart && t < s.measureEnd
-	for id := range s.routers {
+	for id := 0; id < s.n; id++ {
 		if s.rng.Float64() >= pPkt {
 			continue
 		}
@@ -568,260 +513,11 @@ func (s *Simulator) pushPacket(src, dst int32, t int64, plen int16, measured boo
 		s.packets = append(s.packets, pk)
 		pid = int32(len(s.packets) - 1)
 	}
-	s.routers[src].srcQ.push(pid)
-}
-
-// injectFlits moves at most one flit per cycle from the source queue
-// into the injection port, choosing a VC of the packet's first hop
-// class for each new packet.
-func (s *Simulator) injectFlits(r *router, t int64) {
-	if r.srcQ.len() == 0 {
-		return
-	}
-	inj := r.injPort()
-	if r.injVC < 0 {
-		// Pick the emptiest VC of the packet's first-hop class.
-		// Injection is serialized packet-by-packet, so packets queued
-		// in the same VC never interleave flits.
-		pk := &s.packets[*r.srcQ.front()]
-		class := int8(0)
-		if len(pk.path.Classes) > 0 {
-			class = pk.path.Classes[0]
-		}
-		lo, hi := s.classVCRange(class)
-		best, bestFree := -1, 0
-		for v := lo; v < hi; v++ {
-			if free := s.cfg.BufDepth - r.vcs[inj][v].buf.len(); free > bestFree {
-				best, bestFree = v, free
-			}
-		}
-		if best < 0 {
-			return
-		}
-		r.injVC = int16(best)
-		r.injSeq = 0
-	}
-	vc := &r.vcs[inj][r.injVC]
-	if vc.buf.len() >= s.cfg.BufDepth {
-		return
-	}
-	pid := *r.srcQ.front()
-	vc.buf.push(flitRef{pkt: pid, seq: r.injSeq, ready: t + int64(s.cfg.RouterDelay)})
-	r.bufFlits++
-	if r.injSeq == 0 {
-		r.needRoute++
-	}
-	s.flitsInFlight++
-	// A flit entering the network is forward progress: without this the
-	// watchdog would mistake a long injection silence (bursty traces;
-	// never Bernoulli traffic) followed by one injection for a deadlock.
-	s.lastProgress = t
-	if s.cfg.Tracer != nil {
-		s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvInject, Pkt: pid, Seq: r.injSeq, Node: r.id, Peer: s.packets[pid].dst, VC: r.injVC})
-	}
-	r.injSeq++
-	if int(r.injSeq) == int(s.packets[pid].plen) {
-		r.srcQ.pop()
-		r.injVC = -1
-	}
-}
-
-// vcAlloc performs separable VC allocation: every input VC whose head
-// is an unrouted head flit requests an output VC of its path's class;
-// output VCs are granted first-come in round-robin order over inputs.
-// The output port comes from the packet's precomputed port table and
-// the path position from its hop counter, so no searches happen here.
-func (s *Simulator) vcAlloc(r *router, t int64) {
-	nIn := r.numIn()
-	V := s.cfg.NumVCs
-	total := nIn * V
-	start := r.vaRR[0] % total
-	r.vaRR[0] = (start + 1) % total
-	if r.needRoute == 0 {
-		return // no unrouted head flits buffered anywhere
-	}
-	ip, v := start/V, start%V
-	for k := 0; k < total; k++ {
-		enc := ip*V + v
-		vc := &r.vcs[ip][v]
-		v++
-		if v == V {
-			v = 0
-			ip++
-			if ip == nIn {
-				ip = 0
-			}
-		}
-		if vc.outVC >= 0 || vc.outPort >= 0 || vc.buf.len() == 0 {
-			continue
-		}
-		head := vc.buf.front()
-		if head.seq != 0 || head.ready > t {
-			continue
-		}
-		pk := &s.packets[head.pkt]
-		if pk.dst == r.id {
-			// Ejection needs no VC allocation.
-			vc.outPort = int16(r.ejPort())
-			vc.outVC = 0
-			r.needRoute--
-			continue
-		}
-		hi := int(pk.hop)
-		class := pk.path.Classes[hi]
-		outPort := int(pk.ports[hi])
-		lo, hiVC := s.classVCRange(class)
-		for ov := lo; ov < hiVC; ov++ {
-			if r.ovcOwner[outPort][ov] < 0 {
-				r.ovcOwner[outPort][ov] = int32(enc)
-				vc.outPort = int16(outPort)
-				vc.outVC = int16(ov)
-				r.needRoute--
-				break
-			}
-		}
-	}
-}
-
-// switchAllocTraverse performs separable (input-first) switch
-// allocation and moves the winning flits. Routers with no buffered
-// flits return immediately; the candidate scratch is preallocated.
-func (s *Simulator) switchAllocTraverse(r *router, t int64) {
-	if r.bufFlits == 0 {
-		return // no requests, no grants, no arbiter state changes
-	}
-	nIn, nOut := r.numIn(), r.numOut()
-	V := s.cfg.NumVCs
-	ej := r.ejPort()
-
-	// Input arbitration: one candidate VC per input port.
-	cand := r.saCand // VC index or -1
-	found := false
-	for ip := 0; ip < nIn; ip++ {
-		cand[ip] = -1
-		v := r.saInRR[ip]
-		for k := 0; k < V; k++ {
-			vc := &r.vcs[ip][v]
-			cv := v
-			v++
-			if v == V {
-				v = 0
-			}
-			if vc.outPort < 0 || vc.buf.len() == 0 {
-				continue
-			}
-			head := vc.buf.front()
-			if head.ready > t {
-				continue
-			}
-			if int(vc.outPort) != ej && r.credits[vc.outPort][vc.outVC] <= 0 {
-				continue
-			}
-			cand[ip] = int16(cv)
-			found = true
-			break
-		}
-	}
-	if !found {
-		return
-	}
-
-	// Output arbitration: one winner per output port.
-	for op := 0; op < nOut; op++ {
-		ip := r.saOutRR[op]
-		for k := 0; k < nIn; k++ {
-			cip := ip
-			ip++
-			if ip == nIn {
-				ip = 0
-			}
-			v := cand[cip]
-			if v < 0 || int(r.vcs[cip][v].outPort) != op {
-				continue
-			}
-			s.traverse(r, cip, int(v), op, t)
-			r.saInRR[cip] = (int(v) + 1) % V
-			r.saOutRR[op] = (cip + 1) % nIn
-			break
-		}
-	}
-}
-
-// traverse moves one flit from input VC (ip, v) through output port op.
-func (s *Simulator) traverse(r *router, ip, v, op int, t int64) {
-	vc := &r.vcs[ip][v]
-	f := vc.buf.pop()
-	r.bufFlits--
-	s.flitHops++
-	pk := &s.packets[f.pkt]
-	isTail := int(f.seq) == int(pk.plen)-1
-
-	if op == r.ejPort() {
-		s.flitsInFlight--
-		s.lastProgress = t
-		if f.seq != pk.nextSeq {
-			s.orderViolations++
-		}
-		pk.nextSeq = f.seq + 1
-		if s.cfg.Tracer != nil {
-			s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvEject, Pkt: f.pkt, Seq: f.seq, Node: r.id, Peer: -1, VC: int16(v)})
-		}
-		if t >= s.measureStart && t < s.measureEnd {
-			s.winFlits++
-		}
-		if s.ctl != nil {
-			s.ctl.winEjFlits++
-			if isTail {
-				s.ctl.winLatSum += t + 1 - pk.inject
-				s.ctl.winPkts++
-			}
-		}
-		if isTail {
-			if pk.measured {
-				s.measEjected++
-				lat := t + 1 - pk.inject
-				s.latencySum += lat
-				s.latencies = append(s.latencies, lat)
-				if lat > s.latencyMax {
-					s.latencyMax = lat
-				}
-			}
-			// The tail has left the network: release the packet slot
-			// for reuse (unless tracing pinned the IDs).
-			if !s.noPool {
-				s.freePkts = append(s.freePkts, f.pkt)
-			}
-		}
+	if st := s.soa; st != nil {
+		st.srcQ[src].push(pid)
+		st.setOcc(src)
 	} else {
-		ci := r.outChans[op]
-		c := s.chans[ci]
-		if f.seq == 0 {
-			// The head flit advances to the next router on its path.
-			pk.hop++
-		}
-		c.flits.push(timedFlit{pkt: f.pkt, seq: f.seq, vc: vc.outVC, arrive: t + c.latency})
-		if s.cfg.Tracer != nil {
-			s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvTraverse, Pkt: f.pkt, Seq: f.seq, Node: r.id, Peer: c.to, VC: vc.outVC})
-		}
-		r.credits[op][vc.outVC]--
-		if t >= s.measureStart && t < s.measureEnd {
-			s.linkFlits[ci]++
-		}
-		s.lastProgress = t
-	}
-
-	// Return a credit upstream for the freed buffer slot.
-	if ip != r.injPort() {
-		uc := s.chans[r.inChans[ip]]
-		uc.credits.push(timedCredit{vc: int16(v), arrive: t + uc.latency})
-	}
-
-	if isTail {
-		if op != r.ejPort() {
-			r.ovcOwner[op][vc.outVC] = -1
-		}
-		vc.outPort = -1
-		vc.outVC = -1
+		s.routers[src].srcQ.push(pid)
 	}
 }
 

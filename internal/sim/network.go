@@ -78,6 +78,13 @@ type Config struct {
 	// never affects results and is not part of any job identity. The
 	// per-cycle hot path pays one nil check when unset.
 	Span *obs.Span
+
+	// reference selects the retained array-of-structs engine instead
+	// of the structure-of-arrays default (see reference.go). It is
+	// build-internal: only in-package differential tests and
+	// benchmarks set it, to use the old layout as the oracle the SoA
+	// engine is verified bit-identical against.
+	reference bool
 }
 
 // Defaults fills unset fields with the paper's evaluation defaults.

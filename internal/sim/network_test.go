@@ -98,13 +98,16 @@ func TestDefaultsFillUnset(t *testing.T) {
 func TestBuildPortWiring(t *testing.T) {
 	m, _ := topo.NewMesh(3, 3)
 	r, _ := route.For(m, route.Auto)
-	s, err := New(Config{Topo: m, Routing: r, NumVCs: 2, BufDepth: 2})
+	cfg := Config{Topo: m, Routing: r, NumVCs: 2, BufDepth: 2}
+	cfg.reference = true
+	s, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Every directed channel's endpoints agree with the routers that
 	// reference it.
-	for i, c := range s.chans {
+	for i := range s.chans {
+		c := &s.chans[i]
 		from, to := s.routers[c.from], s.routers[c.to]
 		if from.outChans[c.outPort] != int32(i) {
 			t.Fatalf("chan %d not wired to sender output port", i)
@@ -121,5 +124,22 @@ func TestBuildPortWiring(t *testing.T) {
 	center := s.routers[m.Index(topo.Coord{Row: 1, Col: 1})]
 	if center.numIn() != 5 || center.numOut() != 5 {
 		t.Errorf("center router ports in=%d out=%d, want 5", center.numIn(), center.numOut())
+	}
+
+	// The SoA engine's port-offset table agrees with the wiring: the
+	// center router owns 5 global ports, and the table covers every
+	// router exactly once.
+	soa, err := New(Config{Topo: m, Routing: r, NumVCs: 2, BufDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb := soa.soa.portBase
+	if len(pb) != m.NumTiles()+1 {
+		t.Fatalf("portBase has %d entries, want %d", len(pb), m.NumTiles()+1)
+	}
+	for id := 0; id < m.NumTiles(); id++ {
+		if got, want := int(pb[id+1]-pb[id]), m.Degree(id)+1; got != want {
+			t.Errorf("router %d owns %d ports, want %d", id, got, want)
+		}
 	}
 }

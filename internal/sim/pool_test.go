@@ -114,7 +114,9 @@ func TestPacketPoolReuseAfterRelease(t *testing.T) {
 }
 
 // TestStepSteadyStateAllocFree is the AllocsPerRun == 0 guard on the
-// hot path: once warmed up, advancing the network must not allocate.
+// hot path: once warmed up, advancing the network must not allocate —
+// in either engine (the structure-of-arrays default and the retained
+// array-of-structs reference).
 func TestStepSteadyStateAllocFree(t *testing.T) {
 	m, err := topo.NewMesh(8, 8)
 	if err != nil {
@@ -124,24 +126,29 @@ func TestStepSteadyStateAllocFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, rate := range []float64{0.05, 0.3, 0.9} {
-		s, err := New(Config{
-			Topo: m, Routing: r, NumVCs: 8, BufDepth: 32,
-			RouterDelay: 3, PacketLen: 4, InjectionRate: rate,
-			// Keep the whole exercise inside the warmup phase so the
-			// drain/measure schedule never interferes.
-			Seed: 5, Warmup: 1 << 30, Measure: 1, Drain: 1,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		// Reach steady state: queues and the free list grow to their
-		// high-water marks.
-		for i := 0; i < 5000; i++ {
-			s.step(true)
-		}
-		if allocs := testing.AllocsPerRun(300, func() { s.step(true) }); allocs != 0 {
-			t.Errorf("rate %v: steady-state step allocates %v times per cycle, want 0", rate, allocs)
+	for _, ref := range []bool{false, true} {
+		for _, rate := range []float64{0.05, 0.3, 0.9} {
+			cfg := Config{
+				Topo: m, Routing: r, NumVCs: 8, BufDepth: 32,
+				RouterDelay: 3, PacketLen: 4, InjectionRate: rate,
+				// Keep the whole exercise inside the warmup phase so the
+				// drain/measure schedule never interferes.
+				Seed: 5, Warmup: 1 << 30, Measure: 1, Drain: 1,
+			}
+			cfg.reference = ref
+			s, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Reach steady state: queues and the free list grow to their
+			// high-water marks.
+			for i := 0; i < 5000; i++ {
+				s.step(true)
+			}
+			if allocs := testing.AllocsPerRun(300, func() { s.step(true) }); allocs != 0 {
+				t.Errorf("reference=%v rate %v: steady-state step allocates %v times per cycle, want 0",
+					ref, rate, allocs)
+			}
 		}
 	}
 }

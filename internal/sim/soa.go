@@ -1,0 +1,616 @@
+package sim
+
+// Structure-of-arrays engine state. The mutable per-replica state
+// that used to live in per-router structs (VC rings, credit counters,
+// arbiter pointers, scratch) is flattened into a handful of dense
+// arrays indexed by a global (router, port, vc) offset scheme
+// precomputed in the Shape: router id owns global ports
+// [portBase[id], portBase[id+1]) — its link ports in neighbor order
+// plus the injection/ejection port last — and VC lane vcIdx =
+// globalPort*V + vc. Every per-cycle phase walks these lanes with
+// small-integer arithmetic instead of chasing router and slice
+// pointers, the flit buffers of all VCs live in one ring arena
+// (flit slot vcIdx*D + pos), and idle routers are skipped by scanning
+// a word-granular occupancy bitmap rather than testing each router.
+//
+// The layout is behavior-invariant: the phases below compute exactly
+// the reference engine's sequence of state transitions (see
+// reference.go and the proof obligations spelled out next to each
+// divergence), and differential_test.go pins the two engines
+// bit-identical across the full configuration matrix.
+
+import "math/bits"
+
+// simState is the flat per-replica state of the structure-of-arrays
+// engine. All slices are allocated once at instantiate; the hot path
+// only indexes them.
+type simState struct {
+	V int // VCs per port (Config.NumVCs)
+	D int // flits per VC ring (Config.BufDepth)
+
+	// Read-only wiring shared with the Shape.
+	portBase []int32
+	inChans  [][]int32
+	outChans [][]int32
+
+	// Per-VC lanes, indexed by vcIdx = globalPort*V + vc. outPort and
+	// outVC are the input-side VC allocation (-1 when unrouted);
+	// credits and ovcOwner are the output-side bookkeeping of the same
+	// global port numbering (numIn == numOut at every router).
+	outPort  []int16
+	outVC    []int16
+	ringHead []int16
+	ringN    []int16
+	credits  []int16
+	ovcOwner []int32
+
+	// ring is the flit arena backing every VC buffer: the flit at ring
+	// position pos of lane vcIdx lives at ring[vcIdx*D + pos].
+	ring []flitRef
+
+	// headMask and busyMask summarize the lanes of each global port
+	// as one bit per VC, so the allocator scans iterate set bits
+	// instead of testing every lane:
+	//
+	//	headMask[gp] bit v: lane gp*V+v's front flit is an unrouted
+	//	    head — exactly the lanes VC allocation must consider.
+	//	busyMask[gp] bit v: the lane has a routed packet (outPort
+	//	    set) and flits buffered — exactly the lanes switch
+	//	    allocation must consider.
+	//
+	// Per-VC FIFO order makes the transitions local: a head flit
+	// pushed onto an empty unrouted lane sets head, a VC grant moves
+	// head→busy, a body flit pushed onto a drained routed lane sets
+	// busy, a non-tail pop that empties the ring clears busy, and a
+	// tail pop clears busy and sets head again if another packet's
+	// head is now at the front.
+	headMask []uint64
+	busyMask []uint64
+
+	// saReq[op] is the output arbiter's request bitmask — bit ip set
+	// when input port ip's candidate VC requests output port op —
+	// rebuilt during input arbitration each cycle and consumed (and
+	// cleared) by output arbitration. With it, each contested port
+	// resolves with two bit scans instead of walking every
+	// (output, input) pair.
+	saReq []uint64
+
+	// Per-global-port round-robin arbiter pointers (switch allocation)
+	// and the input-arbitration candidate scratch, sized to the widest
+	// router. The VC allocator's round-robin pointer needs no storage:
+	// the reference engine advances it by exactly one every cycle
+	// unconditionally, so it is always t mod (numIn*V).
+	saInRR  []int16
+	saOutRR []int16
+	saCand  []int16
+
+	// Per-router lanes.
+	bufFlits  []int32
+	needRoute []int32
+	injVC     []int16
+	injSeq    []int16
+	srcQ      []queue[int32]
+
+	// occ is the occupancy bitmap: bit id is set while router id has
+	// queued source packets or buffered flits. Set on packet arrival
+	// (pushPacket) and flit delivery; cleared by the end-of-cycle scan
+	// once the router drained. Phases 2-5 scan set bits only.
+	occ []uint64
+}
+
+// setOcc marks router id as occupied.
+func (st *simState) setOcc(id int32) {
+	st.occ[uint32(id)>>6] |= 1 << (uint32(id) & 63)
+}
+
+// instantiateSoA allocates the structure-of-arrays per-replica state
+// over the shape's offset tables.
+func (s *Simulator) instantiateSoA(sh *Shape) {
+	V, D := s.cfg.NumVCs, s.cfg.BufDepth
+	P := sh.numPorts
+	st := &simState{
+		V:         V,
+		D:         D,
+		portBase:  sh.portBase,
+		inChans:   sh.inChans,
+		outChans:  sh.outChans,
+		outPort:   make([]int16, P*V),
+		outVC:     make([]int16, P*V),
+		ringHead:  make([]int16, P*V),
+		ringN:     make([]int16, P*V),
+		credits:   make([]int16, P*V),
+		ovcOwner:  make([]int32, P*V),
+		ring:      make([]flitRef, P*V*D),
+		headMask:  make([]uint64, P),
+		busyMask:  make([]uint64, P),
+		saInRR:    make([]int16, P),
+		saOutRR:   make([]int16, P),
+		saCand:    make([]int16, sh.maxIn),
+		saReq:     make([]uint64, sh.maxIn),
+		bufFlits:  make([]int32, s.n),
+		needRoute: make([]int32, s.n),
+		injVC:     make([]int16, s.n),
+		injSeq:    make([]int16, s.n),
+		srcQ:      make([]queue[int32], s.n),
+		occ:       make([]uint64, (s.n+63)/64),
+	}
+	for i := range st.outPort {
+		st.outPort[i] = -1
+		st.outVC[i] = -1
+		st.credits[i] = int16(D)
+		st.ovcOwner[i] = -1
+	}
+	for i := range st.injVC {
+		st.injVC[i] = -1
+	}
+	s.soa = st
+}
+
+// ringPush appends a flit to VC lane vcIdx's ring.
+func (st *simState) ringPush(vcIdx int, f flitRef) {
+	n := int(st.ringN[vcIdx])
+	if n == st.D {
+		panic("sim: flit ring overflow (credit flow control broken)")
+	}
+	i := int(st.ringHead[vcIdx]) + n
+	if i >= st.D {
+		i -= st.D
+	}
+	st.ring[vcIdx*st.D+i] = f
+	st.ringN[vcIdx] = int16(n + 1)
+}
+
+// ringFront returns the head flit of lane vcIdx (which must be
+// non-empty).
+func (st *simState) ringFront(vcIdx int) *flitRef {
+	return &st.ring[vcIdx*st.D+int(st.ringHead[vcIdx])]
+}
+
+// ringPop removes and returns the head flit of lane vcIdx.
+func (st *simState) ringPop(vcIdx int) flitRef {
+	h := int(st.ringHead[vcIdx])
+	f := st.ring[vcIdx*st.D+h]
+	h++
+	if h == st.D {
+		h = 0
+	}
+	st.ringHead[vcIdx] = int16(h)
+	st.ringN[vcIdx]--
+	return f
+}
+
+// stepSoA advances the SoA engine by one cycle: the same five-phase
+// pipeline as stepRef, with phases 2-5 visiting only routers whose
+// occupancy bit is set. Skipping is safe because every phase's body
+// is a no-op on a drained router: injection returns on an empty
+// source queue, VC allocation returns on needRoute == 0 (and its
+// round-robin pointer is virtual, so skipping mutates nothing), and
+// switch allocation returns on bufFlits == 0 before touching its
+// arbiter pointers. Scanning ascending ids preserves the reference
+// engine's visit order, so shared-state side effects (packet-pool
+// recycle order, latency log order, trace event order) are identical.
+func (s *Simulator) stepSoA(inject bool) {
+	t := s.now
+
+	// Phase 1: deliver flits and credits that arrive this cycle.
+	s.deliverSoA(t)
+
+	// Phase 2: traffic generation and source injection.
+	if inject {
+		s.generate(t)
+	}
+	s.injectPhaseSoA(t)
+
+	// Phase 3: virtual-channel allocation.
+	s.vcAllocPhaseSoA(t)
+
+	// Phase 4+5: switch allocation and traversal.
+	s.switchPhaseSoA(t)
+
+	s.now++
+}
+
+// injectPhaseSoA runs source injection over the occupied routers.
+func (s *Simulator) injectPhaseSoA(t int64) {
+	st := s.soa
+	for w, word := range st.occ {
+		base := int32(w << 6)
+		for word != 0 {
+			id := base + int32(bits.TrailingZeros64(word))
+			word &= word - 1
+			s.injectFlitsSoA(id, t)
+		}
+	}
+}
+
+// vcAllocPhaseSoA runs VC allocation over the occupied routers that
+// have unrouted head flits.
+func (s *Simulator) vcAllocPhaseSoA(t int64) {
+	st := s.soa
+	for w, word := range st.occ {
+		base := int32(w << 6)
+		for word != 0 {
+			id := base + int32(bits.TrailingZeros64(word))
+			word &= word - 1
+			if st.needRoute[id] != 0 {
+				s.vcAllocSoA(id, t)
+			}
+		}
+	}
+}
+
+// switchPhaseSoA runs switch allocation and traversal over the
+// occupied routers, clearing the occupancy bit of routers that
+// drained this cycle.
+func (s *Simulator) switchPhaseSoA(t int64) {
+	st := s.soa
+	for w := range st.occ {
+		word := st.occ[w]
+		base := int32(w << 6)
+		for word != 0 {
+			id := base + int32(bits.TrailingZeros64(word))
+			word &= word - 1
+			if st.bufFlits[id] != 0 {
+				s.switchAllocTraverseSoA(id, t)
+			}
+			if st.bufFlits[id] == 0 && st.srcQ[id].len() == 0 {
+				st.occ[w] &^= 1 << (uint32(id) & 63)
+			}
+		}
+	}
+}
+
+// deliverSoA moves flits and credits whose link latency has elapsed
+// into the downstream (respectively upstream) router's lanes, marking
+// flit destinations occupied.
+func (s *Simulator) deliverSoA(t int64) {
+	st := s.soa
+	V := st.V
+	rd := int64(s.cfg.RouterDelay)
+	for i := range s.chans {
+		c := &s.chans[i]
+		if c.flits.len() > 0 && c.flits.front().arrive <= t {
+			to := c.to
+			gp := int(st.portBase[to]) + int(c.inPort)
+			vcBase := gp * V
+			for c.flits.len() > 0 && c.flits.front().arrive <= t {
+				f := c.flits.pop()
+				vcIdx := vcBase + int(f.vc)
+				st.ringPush(vcIdx, flitRef{pkt: f.pkt, seq: f.seq, ready: t + rd})
+				st.bufFlits[to]++
+				if f.seq == 0 {
+					st.needRoute[to]++
+					// Head onto an empty unrouted lane: the lane now has an
+					// unrouted front flit.
+					if st.ringN[vcIdx] == 1 && st.outPort[vcIdx] < 0 {
+						st.headMask[gp] |= 1 << uint(f.vc)
+					}
+				} else if st.ringN[vcIdx] == 1 && st.outPort[vcIdx] >= 0 {
+					// Body refills a drained routed lane.
+					st.busyMask[gp] |= 1 << uint(f.vc)
+				}
+			}
+			st.setOcc(to)
+		}
+		if c.credits.len() > 0 && c.credits.front().arrive <= t {
+			crBase := (int(st.portBase[c.from]) + int(c.outPort)) * V
+			for c.credits.len() > 0 && c.credits.front().arrive <= t {
+				cr := c.credits.pop()
+				st.credits[crBase+int(cr.vc)]++
+			}
+		}
+	}
+}
+
+// injectFlitsSoA moves at most one flit per cycle from the source
+// queue into the injection port, choosing a VC of the packet's first
+// hop class for each new packet.
+func (s *Simulator) injectFlitsSoA(id int32, t int64) {
+	st := s.soa
+	q := &st.srcQ[id]
+	if q.len() == 0 {
+		return
+	}
+	base := int(st.portBase[id])
+	nIn := int(st.portBase[id+1]) - base
+	injBase := (base + nIn - 1) * st.V // injection port is the last
+	if st.injVC[id] < 0 {
+		// Pick the emptiest VC of the packet's first-hop class.
+		// Injection is serialized packet-by-packet, so packets queued
+		// in the same VC never interleave flits.
+		pk := &s.packets[*q.front()]
+		class := int8(0)
+		if len(pk.path.Classes) > 0 {
+			class = pk.path.Classes[0]
+		}
+		lo, hi := s.classVCRange(class)
+		best, bestFree := -1, 0
+		for v := lo; v < hi; v++ {
+			if free := st.D - int(st.ringN[injBase+v]); free > bestFree {
+				best, bestFree = v, free
+			}
+		}
+		if best < 0 {
+			return
+		}
+		st.injVC[id] = int16(best)
+		st.injSeq[id] = 0
+	}
+	vcIdx := injBase + int(st.injVC[id])
+	if int(st.ringN[vcIdx]) >= st.D {
+		return
+	}
+	pid := *q.front()
+	seq := st.injSeq[id]
+	st.ringPush(vcIdx, flitRef{pkt: pid, seq: seq, ready: t + int64(s.cfg.RouterDelay)})
+	st.bufFlits[id]++
+	gp := base + nIn - 1
+	if seq == 0 {
+		st.needRoute[id]++
+		if st.ringN[vcIdx] == 1 && st.outPort[vcIdx] < 0 {
+			st.headMask[gp] |= 1 << uint(st.injVC[id])
+		}
+	} else if st.ringN[vcIdx] == 1 && st.outPort[vcIdx] >= 0 {
+		st.busyMask[gp] |= 1 << uint(st.injVC[id])
+	}
+	s.flitsInFlight++
+	// A flit entering the network is forward progress: without this the
+	// watchdog would mistake a long injection silence (bursty traces;
+	// never Bernoulli traffic) followed by one injection for a deadlock.
+	s.lastProgress = t
+	if s.cfg.Tracer != nil {
+		s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvInject, Pkt: pid, Seq: seq, Node: id, Peer: s.packets[pid].dst, VC: st.injVC[id]})
+	}
+	st.injSeq[id] = seq + 1
+	if int(seq+1) == int(s.packets[pid].plen) {
+		q.pop()
+		st.injVC[id] = -1
+	}
+}
+
+// vcAllocSoA performs separable VC allocation over the router's flat
+// VC lanes. Only lanes with a headMask bit set — front flit is an
+// unrouted head — are inspected at all: the circular lane sweep
+// becomes a bit scan per port. The round-robin start is virtual: the
+// reference engine advances its pointer by exactly one every cycle
+// whether or not any request exists, so the pointer equals
+// t mod (numIn*V) at cycle t and needs no stored state.
+func (s *Simulator) vcAllocSoA(id int32, t int64) {
+	st := s.soa
+	base := int(st.portBase[id])
+	nIn := int(st.portBase[id+1]) - base
+	V := st.V
+	total := nIn * V
+	ej := nIn - 1
+	lane := base * V
+	start := int(t % int64(total))
+	p0, v0 := start/V, start%V
+	hm := st.headMask
+	// Circular sweep from lane (p0, v0): port p0's bits at or above v0
+	// first, then each following port in full, then port p0's bits
+	// below v0. Grants only clear bits of the port being visited, so
+	// each lane is considered exactly once, in reference order.
+	for i := 0; i <= nIn; i++ {
+		p := p0 + i
+		if p >= nIn {
+			p -= nIn
+		}
+		gp := base + p
+		m := hm[gp]
+		if i == 0 {
+			m &= ^uint64(0) << uint(v0)
+		} else if i == nIn {
+			m &= (1 << uint(v0)) - 1
+		}
+		for m != 0 {
+			v := bits.TrailingZeros64(m)
+			m &= m - 1
+			vcIdx := lane + p*V + v
+			head := st.ringFront(vcIdx)
+			if head.ready > t {
+				continue
+			}
+			pk := &s.packets[head.pkt]
+			if pk.dst == id {
+				// Ejection needs no VC allocation.
+				st.outPort[vcIdx] = int16(ej)
+				st.outVC[vcIdx] = 0
+				hm[gp] &^= 1 << uint(v)
+				st.busyMask[gp] |= 1 << uint(v)
+				st.needRoute[id]--
+				continue
+			}
+			hi := int(pk.hop)
+			class := pk.path.Classes[hi]
+			op := int(pk.ports[hi])
+			lo, hiVC := s.classVCRange(class)
+			ownBase := (base + op) * V
+			for ov := lo; ov < hiVC; ov++ {
+				if st.ovcOwner[ownBase+ov] < 0 {
+					st.ovcOwner[ownBase+ov] = int32(vcIdx - lane)
+					st.outPort[vcIdx] = int16(op)
+					st.outVC[vcIdx] = int16(ov)
+					hm[gp] &^= 1 << uint(v)
+					st.busyMask[gp] |= 1 << uint(v)
+					st.needRoute[id]--
+					break
+				}
+			}
+		}
+	}
+}
+
+// switchAllocTraverseSoA performs separable (input-first) switch
+// allocation over the flat lanes and moves the winning flits. Input
+// arbitration considers only lanes with a busyMask bit set (routed
+// with flits buffered), scanning that port's bits circularly from its
+// round-robin pointer. Instead of walking every (output, input) pair,
+// input arbitration records each candidate in a per-output request
+// bitmask, and output arbitration resolves each requested port by
+// picking the first requester at or cyclically after its round-robin
+// pointer with two bit scans — the same winner the reference
+// engine's nested scan grants, because every input requests at most
+// one output and grants touch no other input's candidate state.
+func (s *Simulator) switchAllocTraverseSoA(id int32, t int64) {
+	st := s.soa
+	base := int(st.portBase[id])
+	nIn := int(st.portBase[id+1]) - base
+	V := st.V
+	ej := nIn - 1
+	lane := base * V
+
+	// Input arbitration: one candidate VC per input port, recorded as
+	// a request bit on its output port.
+	cand := st.saCand[:nIn] // VC index per input port
+	reqOps := uint64(0)
+	for ip := 0; ip < nIn; ip++ {
+		gp := base + ip
+		m := st.busyMask[gp]
+		if m == 0 {
+			continue
+		}
+		rr := uint(st.saInRR[gp])
+		vcBase := lane + ip*V
+		mm := m >> rr
+		off := int(rr)
+	scan:
+		for pass := 0; pass < 2; pass++ {
+			if pass == 1 {
+				mm = m & ((1 << rr) - 1)
+				off = 0
+			}
+			for mm != 0 {
+				v := off + bits.TrailingZeros64(mm)
+				mm &= mm - 1
+				vcIdx := vcBase + v
+				if st.ringFront(vcIdx).ready > t {
+					continue
+				}
+				op := int(st.outPort[vcIdx])
+				if op != ej && st.credits[(base+op)*V+int(st.outVC[vcIdx])] <= 0 {
+					continue
+				}
+				cand[ip] = int16(v)
+				st.saReq[op] |= 1 << uint(ip)
+				reqOps |= 1 << uint(op)
+				break scan
+			}
+		}
+	}
+
+	// Output arbitration: one winner per requested output port, in
+	// ascending port order like the reference engine's output loop.
+	for reqOps != 0 {
+		op := bits.TrailingZeros64(reqOps)
+		reqOps &= reqOps - 1
+		m := st.saReq[op]
+		st.saReq[op] = 0
+		rr := int(st.saOutRR[base+op])
+		var cip int
+		if mh := m >> uint(rr); mh != 0 {
+			cip = rr + bits.TrailingZeros64(mh)
+		} else {
+			cip = bits.TrailingZeros64(m)
+		}
+		v := int(cand[cip])
+		s.traverseSoA(id, cip, v, op, t)
+		st.saInRR[base+cip] = int16((v + 1) % V)
+		st.saOutRR[base+op] = int16((cip + 1) % nIn)
+	}
+}
+
+// traverseSoA moves one flit from input VC (ip, v) through output
+// port op of router id.
+func (s *Simulator) traverseSoA(id int32, ip, v, op int, t int64) {
+	st := s.soa
+	base := int(st.portBase[id])
+	nIn := int(st.portBase[id+1]) - base
+	ej := nIn - 1 // also the injection port's local index
+	vcIdx := (base+ip)*st.V + v
+	f := st.ringPop(vcIdx)
+	st.bufFlits[id]--
+	s.flitHops++
+	pk := &s.packets[f.pkt]
+	isTail := int(f.seq) == int(pk.plen)-1
+	outVC := st.outVC[vcIdx]
+	if isTail {
+		// The route is released; if another packet's head is already
+		// queued behind the tail it is now the (unrouted) front.
+		st.busyMask[base+ip] &^= 1 << uint(v)
+		if st.ringN[vcIdx] > 0 {
+			st.headMask[base+ip] |= 1 << uint(v)
+		}
+	} else if st.ringN[vcIdx] == 0 {
+		// Drained mid-packet: the route stays claimed but there is
+		// nothing to arbitrate until the next body flit arrives.
+		st.busyMask[base+ip] &^= 1 << uint(v)
+	}
+
+	if op == ej {
+		s.flitsInFlight--
+		s.lastProgress = t
+		if f.seq != pk.nextSeq {
+			s.orderViolations++
+		}
+		pk.nextSeq = f.seq + 1
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvEject, Pkt: f.pkt, Seq: f.seq, Node: id, Peer: -1, VC: int16(v)})
+		}
+		if t >= s.measureStart && t < s.measureEnd {
+			s.winFlits++
+		}
+		if s.ctl != nil {
+			s.ctl.winEjFlits++
+			if isTail {
+				s.ctl.winLatSum += t + 1 - pk.inject
+				s.ctl.winPkts++
+			}
+		}
+		if isTail {
+			if pk.measured {
+				s.measEjected++
+				lat := t + 1 - pk.inject
+				s.latencySum += lat
+				s.latencies = append(s.latencies, lat)
+				if lat > s.latencyMax {
+					s.latencyMax = lat
+				}
+			}
+			// The tail has left the network: release the packet slot
+			// for reuse (unless tracing pinned the IDs).
+			if !s.noPool {
+				s.freePkts = append(s.freePkts, f.pkt)
+			}
+		}
+	} else {
+		ci := st.outChans[id][op]
+		c := &s.chans[ci]
+		if f.seq == 0 {
+			// The head flit advances to the next router on its path.
+			pk.hop++
+		}
+		c.flits.push(timedFlit{pkt: f.pkt, seq: f.seq, vc: outVC, arrive: t + c.latency})
+		if s.cfg.Tracer != nil {
+			s.cfg.Tracer.Trace(Event{Cycle: t, Kind: EvTraverse, Pkt: f.pkt, Seq: f.seq, Node: id, Peer: c.to, VC: outVC})
+		}
+		st.credits[(base+op)*st.V+int(outVC)]--
+		if t >= s.measureStart && t < s.measureEnd {
+			s.linkFlits[ci]++
+		}
+		s.lastProgress = t
+	}
+
+	// Return a credit upstream for the freed buffer slot.
+	if ip != ej {
+		uc := &s.chans[st.inChans[id][ip]]
+		uc.credits.push(timedCredit{vc: int16(v), arrive: t + uc.latency})
+	}
+
+	if isTail {
+		if op != ej {
+			st.ovcOwner[(base+op)*st.V+int(outVC)] = -1
+		}
+		st.outPort[vcIdx] = -1
+		st.outVC[vcIdx] = -1
+	}
+}
